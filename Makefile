@@ -1,0 +1,30 @@
+# Convenience targets for the Nimblock reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce report examples clean
+
+install:
+	pip install -e . && pip install -e '.[test]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+# One regeneration pass over every table/figure bench (3 sequences).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Full paper-scale regeneration: 10 sequences x 20 events, all experiments.
+reproduce:
+	REPRO_SEQUENCES=10 REPRO_EVENTS=20 $(PYTHON) -m repro.cli all
+
+# Paper-vs-measured verdict table at paper scale.
+report:
+	REPRO_SEQUENCES=10 REPRO_EVENTS=20 $(PYTHON) -m repro.cli report
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

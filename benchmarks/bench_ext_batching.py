@@ -1,0 +1,23 @@
+"""Extension bench: batching strategies (§3.2 motivation, quantified).
+
+Shapes: fragmenting a logical batch into per-item requests inflates
+completion time, and the penalty is far larger for reconfiguration-
+dominated benchmarks (imgc, 18 ms tasks) than compute-dominated ones
+(optical flow, 510 ms tasks).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_batching
+
+from conftest import emit
+
+
+def test_ext_batching_strategies(benchmark):
+    result = benchmark.pedantic(ext_batching.run, rounds=1, iterations=1)
+    for name in result.benchmarks:
+        assert result.fragmentation_penalty(name) > 1.0
+    assert result.fragmentation_penalty("imgc") > result.fragmentation_penalty(
+        "of"
+    )
+    emit(ext_batching.format_result(result))

@@ -1,0 +1,23 @@
+"""Extension bench: capacity planning (slot-count sweep under Nimblock).
+
+Shapes: mean response improves with slot count and plateaus; the knee
+finder reports where the workload stops paying for more slots.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_capacity
+
+from conftest import emit
+
+
+def test_ext_capacity_planning(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: ext_capacity.run(
+            settings=settings, slot_counts=(4, 6, 8, 10, 12)
+        ),
+        rounds=1, iterations=1,
+    )
+    assert result.response(12) <= result.response(4) * 1.05
+    assert 4 <= result.knee() <= 12
+    emit(ext_capacity.format_result(result))

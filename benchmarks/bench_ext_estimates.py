@@ -1,0 +1,24 @@
+"""Extension bench: sensitivity to HLS latency-estimate error.
+
+Shape: reductions stay essentially flat out to ±40% error — ordering
+decisions depend on order-of-magnitude contrasts between benchmarks, so
+bounded per-task errors rarely flip them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_estimates
+
+from conftest import emit
+
+
+def test_ext_estimate_sensitivity(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: ext_estimates.run(settings=settings),
+        rounds=1, iterations=1,
+    )
+    for scheduler in result.schedulers:
+        assert result.degradation(scheduler) > 0.7, (
+            f"{scheduler} degraded more than 30% under estimate error"
+        )
+    emit(ext_estimates.format_result(result))

@@ -1,0 +1,27 @@
+"""Extension bench: heterogeneous fleets (Hetero-ViTAL's setting).
+
+Shapes: the big+edge pair improves on a single big board but not as much
+as two big boards; capability-normalized dispatch places more work on the
+big board.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_hetero
+
+from conftest import emit
+
+
+def test_ext_heterogeneous_fleets(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: ext_hetero.run(settings=settings),
+        rounds=1, iterations=1,
+    )
+    single = result.response("1x big")
+    pair = result.response("2x big")
+    hetero = result.response("big + edge")
+    assert pair <= hetero * 1.05
+    assert hetero <= single * 1.05
+    big_count, edge_count = result.placements["big + edge"]
+    assert big_count > edge_count
+    emit(ext_hetero.format_result(result))

@@ -1,0 +1,23 @@
+"""Extension bench: PS-routed vs NoC inter-slot transfers (paper §7).
+
+Shape: explicit PS routing inflates short-benchmark responses; the NoC
+recovers nearly all of the penalty.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_interconnect
+
+from conftest import emit
+
+
+def test_ext_interconnect(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: ext_interconnect.run(settings=settings),
+        rounds=1, iterations=1,
+    )
+    assert result.overhead_vs_free("ps_routed") >= 1.0
+    assert result.overhead_vs_free("noc") <= result.overhead_vs_free(
+        "ps_routed"
+    )
+    emit(ext_interconnect.format_result(result))

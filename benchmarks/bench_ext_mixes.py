@@ -1,0 +1,25 @@
+"""Extension bench: robustness across workload mixes.
+
+Shapes: Nimblock wins every mix containing the long-running outlier;
+token gating costs it the outlier-free short mix (see the experiment
+docstring for why that trade-off is intentional).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_mixes
+
+from conftest import emit
+
+
+def test_ext_workload_mixes(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: ext_mixes.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    for mix in ("balanced", "long_heavy"):
+        assert result.best_scheduler(mix) == "nimblock"
+    for mix in result.mixes:
+        for scheduler in result.schedulers:
+            assert result.reduction(mix, scheduler) > 0
+    emit(ext_mixes.format_result(result))

@@ -1,0 +1,25 @@
+"""Extension bench: scale-out across a fleet of virtualized FPGAs (§1).
+
+Shape: mean response improves with fleet size (sub-linearly), and
+least-loaded dispatch is at least as good as round-robin at the largest
+fleet because the workload mixes second- and kilosecond-scale apps.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_scaleout
+
+from conftest import emit
+
+
+def test_ext_scaleout(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: ext_scaleout.run(settings=settings),
+        rounds=1, iterations=1,
+    )
+    biggest = max(
+        devices for devices, _ in result.mean_response_ms
+    )
+    for dispatch in ("round_robin", "least_loaded"):
+        assert result.speedup(biggest, dispatch) > 1.0
+    emit(ext_scaleout.format_result(result))

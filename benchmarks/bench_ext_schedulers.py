@@ -1,0 +1,29 @@
+"""Extension bench: EDF and DML-static against PREMA and Nimblock.
+
+Shapes: Nimblock keeps the best average reduction; DML-static (no
+reallocation, no preemption, priority-blind) misses far more
+high-priority deadlines than Nimblock; EDF meets the most deadlines
+overall but only by ignoring priorities.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_schedulers
+
+from conftest import emit
+
+
+def test_ext_scheduler_comparison(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: ext_schedulers.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    for scenario in result.scenarios:
+        assert result.reduction(scenario, "nimblock") >= result.reduction(
+            scenario, "dml_static"
+        )
+        nb9 = result.tight_rate(scenario, "nimblock", 9)
+        dml9 = result.tight_rate(scenario, "dml_static", 9)
+        if nb9 == nb9 and dml9 == dml9:  # both populations non-empty
+            assert nb9 <= dml9
+    emit(ext_schedulers.format_result(result))

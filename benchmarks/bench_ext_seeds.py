@@ -1,0 +1,23 @@
+"""Extension bench: seed sensitivity of the headline reduction.
+
+Shape: magnitudes wobble across disjoint seed blocks (workload
+composition varies) but the ordering — Nimblock beats PREMA and the
+baseline — holds in every block.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_seeds
+
+from conftest import emit
+
+
+def test_ext_seed_sensitivity(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: ext_seeds.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    for scheduler in result.schedulers:
+        assert all(v > 1.0 for v in result.block_values(scheduler))
+    assert result.ordering_stable("nimblock", "prema")
+    emit(ext_seeds.format_result(result))

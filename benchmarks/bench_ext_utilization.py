@@ -1,0 +1,28 @@
+"""Extension bench: board utilization (§1's under-utilization motivation).
+
+Shapes: the no-sharing baseline leaves most slot-time empty; Nimblock has
+the highest compute share of slot-time and the shortest busy window.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_utilization
+
+from conftest import emit
+
+
+def test_ext_board_utilization(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: ext_utilization.run(settings=settings),
+        rounds=1, iterations=1,
+    )
+    assert result.compute_share("nimblock") == max(
+        result.compute_share(s) for s in result.schedulers
+    )
+    assert result.compute_share("nimblock") > 2 * result.compute_share(
+        "baseline"
+    )
+    nb = result.reports["nimblock"]
+    base = result.reports["baseline"]
+    assert nb.window_ms < base.window_ms
+    emit(ext_utilization.format_result(result))

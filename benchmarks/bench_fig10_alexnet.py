@@ -1,0 +1,28 @@
+"""Regenerate Figure 10: AlexNet response time vs batch size (ablations).
+
+Paper shapes: variants coincide at batch 1; the no-pipelining variants
+overlap and are the slowest at larger batches; growth is sublinear.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig10_alexnet
+
+from conftest import emit
+
+
+def test_fig10_alexnet_response(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: fig10_alexnet.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    biggest = max(result.batch_sizes)
+    assert result.response(biggest, "nimblock") <= result.response(
+        biggest, "nimblock_no_pipe"
+    )
+    assert result.response(biggest, "nimblock_no_pipe") == pytest.approx(
+        result.response(biggest, "nimblock_no_preempt_no_pipe"), rel=0.15
+    )
+    emit(fig10_alexnet.format_result(result))

@@ -1,0 +1,27 @@
+"""Regenerate Figure 11: AlexNet throughput vs batch size (ablations).
+
+Paper shapes: pipelining-enabled variants sustain the highest throughput;
+gains flatten beyond batch size ~5.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_throughput
+
+from conftest import emit
+
+
+def test_fig11_alexnet_throughput(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: fig11_throughput.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    biggest = max(result.batch_sizes)
+    assert result.items_per_s(biggest, "nimblock") >= result.items_per_s(
+        biggest, "nimblock_no_pipe"
+    )
+    # Throughput grows from batch 1 to the largest batch when pipelining.
+    assert result.items_per_s(biggest, "nimblock") > result.items_per_s(
+        1, "nimblock"
+    )
+    emit(fig11_throughput.format_result(result))

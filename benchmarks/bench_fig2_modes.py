@@ -1,0 +1,21 @@
+"""Regenerate Figure 2: the three sharing modes as executable timelines.
+
+Shape: makespan strictly improves from temporal multiplexing to
+task-parallel sharing to fine-grained pipelined sharing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_modes
+
+from conftest import emit
+
+
+def test_fig2_sharing_modes(benchmark):
+    result = benchmark(fig2_modes.run)
+    labels = [label for label, _, _ in fig2_modes.MODES]
+    makespans = [result.makespan(label) for label in labels]
+    assert makespans[0] > makespans[1] > makespans[2], (
+        "sharing modes must strictly improve makespan"
+    )
+    emit(fig2_modes.format_result(result))

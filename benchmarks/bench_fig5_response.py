@@ -1,0 +1,22 @@
+"""Regenerate Figure 5: average response-time reduction vs the baseline.
+
+Paper shapes: Nimblock wins every scenario (4.7x standard, 5.7x stress,
+3.1x real-time over the baseline; 1.4-2.1x over PREMA); RR trails.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_response
+
+from conftest import emit
+
+
+def test_fig5_response_reduction(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: fig5_response.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    for scenario in result.scenarios:
+        assert result.best_scheduler(scenario) == "nimblock"
+        assert result.reduction(scenario, "nimblock") > 1.0
+    emit(fig5_response.format_result(result))

@@ -1,0 +1,25 @@
+"""Regenerate Figure 6: 95th/99th percentile tail response (normalized).
+
+Paper shapes: Nimblock best at the 95th percentile in all scenarios; RR
+and FCFS collapse at the 99th percentile of the real-time test.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_tail
+
+from conftest import emit
+
+
+def test_fig6_tail_response(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: fig6_tail.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    for scenario in result.scenarios:
+        assert result.best_scheduler(scenario, 95.0) == "nimblock"
+    # Real-time 99th percentile: Nimblock must beat RR by a wide margin.
+    assert result.tail("realtime", 99.0, "nimblock") < result.tail(
+        "realtime", 99.0, "rr"
+    )
+    emit(fig6_tail.format_result(result))

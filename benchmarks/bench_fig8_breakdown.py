@@ -1,0 +1,20 @@
+"""Regenerate Figure 8: run / PR / wait time proportions under Nimblock."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_breakdown
+
+from conftest import emit
+
+
+def test_fig8_time_breakdown(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: fig8_breakdown.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    # Shape: digit recognition is compute-dominated; the short benchmarks
+    # spend a visible share of their life waiting or reconfiguring.
+    if "dr" in result.breakdowns:
+        dr = result.breakdowns["dr"]
+        assert dr.run_fraction > dr.reconfig_fraction
+    emit(fig8_breakdown.format_result(result))

@@ -1,0 +1,38 @@
+"""Regenerate Figure 9: ablation of preemption and pipelining.
+
+Paper shapes: removing preemption costs ~1.07-1.14x, removing pipelining
+~1.2x, removing both is only marginally worse than removing pipelining
+alone; batch size 1 shows no ablation effect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig9_ablation
+
+from conftest import emit
+
+
+def test_fig9_ablation(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: fig9_ablation.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    for variant in result.variants:
+        assert result.relative_response(1, variant) == pytest.approx(
+            1.0, abs=0.25
+        )
+    for batch in result.batch_sizes:
+        if batch == 1:
+            continue
+        # Ablations never beat the full algorithm meaningfully, and the
+        # no-pipe variants overlap (preemption is moot without pipelining).
+        assert result.relative_response(batch, "nimblock_no_preempt") >= 0.95
+        assert result.relative_response(batch, "nimblock_no_pipe") >= 0.95
+        assert result.relative_response(
+            batch, "nimblock_no_preempt_no_pipe"
+        ) == pytest.approx(
+            result.relative_response(batch, "nimblock_no_pipe"), rel=0.15
+        )
+    emit(fig9_ablation.format_result(result))

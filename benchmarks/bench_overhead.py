@@ -1,0 +1,66 @@
+"""Scheduler-overhead microbenchmarks.
+
+The paper's design argument: heuristic scheduling must stay off the
+expensive-ILP path (§1/§6). Here pytest-benchmark times a single Nimblock
+decision pass against one exact branch-and-bound schedule solve, plus the
+raw event-engine throughput as a sanity floor.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.experiments.overhead import _loaded_hypervisor
+from repro.apps.catalog import get_benchmark
+from repro.ilp.model import ScheduleProblem
+from repro.ilp.solver import BranchAndBoundSolver
+from repro.sim.engine import SimulationEngine
+
+from conftest import emit
+
+
+def test_nimblock_decision_pass(benchmark):
+    hypervisor = _loaded_hypervisor(num_apps=12)
+    ctx = hypervisor._ctx
+    policy = hypervisor.scheduler
+    benchmark(lambda: policy.decide(ctx))
+    emit(
+        "Nimblock decision pass under a 12-application load "
+        "(see pytest-benchmark table for the timing)."
+    )
+
+
+def test_exact_ilp_substitute_solve(benchmark):
+    problem = ScheduleProblem(
+        graph=get_benchmark("of").graph,
+        batch_size=5,
+        num_slots=3,
+        reconfig_ms=SystemConfig().reconfig_ms,
+    )
+
+    result = benchmark.pedantic(
+        lambda: BranchAndBoundSolver(problem).solve(),
+        rounds=3, iterations=1,
+    )
+    assert result.makespan_ms > 0
+    emit(
+        f"Exact solve of optical-flow/batch-5 on 3 slots: "
+        f"{result.makespan_ms / 1000:.2f} s makespan, "
+        f"{result.nodes_visited} nodes visited."
+    )
+
+
+def test_event_engine_throughput(benchmark):
+    def run_10k_events():
+        engine = SimulationEngine()
+        counter = {"n": 0}
+
+        def tick(now):
+            counter["n"] += 1
+            if counter["n"] < 10_000:
+                engine.schedule_after(1.0, tick)
+
+        engine.schedule_at(0.0, tick)
+        engine.run()
+        return counter["n"]
+
+    assert benchmark(run_10k_events) == 10_000

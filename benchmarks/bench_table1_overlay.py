@@ -1,0 +1,13 @@
+"""Regenerate Table 1: overlay slot/static utilization on the ZCU106."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+from conftest import emit
+
+
+def test_table1_overlay_utilization(benchmark):
+    result = benchmark(table1.run)
+    assert result.floorplan_valid
+    emit(table1.format_result(result))

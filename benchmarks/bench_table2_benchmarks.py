@@ -1,0 +1,13 @@
+"""Regenerate Table 2: benchmark task/edge counts (must match the paper)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+from conftest import emit
+
+
+def test_table2_benchmark_sizes(benchmark):
+    result = benchmark(table2.run)
+    assert result.all_match
+    emit(table2.format_result(result))

@@ -1,0 +1,48 @@
+"""Shared infrastructure for the pytest-benchmark regeneration harness.
+
+Every table and figure of the paper has one bench module. Each bench runs
+its experiment (timing it once with ``benchmark.pedantic``) and prints the
+regenerated rows — run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them inline.
+
+Scale: benches default to 3 sequences x 20 events (the paper uses 10 x 20)
+so a full harness run stays in the minutes range; set ``REPRO_SEQUENCES=10``
+for full-fidelity runs. The simulation cache is session-scoped, so the
+Figure 5/6/7/8 benches share one set of simulations exactly as the paper
+derives those figures from the same stimuli.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings, RunCache
+
+#: Bench-default sequence count (paper: 10).
+BENCH_SEQUENCES = int(os.environ.get("REPRO_SEQUENCES", "3"))
+#: Bench-default events per sequence (paper: 20).
+BENCH_EVENTS = int(os.environ.get("REPRO_EVENTS", "20"))
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Experiment scale used by every bench."""
+    return ExperimentSettings(
+        num_sequences=BENCH_SEQUENCES, num_events=BENCH_EVENTS
+    )
+
+
+@pytest.fixture(scope="session")
+def cache() -> RunCache:
+    """One simulation cache shared by all benches in the session."""
+    return RunCache()
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table with a separating banner."""
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Serverless FPGA acceleration: functions, invocations, and SLOs.
+
+The paper motivates FPGA virtualization as the enabler for serverless
+computing (§1). This example stands up a FaaS gateway over the Nimblock
+hypervisor, registers three accelerated functions with service-level
+objectives, replays a bursty invocation trace and reports per-function
+latency and SLO compliance.
+
+Run:
+    python examples/faas_serverless.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Hypervisor, make_scheduler
+from repro.hypervisor.faas import FaaSGateway
+
+
+def main() -> None:
+    gateway = FaaSGateway(Hypervisor(make_scheduler("nimblock")))
+
+    # SLO = factor x single-slot latency (the paper's deadline convention).
+    gateway.register_benchmark("imgc", function_name="compress",
+                               default_priority=3, slo_factor=3.0)
+    gateway.register_benchmark("lenet", function_name="classify",
+                               default_priority=9, slo_factor=2.0)
+    gateway.register_benchmark("3dr", function_name="render",
+                               default_priority=1, slo_factor=6.0)
+    print(f"registered functions: {', '.join(gateway.functions())}")
+
+    rng = random.Random(2023)
+    now = 0.0
+    invocations = 0
+    for _ in range(30):
+        now += rng.uniform(30.0, 250.0)
+        function = rng.choice(gateway.functions())
+        gateway.invoke(function, at_ms=now,
+                       batch_size=rng.randint(1, 8))
+        invocations += 1
+    print(f"replaying {invocations} invocations over {now / 1000:.1f} s\n")
+
+    gateway.run()
+
+    by_function = {}
+    for outcome in gateway.outcomes():
+        by_function.setdefault(outcome.function, []).append(outcome)
+
+    print(f"{'function':10s} {'calls':>5s} {'mean latency':>13s} "
+          f"{'p max':>9s} {'SLO met':>8s}")
+    print("-" * 52)
+    compliance = gateway.slo_compliance()
+    for name in gateway.functions():
+        outcomes = by_function.get(name, [])
+        if not outcomes:
+            continue
+        latencies = [o.latency_ms for o in outcomes]
+        print(
+            f"{name:10s} {len(outcomes):5d} "
+            f"{sum(latencies) / len(latencies):10.0f} ms "
+            f"{max(latencies):6.0f} ms {compliance[name]:8.0%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Post-mortem of one run: timeline art, utilization, exports.
+
+Runs a small shared workload under Nimblock, then demonstrates the
+analysis tooling: the slot-occupancy timeline (Figure 2-style), the
+board-utilization breakdown, a deadline check, and CSV/JSON/trace exports
+for external tools.
+
+Run:
+    python examples/trace_analysis.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import AppRequest, Hypervisor, get_benchmark, make_scheduler
+from repro.experiments.export import export_csv, export_json
+from repro.metrics.utilization import board_utilization
+from repro.sim.timeline import render_timeline
+from repro.sim.trace_export import save_trace
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="nimblock-run-")
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    hypervisor = Hypervisor(make_scheduler("nimblock"))
+    for name, batch, priority, arrival in [
+        ("lenet", 6, 3, 0.0),
+        ("imgc", 8, 9, 150.0),
+        ("3dr", 4, 1, 300.0),
+    ]:
+        app = get_benchmark(name)
+        hypervisor.submit(
+            AppRequest(app.name, app.graph, batch_size=batch,
+                       priority=priority, arrival_ms=arrival)
+        )
+    hypervisor.run()
+
+    print("slot occupancy (first 3 seconds):")
+    print(render_timeline(hypervisor.trace, num_slots=10,
+                          start_ms=0.0, end_ms=3000.0, width=72))
+
+    report = board_utilization(hypervisor.trace, 10)
+    print(
+        f"\nutilization over {report.window_ms / 1000:.1f} s: "
+        f"compute {report.compute_fraction:.1%}, "
+        f"reconfig {report.reconfig_fraction:.2%}, "
+        f"resident-idle {report.idle_resident_fraction:.1%}, "
+        f"empty {report.empty_fraction:.1%}"
+    )
+
+    results = hypervisor.results()
+    print("\nper-application outcomes:")
+    for result in results:
+        slo = "OK " if not result.violates_deadline(3.0) else "MISS"
+        print(
+            f"  [{slo}] {result.name:6s} response "
+            f"{result.response_ms:7.0f} ms "
+            f"({result.reconfig_count} reconfigs, "
+            f"{result.preemption_count} preemptions)"
+        )
+
+    csv_path = export_csv(results, out_dir / "results.csv")
+    json_path = export_json(results, out_dir / "results.json", label="demo")
+    trace_path = save_trace(hypervisor.trace, out_dir / "trace.json",
+                            label="demo")
+    print(
+        f"\nexported: {csv_path.name}, {json_path.name}, "
+        f"{trace_path.name} -> {out_dir}"
+    )
+
+
+if __name__ == "__main__":
+    main()

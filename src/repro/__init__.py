@@ -1,0 +1,82 @@
+"""Nimblock reproduction: fine-grained FPGA sharing through virtualization.
+
+A faithful, simulation-backed reproduction of *"Nimblock: Scheduling for
+Fine-grained FPGA Sharing through Virtualization"* (ISCA 2023). The library
+models a slot-based FPGA overlay (ZCU106, ten slots, serialized 80 ms
+partial reconfiguration), a hypervisor runtime, the Nimblock scheduling
+algorithm with token-based candidate selection, goal-number slot
+allocation, automatic inter-batch pipelining and batch-preemption, plus
+the paper's four comparison schedulers, benchmark suite, workload
+scenarios and every evaluation experiment.
+
+Quickstart
+----------
+>>> from repro import Hypervisor, make_scheduler, scenario_sequence, STRESS
+>>> hv = Hypervisor(make_scheduler("nimblock"))
+>>> for request in scenario_sequence(STRESS, seed=1, num_events=5).to_requests():
+...     _ = hv.submit(request)
+>>> hv.run()
+>>> results = hv.results()
+"""
+
+from repro.config import PRIORITY_LEVELS, SystemConfig, ZCU106_CONFIG
+from repro.errors import ReproError
+from repro.apps import BENCHMARK_NAMES, BenchmarkApp, get_benchmark
+from repro.taskgraph import TaskGraph, TaskSpec
+from repro.hypervisor import (
+    AppRequest,
+    AppResult,
+    FaaSGateway,
+    FPGACluster,
+    Hypervisor,
+    single_slot_latency_ms,
+)
+from repro.sim import render_timeline
+from repro.schedulers import ALL_SCHEDULERS, SchedulerPolicy, make_scheduler
+from repro.core import NimblockScheduler
+from repro.workload import (
+    EventGenerator,
+    EventSequence,
+    EventSpec,
+    REALTIME,
+    SCENARIOS,
+    STANDARD,
+    STRESS,
+    fixed_batch_sequence,
+    scenario_sequence,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PRIORITY_LEVELS",
+    "SystemConfig",
+    "ZCU106_CONFIG",
+    "ReproError",
+    "BENCHMARK_NAMES",
+    "BenchmarkApp",
+    "get_benchmark",
+    "TaskGraph",
+    "TaskSpec",
+    "AppRequest",
+    "AppResult",
+    "FaaSGateway",
+    "FPGACluster",
+    "Hypervisor",
+    "single_slot_latency_ms",
+    "render_timeline",
+    "ALL_SCHEDULERS",
+    "SchedulerPolicy",
+    "make_scheduler",
+    "NimblockScheduler",
+    "EventGenerator",
+    "EventSequence",
+    "EventSpec",
+    "REALTIME",
+    "SCENARIOS",
+    "STANDARD",
+    "STRESS",
+    "fixed_batch_sequence",
+    "scenario_sequence",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Analytic cross-validation models.
+
+Simulators earn trust by agreeing with closed-form models where those
+exist. The no-sharing baseline is simple enough to solve exactly —
+applications run serially, each alone on the whole board — so
+:mod:`repro.analysis.baseline_model` predicts every baseline response
+analytically, and the test suite checks the discrete-event simulator
+reproduces the predictions to the millisecond.
+"""
+
+from repro.analysis.baseline_model import (
+    predicted_baseline_responses,
+    predicted_exclusive_execution_ms,
+)
+
+__all__ = [
+    "predicted_baseline_responses",
+    "predicted_exclusive_execution_ms",
+]

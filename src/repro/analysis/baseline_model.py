@@ -1,0 +1,91 @@
+"""Closed-form model of the no-sharing baseline (simulator validation).
+
+Under the baseline, applications run strictly serially: the oldest pending
+application owns the whole board until it retires. For *chain*
+applications the exclusive execution has an exact closed form:
+
+* the chain prefetch-configures task ``k`` at ``k x (reconfig + dispatch)``
+  after the application takes the board (CAP serialization; every task of
+  a chain is configurable immediately because its predecessor is already
+  resident);
+* task ``k`` starts its bulk batch at
+  ``max(config_done_k, finish_{k-1})`` and finishes ``batch x latency_k``
+  later.
+
+Chaining the applications — ``start_i = max(arrival_i, retire_{i-1})`` —
+yields every baseline response exactly. The test suite checks the
+discrete-event simulator agrees to the millisecond; that agreement is the
+simulator's correctness anchor.
+
+Only chain-shaped applications are supported (five of the six benchmarks).
+Wider graphs hit slot-recycling interactions that have no tidy closed
+form — that is what the simulator is for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import SystemConfig
+from repro.errors import SolverError
+from repro.taskgraph.graph import TaskGraph
+from repro.workload.events import EventSequence
+
+
+def predicted_exclusive_execution_ms(
+    graph: TaskGraph,
+    batch_size: int,
+    config: SystemConfig,
+) -> Tuple[float, float]:
+    """(first item start, retirement) offsets for one app alone on the board.
+
+    Offsets are relative to the instant the application takes the board.
+    Raises :class:`SolverError` for non-chain graphs.
+    """
+    if graph.max_width() != 1:
+        raise SolverError(
+            f"graph {graph.name!r} is not a chain (width "
+            f"{graph.max_width()}); the closed form only covers chains"
+        )
+    if batch_size < 1:
+        raise SolverError(f"batch_size must be >= 1, got {batch_size}")
+    if graph.num_tasks > config.num_slots:
+        raise SolverError(
+            f"chain of {graph.num_tasks} tasks exceeds {config.num_slots} "
+            "slots; prefetch would stall and the closed form breaks"
+        )
+
+    config_cost = config.reconfig_ms + config.dispatch_overhead_ms
+    finish = 0.0
+    first_start = None
+    for index, task_id in enumerate(graph.topological_order, start=1):
+        config_done = index * config_cost
+        start = max(config_done, finish)
+        if first_start is None:
+            first_start = start
+        finish = start + batch_size * graph.task(task_id).latency_ms
+    assert first_start is not None
+    return first_start, finish
+
+
+def predicted_baseline_responses(
+    sequence: EventSequence,
+    config: SystemConfig,
+) -> List[float]:
+    """Exact response time of every event under the no-sharing baseline."""
+    board_free = 0.0
+    responses: List[float] = []
+    cache: Dict[Tuple[str, int], Tuple[float, float]] = {}
+    for event in sequence:
+        request = event.to_request()
+        key = (request.name, request.batch_size)
+        if key not in cache:
+            cache[key] = predicted_exclusive_execution_ms(
+                request.graph, request.batch_size, config
+            )
+        _, exclusive_finish = cache[key]
+        start = max(event.arrival_ms, board_free)
+        retire = start + exclusive_finish
+        board_free = retire
+        responses.append(retire - event.arrival_ms)
+    return responses

@@ -1,0 +1,26 @@
+"""The six benchmark applications of the paper's evaluation (Table 2).
+
+3D rendering, digit recognition and optical flow come from the Rosetta
+suite; image compression, LeNet and AlexNet are custom benchmarks. We
+reproduce each application's task graph exactly (task and edge counts match
+Table 2) and calibrate per-task latencies so that single-application
+execution times land near Table 3.
+"""
+
+from repro.apps.catalog import (
+    BENCHMARK_NAMES,
+    BenchmarkApp,
+    benchmark_catalog,
+    get_benchmark,
+)
+from repro.apps.hls import HLSReport, synthesize_report, reports_for_benchmark
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkApp",
+    "benchmark_catalog",
+    "get_benchmark",
+    "HLSReport",
+    "synthesize_report",
+    "reports_for_benchmark",
+]

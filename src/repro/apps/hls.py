@@ -1,0 +1,120 @@
+"""Synthetic HLS reports: the performance estimates the scheduler consumes.
+
+On the paper's testbed, per-task latency estimates, interface information
+and resource utilization are parsed from the high-level synthesis output
+and shipped in the bitstream header. Without Vivado HLS we synthesize the
+report deterministically from the task specification: the latency estimate
+equals the task's true latency optionally perturbed by a bounded estimation
+error (HLS estimates are never exact), and resource numbers are derived
+from the latency so longer tasks report denser logic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.overlay.resources import ResourceVector, slot_resource_vector
+from repro.taskgraph.graph import TaskGraph, TaskSpec
+
+
+@dataclass(frozen=True)
+class HLSReport:
+    """Parsed output of high-level synthesis for one task."""
+
+    task_id: str
+    latency_estimate_ms: float
+    initiation_interval: int
+    resources: ResourceVector
+    control_interface: str = "axilite"
+    data_interface: str = "axi4"
+
+    def __post_init__(self) -> None:
+        if self.latency_estimate_ms <= 0:
+            raise WorkloadError(
+                f"HLS latency estimate for {self.task_id!r} must be > 0"
+            )
+        if self.initiation_interval < 1:
+            raise WorkloadError(
+                f"initiation interval for {self.task_id!r} must be >= 1"
+            )
+
+
+def _stable_fraction(task_id: str) -> float:
+    """Deterministic pseudo-random fraction in [0, 1) from the task id."""
+    digest = hashlib.sha256(task_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def synthesize_report(
+    spec: TaskSpec, estimation_error: float = 0.0
+) -> HLSReport:
+    """Build the HLS report for one task.
+
+    ``estimation_error`` bounds the relative deviation of the latency
+    estimate from the true latency; the sign and magnitude are a stable
+    hash of the task id, so reports are reproducible without an RNG.
+    """
+    if not 0.0 <= estimation_error < 1.0:
+        raise WorkloadError(
+            f"estimation_error must be in [0, 1), got {estimation_error}"
+        )
+    fraction = _stable_fraction(spec.task_id)
+    deviation = (2.0 * fraction - 1.0) * estimation_error
+    estimate = spec.latency_ms * (1.0 + deviation)
+
+    # Longer tasks synthesize to denser logic: scale resource usage with
+    # latency, clamped to fill between 40% and 100% of one slot.
+    slot = slot_resource_vector("min")
+    fill = min(1.0, 0.4 + 0.6 * min(spec.latency_ms / 2000.0, 1.0))
+    resources = ResourceVector(
+        tuple(int(count * fill) for count in slot.counts)
+    )
+    return HLSReport(
+        task_id=spec.task_id,
+        latency_estimate_ms=estimate,
+        initiation_interval=max(1, int(spec.latency_ms)),
+        resources=resources,
+    )
+
+
+def reports_for_benchmark(
+    graph: TaskGraph, estimation_error: float = 0.0
+) -> Dict[str, HLSReport]:
+    """HLS reports for every task of one application graph."""
+    return {
+        task_id: synthesize_report(graph.task(task_id), estimation_error)
+        for task_id in graph.topological_order
+    }
+
+
+def application_latency_estimate_ms(
+    graph: TaskGraph,
+    batch_size: int,
+    reconfig_ms: float,
+    estimation_error: float = 0.0,
+) -> float:
+    """The hypervisor's application-level latency estimate (paper §4.1).
+
+    The paper sums per-task HLS latency estimates over the task graph; we
+    scale by the batch size and account one reconfiguration per task, which
+    is the single-slot upper bound the token scheme degrades against.
+    """
+    if batch_size < 1:
+        raise WorkloadError(f"batch_size must be >= 1, got {batch_size}")
+    reports = reports_for_benchmark(graph, estimation_error)
+    task_sum = sum(r.latency_estimate_ms for r in reports.values())
+    return batch_size * task_sum + reconfig_ms * graph.num_tasks
+
+
+def estimates_fit_slot(graph: TaskGraph) -> List[str]:
+    """Task ids whose synthesized resources exceed one slot (should be [])."""
+    slot = slot_resource_vector("max")
+    oversized = []
+    for task_id in graph.topological_order:
+        report = synthesize_report(graph.task(task_id))
+        if not report.resources.fits_within(slot):
+            oversized.append(task_id)
+    return oversized

@@ -1,0 +1,136 @@
+"""Command-line entry point regenerating every table and figure.
+
+Examples
+--------
+::
+
+    nimblock-repro table2
+    nimblock-repro fig5 --sequences 3 --events 12
+    nimblock-repro all --sequences 2 --events 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.experiments import (
+    ext_batching,
+    ext_capacity,
+    ext_estimates,
+    ext_hetero,
+    ext_interconnect,
+    ext_mixes,
+    ext_scaleout,
+    ext_schedulers,
+    ext_seeds,
+    ext_utilization,
+    fig2_modes,
+    fig4_taskgraph,
+    fig5_response,
+    fig6_tail,
+    fig7_deadlines,
+    fig8_breakdown,
+    fig9_ablation,
+    fig10_alexnet,
+    fig11_throughput,
+    overhead,
+    report,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.runner import ExperimentSettings, RunCache
+
+
+def _needs_runs(module) -> bool:
+    return module not in (table1, table2, overhead)
+
+
+_EXPERIMENTS: Dict[str, object] = {
+    "fig2": fig2_modes,
+    "fig4": fig4_taskgraph,
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "fig5": fig5_response,
+    "fig6": fig6_tail,
+    "fig7": fig7_deadlines,
+    "fig8": fig8_breakdown,
+    "fig9": fig9_ablation,
+    "fig10": fig10_alexnet,
+    "fig11": fig11_throughput,
+    "overhead": overhead,
+    "ext-interconnect": ext_interconnect,
+    "ext-scaleout": ext_scaleout,
+    "ext-mixes": ext_mixes,
+    "ext-estimates": ext_estimates,
+    "ext-schedulers": ext_schedulers,
+    "ext-batching": ext_batching,
+    "ext-hetero": ext_hetero,
+    "ext-utilization": ext_utilization,
+    "ext-seeds": ext_seeds,
+    "ext-capacity": ext_capacity,
+    "report": report,
+}
+
+
+def _run_one(
+    name: str,
+    cache: RunCache,
+    settings: ExperimentSettings,
+) -> str:
+    module = _EXPERIMENTS[name]
+    if _needs_runs(module):
+        result = module.run(cache=cache, settings=settings)
+    else:
+        result = module.run()
+    return module.format_result(result)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="nimblock-repro",
+        description=(
+            "Regenerate the tables and figures of 'Nimblock: Scheduling "
+            "for Fine-grained FPGA Sharing through Virtualization' "
+            "(ISCA 2023) on the simulated ZCU106 overlay."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--sequences", type=int, default=None,
+        help="number of random event sequences (paper: 10)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=None,
+        help="events per sequence (paper: 20)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    settings = ExperimentSettings.from_env()
+    if args.sequences is not None or args.events is not None:
+        settings = ExperimentSettings(
+            num_sequences=args.sequences or settings.num_sequences,
+            num_events=args.events or settings.num_events,
+        )
+    cache = RunCache()
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_run_one(name, cache, settings))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

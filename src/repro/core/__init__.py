@@ -1,0 +1,41 @@
+"""The Nimblock scheduling algorithm — the paper's primary contribution.
+
+The pieces map one-to-one onto Figure 3:
+
+* :mod:`repro.core.tokens` — token accumulation and candidate selection
+  (Algorithm 1, borrowed from PREMA);
+* :mod:`repro.core.saturation` — DML-style saturation-point analysis
+  producing per-application *goal numbers*;
+* :mod:`repro.core.allocation` — the three-phase slot allocator (§4.2);
+* :mod:`repro.core.preemption` — batch-preemption victim selection
+  (Algorithm 2);
+* :mod:`repro.core.nimblock` — the policy tying it all together;
+* :mod:`repro.core.variants` — the ablation variants of §5.6.
+"""
+
+from repro.core.tokens import TokenAccounting
+from repro.core.allocation import allocate_slots
+from repro.core.saturation import SaturationAnalyzer, saturation_sweep
+from repro.core.preemption import select_preemption_slot
+from repro.core.nimblock import NimblockScheduler
+from repro.core.variants import (
+    ABLATION_NAMES,
+    nimblock_full,
+    nimblock_no_pipe,
+    nimblock_no_preempt,
+    nimblock_no_preempt_no_pipe,
+)
+
+__all__ = [
+    "TokenAccounting",
+    "allocate_slots",
+    "SaturationAnalyzer",
+    "saturation_sweep",
+    "select_preemption_slot",
+    "NimblockScheduler",
+    "ABLATION_NAMES",
+    "nimblock_full",
+    "nimblock_no_pipe",
+    "nimblock_no_preempt",
+    "nimblock_no_preempt_no_pipe",
+]

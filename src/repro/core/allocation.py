@@ -1,0 +1,78 @@
+"""The three-phase slot allocator (paper §4.2).
+
+Given the candidate pool (oldest first), the allocator decides each
+candidate's ``slots_allocated``:
+
+1. **Forward progress** — one slot per candidate, oldest first, so every
+   candidate can always make progress. With more candidates than slots the
+   youngest candidates get nothing this round.
+2. **Goal numbers** — remaining slots raise candidates (oldest first) to
+   their saturation-derived goal number.
+3. **Surplus** — anything still left goes, oldest first, to candidates
+   that can use extra slots beyond their goal (bounded by their number of
+   unfinished tasks) so old applications can pipeline aggressively toward
+   their deadlines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import SchedulerError
+from repro.hypervisor.application import AppRun
+
+
+def allocate_slots(
+    candidates: Sequence[AppRun],
+    total_slots: int,
+    goal_numbers: Dict[int, int],
+) -> Dict[int, int]:
+    """Slot allocation per candidate app id.
+
+    ``candidates`` must already be in age order (oldest first);
+    ``goal_numbers[app_id]`` is the saturation goal for each candidate.
+    """
+    if total_slots < 1:
+        raise SchedulerError(f"total_slots must be >= 1, got {total_slots}")
+    for app in candidates:
+        if app.app_id not in goal_numbers:
+            raise SchedulerError(
+                f"missing goal number for candidate app {app.app_id}"
+            )
+
+    allocation: Dict[int, int] = {app.app_id: 0 for app in candidates}
+    remaining = total_slots
+
+    # Phase 1: one slot each, oldest first.
+    for app in candidates:
+        if remaining == 0:
+            break
+        allocation[app.app_id] = 1
+        remaining -= 1
+
+    # Phase 2: raise to goal numbers, oldest first.
+    for app in candidates:
+        if remaining == 0:
+            break
+        ceiling = min(goal_numbers[app.app_id], app.max_useful_slots())
+        want = max(0, ceiling - allocation[app.app_id])
+        if allocation[app.app_id] == 0:
+            continue  # did not even get a progress slot this round
+        grant = min(want, remaining)
+        allocation[app.app_id] += grant
+        remaining -= grant
+
+    # Phase 3: surplus beyond the goal, oldest first, bounded by how many
+    # slots the application can actually occupy.
+    for app in candidates:
+        if remaining == 0:
+            break
+        if allocation[app.app_id] == 0:
+            continue
+        ceiling = app.max_useful_slots()
+        want = max(0, ceiling - allocation[app.app_id])
+        grant = min(want, remaining)
+        allocation[app.app_id] += grant
+        remaining -= grant
+
+    return allocation

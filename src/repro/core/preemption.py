@@ -1,0 +1,56 @@
+"""Batch-preemption victim selection (Algorithm 2, paper §4.4).
+
+When a candidate task is ready but no slot is free, Nimblock looks for the
+running application that exceeds its slot allocation by the most **and**
+has a task waiting at a batch boundary (line 5's ``s.task is waiting``).
+From that over-consumer we take the configured task latest in topological
+order — it cannot be feeding a pipelined dependency of another resident
+task — and preempt it only if its slot is indeed waiting for its next
+batch item; otherwise preemption is delayed until the item in flight
+drains (the scheduler simply retries at the next event).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hypervisor.application import AppRun, TaskRunState
+
+
+def select_preemption_slot(ctx) -> Optional[int]:
+    """Slot index to batch-preempt, or None if nobody over-consumes.
+
+    ``ctx`` is the hypervisor's :class:`SchedulerContext`.
+    """
+    over_consumption = 0
+    over_consumer: Optional[AppRun] = None
+    for slot in ctx.device.slots:
+        occupant = ctx.slot_occupant(slot.index)
+        if occupant is None:
+            continue
+        app, _task = occupant
+        consumption = app.over_consumption
+        if ctx.slot_waiting(slot.index) and consumption > over_consumption:
+            over_consumption = consumption
+            over_consumer = app
+    if over_consumer is None:
+        return None
+
+    # Topologically latest configured task of the over-consumer.
+    graph = over_consumer.graph
+    latest_task = None
+    latest_index = -1
+    for run in over_consumer.tasks.values():
+        if run.state != TaskRunState.CONFIGURED:
+            continue
+        index = graph.topo_index(run.task_id)
+        if index > latest_index:
+            latest_index = index
+            latest_task = run
+    if latest_task is None or latest_task.slot_index is None:
+        return None
+
+    # Preempt only at a batch boundary; if the task is mid-item, delay.
+    if ctx.slot_waiting(latest_task.slot_index):
+        return latest_task.slot_index
+    return None

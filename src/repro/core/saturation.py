@@ -1,0 +1,116 @@
+"""Saturation-point analysis producing per-application goal numbers (§4.2).
+
+Following DML's observation, an application has a limit to the slots it can
+effectively use. We sweep the slot count from one to the system size,
+estimate the application's isolated pipelined latency at each count with
+the ILP-substitute estimator, and pick the *goal number*: the smallest slot
+count beyond which one more slot improves latency by less than the
+configured threshold.
+
+Consistent with the paper's observations, a second slot is always part of
+the goal when the application has more than one task and more than one
+batch item (it enables inter-batch parallelism), and the goal never exceeds
+the task count. The analysis depends only on HLS estimates — never on
+runtime state — so results are memoized per (graph shape, batch size).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config import SystemConfig
+from repro.errors import SolverError
+from repro.ilp.estimator import estimate_makespan_ms
+from repro.ilp.model import ScheduleProblem
+from repro.taskgraph.graph import TaskGraph
+
+
+def saturation_sweep(
+    graph: TaskGraph,
+    batch_size: int,
+    config: SystemConfig,
+) -> List[float]:
+    """Estimated isolated latency (ms) for each slot count ``1..num_slots``."""
+    latencies = []
+    for slots in range(1, config.num_slots + 1):
+        problem = ScheduleProblem(
+            graph=graph,
+            batch_size=batch_size,
+            num_slots=slots,
+            reconfig_ms=config.reconfig_ms,
+        )
+        latencies.append(estimate_makespan_ms(problem))
+    return latencies
+
+
+def find_saturation_point(
+    latencies: List[float], threshold: float
+) -> int:
+    """Slot count after which one more slot gains less than ``threshold``.
+
+    ``latencies[k-1]`` is the latency with ``k`` slots. Returns the
+    smallest ``k`` such that every subsequent increment improves latency by
+    less than ``threshold`` (fractionally), so the curve has genuinely
+    flattened rather than merely paused at a plateau.
+    """
+    if not latencies:
+        raise SolverError("latency sweep must be non-empty")
+    n = len(latencies)
+    for k in range(1, n + 1):
+        flat = True
+        for j in range(k, n):
+            before, after = latencies[j - 1], latencies[j]
+            if before <= 0:
+                continue
+            if (before - after) / before >= threshold:
+                flat = False
+                break
+        if flat:
+            return k
+    return n
+
+
+class SaturationAnalyzer:
+    """Memoized goal-number oracle used by the Nimblock scheduler."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self._config = config
+        self._cache: Dict[Tuple, int] = {}
+        self._sweeps: Dict[Tuple, List[float]] = {}
+
+    def _key(self, graph: TaskGraph, batch_size: int) -> Tuple:
+        return (
+            graph.name,
+            graph.num_tasks,
+            graph.num_edges,
+            batch_size,
+            self._config.num_slots,
+            self._config.reconfig_ms,
+        )
+
+    def sweep(self, graph: TaskGraph, batch_size: int) -> List[float]:
+        """Cached latency sweep across slot counts."""
+        key = self._key(graph, batch_size)
+        if key not in self._sweeps:
+            self._sweeps[key] = saturation_sweep(
+                graph, batch_size, self._config
+            )
+        return self._sweeps[key]
+
+    def goal_number(self, graph: TaskGraph, batch_size: int) -> int:
+        """The application's goal number of slots (paper §4.2)."""
+        key = self._key(graph, batch_size)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        point = find_saturation_point(
+            self.sweep(graph, batch_size), self._config.saturation_threshold
+        )
+        # A second slot always pays off for multi-task, multi-item
+        # applications (it lets two batch items be in flight), and a goal
+        # beyond the task count is meaningless.
+        if graph.num_tasks > 1 and batch_size > 1:
+            point = max(point, 2)
+        point = min(point, graph.num_tasks, self._config.num_slots)
+        self._cache[key] = point
+        return point

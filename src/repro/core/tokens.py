@@ -1,0 +1,77 @@
+"""Token accumulation and candidate selection (Algorithm 1, paper §4.1).
+
+Borrowed from PREMA: a newly arrived application starts with ``token =
+priority``; while it waits, it accumulates ``alpha x priority x
+degradation_norm`` at every scheduling event (interval tick, arrival,
+completion). The candidate threshold is the maximum pending token floored
+to the nearest priority level, and every application whose token clears the
+threshold is a scheduling candidate.
+
+Degradation follows PREMA's slowdown definition: how much longer the
+application has already been in the system relative to its isolated latency
+estimate, ``(wait + estimate) / estimate``, normalized to the most degraded
+pending application so the accumulation rate stays bounded.
+
+The threshold comparison is ``>=`` (PREMA's original semantics); the paper
+prose says "greater than" but a strict comparison would leave the candidate
+pool empty whenever every token sits exactly on a priority level — e.g. at
+system start — and deadlock the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.config import SystemConfig
+from repro.hypervisor.application import AppRun
+
+
+class TokenAccounting:
+    """Implements Algorithm 1 over the pending application queue."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self._config = config
+
+    def degradation(self, app: AppRun, now: float) -> float:
+        """PREMA slowdown of one application at time ``now``."""
+        waited = max(0.0, now - app.arrival_ms)
+        return (waited + app.latency_estimate_ms) / app.latency_estimate_ms
+
+    def accumulate(self, apps: Iterable[AppRun], now: float) -> None:
+        """One accumulation round over the pending queue (Alg. 1 line 6)."""
+        apps = list(apps)
+        if not apps:
+            return
+        degradations = {
+            app.app_id: self.degradation(app, now) for app in apps
+        }
+        max_degradation = max(degradations.values())
+        if max_degradation <= 0:
+            return
+        for app in apps:
+            normalized = degradations[app.app_id] / max_degradation
+            app.token += (
+                self._config.token_alpha * app.priority * normalized
+            )
+
+    def threshold(self, apps: Sequence[AppRun]) -> float:
+        """Candidate threshold (Alg. 1 line 8)."""
+        if not apps:
+            return 0.0
+        return max(
+            self._config.floor_priority(app.token) for app in apps
+        )
+
+    def candidates(self, apps: Sequence[AppRun]) -> List[AppRun]:
+        """Applications whose tokens clear the threshold, oldest first."""
+        apps = list(apps)
+        if not apps:
+            return []
+        threshold = self.threshold(apps)
+        chosen = [app for app in apps if app.token >= threshold]
+        chosen.sort(key=lambda app: app.age_key)
+        return chosen
+
+    def snapshot(self, apps: Sequence[AppRun]) -> Dict[int, float]:
+        """Current token per app id (diagnostics and tests)."""
+        return {app.app_id: app.token for app in apps}

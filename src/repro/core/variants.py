@@ -1,0 +1,40 @@
+"""Ablation variants of the Nimblock scheduler (paper §5.6, Figure 9).
+
+The ablation study removes pipelining and preemption individually and
+together. Each factory returns a fresh policy instance so one experiment
+run never leaks token or goal-number state into the next.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.nimblock import NimblockScheduler
+
+#: Variant names in Figure 9/10 legend order.
+ABLATION_NAMES: Tuple[str, ...] = (
+    "nimblock",
+    "nimblock_no_preempt",
+    "nimblock_no_pipe",
+    "nimblock_no_preempt_no_pipe",
+)
+
+
+def nimblock_full() -> NimblockScheduler:
+    """The complete algorithm: pipelining and batch-preemption enabled."""
+    return NimblockScheduler(enable_pipelining=True, enable_preemption=True)
+
+
+def nimblock_no_preempt() -> NimblockScheduler:
+    """Pipelining without preemption (over-consumers are never rolled back)."""
+    return NimblockScheduler(enable_pipelining=True, enable_preemption=False)
+
+
+def nimblock_no_pipe() -> NimblockScheduler:
+    """Preemption without inter-batch pipelining (bulk batch processing)."""
+    return NimblockScheduler(enable_pipelining=False, enable_preemption=True)
+
+
+def nimblock_no_preempt_no_pipe() -> NimblockScheduler:
+    """Neither pipelining nor preemption (token + allocation core only)."""
+    return NimblockScheduler(enable_pipelining=False, enable_preemption=False)

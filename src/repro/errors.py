@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Nimblock reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TaskGraphError(ReproError):
+    """A task graph is malformed (cycle, dangling edge, duplicate id...)."""
+
+
+class PartitionError(ReproError):
+    """An application could not be partitioned into slot-sized tasks."""
+
+
+class FloorplanError(ReproError):
+    """A floorplan does not fit the target device resources."""
+
+
+class BitstreamError(ReproError):
+    """A partial bitstream is missing, corrupt, or targets the wrong slot."""
+
+
+class ReconfigurationError(ReproError):
+    """Illegal use of the configuration port (e.g. overlapping reconfigs)."""
+
+
+class SlotStateError(ReproError):
+    """A slot was driven through an illegal state transition."""
+
+
+class BufferError_(ReproError):
+    """Hypervisor data-buffer allocation or release failure."""
+
+
+class SchedulerError(ReproError):
+    """A scheduling policy produced an inconsistent decision."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency (time travel...)."""
+
+
+class WorkloadError(ReproError):
+    """An event sequence or generator parameter is invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""
+
+
+class SolverError(ReproError):
+    """The ILP-substitute schedule-length solver failed or timed out."""

@@ -1,0 +1,97 @@
+"""Result export: per-application records as CSV or JSON.
+
+The paper's artifact parses serial-console reports into result files;
+this is the equivalent structured output for downstream analysis. Every
+:class:`AppResult` field is exported verbatim plus the derived metrics
+(response, wait, execution, throughput).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.errors import ExperimentError
+from repro.hypervisor.results import AppResult
+
+#: Column order of the CSV export.
+CSV_FIELDS = (
+    "app_id", "name", "batch_size", "priority",
+    "arrival_ms", "first_start_ms", "retire_ms",
+    "response_ms", "wait_ms", "execution_ms",
+    "run_busy_ms", "reconfig_busy_ms", "reconfig_count",
+    "preemption_count", "single_slot_latency_ms",
+    "throughput_items_per_s",
+)
+
+
+def result_to_record(result: AppResult) -> dict:
+    """Flat dict of one result (raw fields plus derived metrics)."""
+    return {
+        "app_id": result.app_id,
+        "name": result.name,
+        "batch_size": result.batch_size,
+        "priority": result.priority,
+        "arrival_ms": result.arrival_ms,
+        "first_start_ms": result.first_start_ms,
+        "retire_ms": result.retire_ms,
+        "response_ms": result.response_ms,
+        "wait_ms": result.wait_ms,
+        "execution_ms": result.execution_ms,
+        "run_busy_ms": result.run_busy_ms,
+        "reconfig_busy_ms": result.reconfig_busy_ms,
+        "reconfig_count": result.reconfig_count,
+        "preemption_count": result.preemption_count,
+        "single_slot_latency_ms": result.single_slot_latency_ms,
+        "throughput_items_per_s": result.throughput_items_per_s,
+    }
+
+
+def export_csv(
+    results: Sequence[AppResult], path: Union[str, Path]
+) -> Path:
+    """Write results as CSV (one row per application)."""
+    if not results:
+        raise ExperimentError("nothing to export")
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for result in results:
+            writer.writerow(result_to_record(result))
+    return path
+
+
+def export_json(
+    results: Sequence[AppResult], path: Union[str, Path],
+    label: str = "",
+) -> Path:
+    """Write results as a JSON document with a small header."""
+    if not results:
+        raise ExperimentError("nothing to export")
+    path = Path(path)
+    payload = {
+        "label": label,
+        "count": len(results),
+        "results": [result_to_record(r) for r in results],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_records(path: Union[str, Path]) -> List[dict]:
+    """Read records back from a CSV or JSON export (by extension)."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no export at {path}")
+    if path.suffix == ".json":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return list(payload.get("results", []))
+    if path.suffix == ".csv":
+        with path.open(newline="", encoding="utf-8") as handle:
+            return [dict(row) for row in csv.DictReader(handle)]
+    raise ExperimentError(
+        f"unknown export format {path.suffix!r} (expected .csv or .json)"
+    )

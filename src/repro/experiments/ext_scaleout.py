@@ -1,0 +1,104 @@
+"""Extension study: scale-out across a fleet of virtualized FPGAs (§1).
+
+A cluster front-end dispatches whole applications to one of ``N``
+Nimblock-scheduled devices. We sweep fleet sizes under a heavy arrival
+stream and compare the two dispatch policies.
+
+Expected shapes: mean response improves steeply from one to two devices
+and sub-linearly after. The dispatch policies trade blows: least-loaded
+(driven by the hypervisor's HLS work estimates) isolates kilosecond
+outliers onto their own devices, while round-robin's even spread can win
+on balanced streams — neither dominates across workloads, which is itself
+the finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.runner import ExperimentSettings, format_table
+from repro.hypervisor.cluster import DISPATCH_POLICIES, FPGACluster
+from repro.workload.scenarios import STRESS, scenario_sequence
+
+#: Fleet sizes swept.
+FLEET_SIZES: Tuple[int, ...] = (1, 2, 3, 4)
+
+
+@dataclass(frozen=True)
+class ScaleOutResult:
+    """Mean response per (fleet size, dispatch policy)."""
+
+    scheduler: str
+    mean_response_ms: Dict[Tuple[int, str], float]
+    placements: Dict[Tuple[int, str], List[int]]
+
+    def response(self, devices: int, dispatch: str) -> float:
+        """Mean response (ms) for one fleet configuration."""
+        return self.mean_response_ms[(devices, dispatch)]
+
+    def speedup(self, devices: int, dispatch: str) -> float:
+        """Improvement over the single-device fleet (same dispatch)."""
+        return self.response(1, dispatch) / self.response(devices, dispatch)
+
+
+def run(
+    cache=None,  # accepted for harness uniformity
+    settings: Optional[ExperimentSettings] = None,
+    scheduler: str = "nimblock",
+    fleet_sizes: Tuple[int, ...] = FLEET_SIZES,
+) -> ScaleOutResult:
+    """Sweep fleet sizes and dispatch policies on one arrival stream."""
+    settings = settings or ExperimentSettings.from_env()
+    sequences = [
+        scenario_sequence(STRESS, seed, settings.num_events)
+        for seed in settings.seeds()
+    ]
+    means: Dict[Tuple[int, str], float] = {}
+    placements: Dict[Tuple[int, str], List[int]] = {}
+    for devices in fleet_sizes:
+        for dispatch in DISPATCH_POLICIES:
+            responses: List[float] = []
+            balance = [0] * devices
+            for sequence in sequences:
+                cluster = FPGACluster(
+                    devices, scheduler_name=scheduler, dispatch=dispatch
+                )
+                for request in sequence.to_requests():
+                    cluster.submit(request)
+                cluster.run()
+                responses.extend(
+                    r.result.response_ms for r in cluster.results()
+                )
+                for index, count in enumerate(cluster.device_utilization()):
+                    balance[index] += count
+            means[(devices, dispatch)] = sum(responses) / len(responses)
+            placements[(devices, dispatch)] = balance
+    return ScaleOutResult(
+        scheduler=scheduler, mean_response_ms=means, placements=placements
+    )
+
+
+def format_result(result: ScaleOutResult) -> str:
+    """Extension table: fleet size vs mean response per dispatch policy."""
+    headers = ["devices"] + [
+        f"{d} resp (s)" for d in DISPATCH_POLICIES
+    ] + [f"{d} speedup" for d in DISPATCH_POLICIES]
+    rows: List[List[object]] = []
+    sizes = sorted({devices for devices, _ in result.mean_response_ms})
+    for devices in sizes:
+        row: List[object] = [devices]
+        row.extend(
+            result.response(devices, dispatch) / 1000.0
+            for dispatch in DISPATCH_POLICIES
+        )
+        row.extend(
+            f"{result.speedup(devices, dispatch):.2f}x"
+            for dispatch in DISPATCH_POLICIES
+        )
+        rows.append(row)
+    title = (
+        f"Extension: scale-out across virtualized FPGAs "
+        f"({result.scheduler} per device)"
+    )
+    return f"{title}\n{format_table(headers, rows)}"

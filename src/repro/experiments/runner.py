@@ -1,0 +1,146 @@
+"""Shared experiment infrastructure: settings, run cache, table rendering.
+
+The paper evaluates each algorithm on the same 10 distinct 20-event
+sequences. Those are the defaults here; ``ExperimentSettings`` honours the
+``REPRO_SEQUENCES`` and ``REPRO_EVENTS`` environment variables so the
+benchmark harness can be scaled down for quick runs or up for full
+fidelity without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig
+from repro.errors import ExperimentError
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.results import AppResult
+from repro.schedulers.registry import make_scheduler
+from repro.workload.events import EventSequence
+
+#: Paper defaults: 10 distinct sequences of 20 events each.
+DEFAULT_SEQUENCES = 10
+DEFAULT_EVENTS = 20
+
+#: Base seed for sequence generation; sequence ``i`` uses ``BASE_SEED + i``.
+BASE_SEED = 20230617  # ISCA'23 started June 17 2023
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ExperimentError(f"{name} must be an integer, got {raw!r}")
+    if value < 1:
+        raise ExperimentError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """How many sequences/events each experiment runs."""
+
+    num_sequences: int = DEFAULT_SEQUENCES
+    num_events: int = DEFAULT_EVENTS
+    base_seed: int = BASE_SEED
+
+    @classmethod
+    def from_env(cls) -> "ExperimentSettings":
+        """Settings honouring REPRO_SEQUENCES / REPRO_EVENTS overrides."""
+        return cls(
+            num_sequences=_env_int("REPRO_SEQUENCES", DEFAULT_SEQUENCES),
+            num_events=_env_int("REPRO_EVENTS", DEFAULT_EVENTS),
+        )
+
+    def seeds(self) -> List[int]:
+        """Seed per sequence."""
+        return [self.base_seed + i for i in range(self.num_sequences)]
+
+
+def run_sequence(
+    scheduler_name: str,
+    sequence: EventSequence,
+    config: Optional[SystemConfig] = None,
+) -> List[AppResult]:
+    """Run one event sequence under one scheduler to completion."""
+    hypervisor = Hypervisor(make_scheduler(scheduler_name), config=config)
+    for request in sequence.to_requests():
+        hypervisor.submit(request)
+    hypervisor.run()
+    if not hypervisor.all_retired:
+        raise ExperimentError(
+            f"scheduler {scheduler_name!r} failed to retire all applications "
+            f"on sequence {sequence.label!r} "
+            f"({len(hypervisor.retired)}/{len(hypervisor.apps)})"
+        )
+    return hypervisor.results()
+
+
+class RunCache:
+    """Memoizes simulation runs per (scheduler, stimulus, platform).
+
+    Figures 5-8 all consume the same stimuli; within one harness instance
+    each (scheduler, sequence) pair simulates exactly once.
+    """
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig()
+        self._runs: Dict[Tuple[str, str], List[AppResult]] = {}
+        self.simulations = 0
+
+    def _key(self, scheduler_name: str, sequence: EventSequence) -> Tuple[str, str]:
+        if not sequence.label:
+            raise ExperimentError(
+                "cached runs need labelled sequences (set EventSequence.label)"
+            )
+        return (scheduler_name, sequence.label)
+
+    def results(
+        self, scheduler_name: str, sequence: EventSequence
+    ) -> List[AppResult]:
+        """Results for one run, simulating on first request."""
+        key = self._key(scheduler_name, sequence)
+        cached = self._runs.get(key)
+        if cached is None:
+            cached = run_sequence(scheduler_name, sequence, self.config)
+            self._runs[key] = cached
+            self.simulations += 1
+        return cached
+
+    def combined(
+        self, scheduler_name: str, sequences: Sequence[EventSequence]
+    ) -> List[AppResult]:
+        """Concatenated results across several sequences (stable order)."""
+        combined: List[AppResult] = []
+        for sequence in sequences:
+            combined.extend(self.results(scheduler_name, sequence))
+        return combined
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [
+                f"{value:.2f}" if isinstance(value, float) else str(value)
+                for value in row
+            ]
+        )
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,286 @@
+"""Runtime state of applications and their tasks inside the hypervisor.
+
+An :class:`AppRequest` is what arrives at the hypervisor (application name,
+task graph, batch size, priority — the bitstream-header fields of §2.2).
+The hypervisor wraps it in an :class:`AppRun` that tracks scheduling tokens,
+slot allocations and per-task batch progress.
+
+Batch progress is the preemption checkpoint: because tasks are only ever
+detached at batch-item boundaries, ``TaskRun.items_done`` *is* the saved
+state that batch-preemption needs (paper §3.2/§4.4) — no FPGA state
+capture is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulerError, WorkloadError
+from repro.taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class AppRequest:
+    """An application arriving at the hypervisor."""
+
+    name: str
+    graph: TaskGraph
+    batch_size: int
+    priority: int
+    arrival_ms: float
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise WorkloadError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.priority < 1:
+            raise WorkloadError(f"priority must be >= 1, got {self.priority}")
+        if self.arrival_ms < 0:
+            raise WorkloadError(f"arrival_ms must be >= 0, got {self.arrival_ms}")
+
+
+class TaskRunState(str, Enum):
+    """Lifecycle of one task inside the hypervisor."""
+
+    PENDING = "pending"          # not configured anywhere
+    CONFIGURING = "configuring"  # partial reconfiguration in flight
+    CONFIGURED = "configured"    # resident in a slot, running or waiting
+    DONE = "done"                # all batch items complete
+
+
+@dataclass
+class TaskRun:
+    """Runtime state of one task of one application."""
+
+    task_id: str
+    latency_ms: float
+    #: HLS-estimated per-item latency (decision input; may deviate from
+    #: ``latency_ms`` under the estimate-sensitivity study).
+    estimate_ms: Optional[float] = None
+    state: TaskRunState = TaskRunState.PENDING
+    slot_index: Optional[int] = None
+    items_done: int = 0
+    configure_count: int = 0
+    preemption_count: int = 0
+    #: Slot that produced each completed item (consumed by the optional
+    #: inter-slot transfer model; index = batch item).
+    producer_slots: List[int] = field(default_factory=list)
+
+    def detach(self) -> None:
+        """Return to PENDING after preemption; batch progress is retained."""
+        if self.state != TaskRunState.CONFIGURED:
+            raise SchedulerError(
+                f"task {self.task_id!r} cannot be preempted from {self.state}"
+            )
+        self.state = TaskRunState.PENDING
+        self.slot_index = None
+        self.preemption_count += 1
+
+
+class AppRun:
+    """One application's full runtime state inside the hypervisor."""
+
+    def __init__(
+        self,
+        app_id: int,
+        request: AppRequest,
+        latency_estimate_ms: float,
+        task_estimates_ms: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if latency_estimate_ms <= 0:
+            raise WorkloadError(
+                f"latency estimate must be > 0, got {latency_estimate_ms}"
+            )
+        self.app_id = app_id
+        self.request = request
+        self.latency_estimate_ms = latency_estimate_ms
+        self.token: float = float(request.priority)
+        self.slots_allocated: int = 0
+        self.first_item_start_ms: Optional[float] = None
+        self.last_item_done_ms: Optional[float] = None
+        self.retire_ms: Optional[float] = None
+        self.reconfig_busy_ms: float = 0.0
+        estimates = task_estimates_ms or {}
+        self.tasks: Dict[str, TaskRun] = {
+            task_id: TaskRun(
+                task_id,
+                request.graph.task(task_id).latency_ms,
+                estimate_ms=estimates.get(task_id),
+            )
+            for task_id in request.graph.topological_order
+        }
+
+    # ------------------------------------------------------------------
+    # Identity and ordering
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Application (benchmark) name."""
+        return self.request.name
+
+    @property
+    def graph(self) -> TaskGraph:
+        """The application task graph."""
+        return self.request.graph
+
+    @property
+    def batch_size(self) -> int:
+        """Number of independent inputs in this request."""
+        return self.request.batch_size
+
+    @property
+    def priority(self) -> int:
+        """PREMA priority level (1, 3 or 9)."""
+        return self.request.priority
+
+    @property
+    def arrival_ms(self) -> float:
+        """Arrival time at the hypervisor."""
+        return self.request.arrival_ms
+
+    @property
+    def age_key(self) -> Tuple[float, int]:
+        """Sort key implementing "oldest application first"."""
+        return (self.arrival_ms, self.app_id)
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def task_complete(self, task_id: str) -> bool:
+        """True once a task has processed its whole batch."""
+        return self.tasks[task_id].items_done >= self.batch_size
+
+    @property
+    def is_complete(self) -> bool:
+        """True once every task has processed every batch item."""
+        return all(
+            run.items_done >= self.batch_size for run in self.tasks.values()
+        )
+
+    @property
+    def slots_used(self) -> int:
+        """Slots currently consumed (configured or being configured).
+
+        This is ``a.slots_used`` in Algorithm 2 line 4.
+        """
+        return sum(
+            1 for run in self.tasks.values()
+            if run.state in (TaskRunState.CONFIGURING, TaskRunState.CONFIGURED)
+        )
+
+    @property
+    def over_consumption(self) -> int:
+        """How far beyond its allocation the application has grown."""
+        return self.slots_used - self.slots_allocated
+
+    def items_remaining(self) -> int:
+        """Total batch items still to process across all tasks."""
+        return sum(
+            max(0, self.batch_size - run.items_done)
+            for run in self.tasks.values()
+        )
+
+    def remaining_work_ms(self) -> float:
+        """Estimated remaining compute (drives PREMA's shortest-first pick).
+
+        Uses the HLS *estimates*, not true latencies — the scheduler only
+        ever sees estimates, which is what the estimate-sensitivity study
+        perturbs.
+        """
+        return sum(
+            (self.batch_size - run.items_done)
+            * (run.estimate_ms if run.estimate_ms is not None
+               else run.latency_ms)
+            for run in self.tasks.values()
+            if run.items_done < self.batch_size
+        )
+
+    # ------------------------------------------------------------------
+    # Readiness rules
+    # ------------------------------------------------------------------
+    def preds_complete(self, task_id: str) -> bool:
+        """True if every predecessor has finished its entire batch."""
+        return all(
+            self.task_complete(pred)
+            for pred in self.graph.predecessors(task_id)
+        )
+
+    def item_ready(self, task_id: str, pipelined: bool) -> bool:
+        """Can the configured task ``task_id`` start its next batch item?
+
+        In pipelined mode, item ``b`` needs every predecessor to have
+        produced item ``b`` (inter-batch pipelining, Figure 2(c)). In bulk
+        mode, the task may only run once every predecessor finished the
+        whole batch (Figure 2(a)/(b)).
+        """
+        run = self.tasks[task_id]
+        if run.state != TaskRunState.CONFIGURED:
+            return False
+        item = run.items_done
+        if item >= self.batch_size:
+            return False
+        if pipelined:
+            return all(
+                self.tasks[pred].items_done > item
+                for pred in self.graph.predecessors(task_id)
+            )
+        return self.preds_complete(task_id)
+
+    def configurable_tasks(self, prefetch: bool) -> List[str]:
+        """Tasks eligible to be placed into a slot, in topological order.
+
+        With ``prefetch`` the hypervisor may configure a task whose
+        predecessors are still executing (or themselves configuring), hiding
+        reconfiguration latency behind computation; without it, only tasks
+        whose predecessors completed the whole batch are eligible.
+        """
+        eligible = []
+        for task_id in self.graph.topological_order:
+            run = self.tasks[task_id]
+            if run.state != TaskRunState.PENDING:
+                continue
+            if run.items_done >= self.batch_size:
+                continue
+            if prefetch:
+                ok = all(
+                    self.tasks[pred].state != TaskRunState.PENDING
+                    or self.task_complete(pred)
+                    for pred in self.graph.predecessors(task_id)
+                )
+            else:
+                ok = self.preds_complete(task_id)
+            if ok:
+                eligible.append(task_id)
+        return eligible
+
+    def configured_waiting_tasks(self) -> List[str]:
+        """Configured tasks not currently needed for bookkeeping helpers."""
+        return [
+            run.task_id for run in self.tasks.values()
+            if run.state == TaskRunState.CONFIGURED
+        ]
+
+    def max_useful_slots(self) -> int:
+        """Upper bound on slots this application can exploit right now.
+
+        Bounded by the number of unfinished tasks and by the application's
+        achievable concurrency: at most ``batch_size`` items are in flight
+        through the pipeline and each item can occupy at most ``max_width``
+        parallel tasks, so a batch-1 chain can never keep more than one
+        slot busy — granting it more would only create idle prefetched
+        tasks that preemption has to claw back.
+        """
+        incomplete = sum(
+            1 for run in self.tasks.values()
+            if run.items_done < self.batch_size
+        )
+        concurrency = self.batch_size * self.graph.max_width()
+        return min(incomplete, concurrency)
+
+    def __repr__(self) -> str:
+        return (
+            f"AppRun(id={self.app_id}, name={self.name!r}, "
+            f"batch={self.batch_size}, prio={self.priority}, "
+            f"token={self.token:.2f})"
+        )

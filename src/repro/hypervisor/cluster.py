@@ -1,0 +1,156 @@
+"""Scale-out across multiple virtualized FPGAs (paper §1, feature 2).
+
+The paper lists *scale-out* — "allowing applications to spread across
+multiple FPGAs" — as a core virtualization feature, and defers multi-device
+exploration to future work. This module provides the cluster layer a
+deployment would put in front of several Nimblock hypervisors: arriving
+applications are dispatched whole to one device (there is no inter-board
+partial reconfiguration, so tasks of one application stay together), each
+device runs its own scheduler, and results aggregate across the fleet.
+
+Dispatch policies:
+
+* ``round_robin`` — devices in rotation;
+* ``least_loaded`` — the device with the least outstanding estimated work
+  (the application latency estimate the hypervisor already computes),
+  normalized by the device's slot count so heterogeneous fleets
+  (Hetero-ViTAL-style mixes of datacenter- and edge-scale boards, paper
+  §6.1) balance by capability rather than raw queue length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.hls import application_latency_estimate_ms
+from repro.config import SystemConfig
+from repro.errors import SchedulerError, WorkloadError
+from repro.hypervisor.application import AppRequest
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.results import AppResult
+from repro.schedulers.registry import make_scheduler
+
+#: Supported dispatch policy names.
+DISPATCH_POLICIES = ("round_robin", "least_loaded")
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """One application's outcome, annotated with its device."""
+
+    device: int
+    result: AppResult
+
+
+class FPGACluster:
+    """A fleet of independently scheduled virtualized FPGAs."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        scheduler_name: str = "nimblock",
+        config: Optional[SystemConfig] = None,
+        dispatch: str = "least_loaded",
+        device_configs: Optional[List[SystemConfig]] = None,
+    ) -> None:
+        """Build a fleet.
+
+        A homogeneous fleet takes ``num_devices`` copies of ``config``;
+        a heterogeneous fleet passes ``device_configs`` explicitly (its
+        length overrides ``num_devices``).
+        """
+        if device_configs is not None:
+            if not device_configs:
+                raise WorkloadError("device_configs must be non-empty")
+            configs = list(device_configs)
+        else:
+            if num_devices < 1:
+                raise WorkloadError(
+                    f"num_devices must be >= 1, got {num_devices}"
+                )
+            configs = [config or SystemConfig()] * num_devices
+        if dispatch not in DISPATCH_POLICIES:
+            raise SchedulerError(
+                f"unknown dispatch policy {dispatch!r}; "
+                f"known: {DISPATCH_POLICIES}"
+            )
+        self.config = configs[0]
+        self.device_configs = configs
+        self.dispatch = dispatch
+        self.hypervisors: List[Hypervisor] = [
+            Hypervisor(make_scheduler(scheduler_name), config=device_config)
+            for device_config in configs
+        ]
+        self._estimated_load_ms: List[float] = [0.0] * len(configs)
+        self._next_device = 0
+        self._placements: Dict[Tuple[int, int], int] = {}
+        self._ran = False
+
+    @property
+    def num_devices(self) -> int:
+        """Fleet size."""
+        return len(self.hypervisors)
+
+    def _pick_device(self, estimate_ms: float) -> int:
+        if self.dispatch == "round_robin":
+            device = self._next_device
+            self._next_device = (device + 1) % self.num_devices
+            return device
+        # Capability-normalized load: a 10-slot board drains the same
+        # queue faster than a 4-slot one.
+        return min(
+            range(self.num_devices),
+            key=lambda d: (
+                self._estimated_load_ms[d]
+                / self.device_configs[d].num_slots,
+                d,
+            ),
+        )
+
+    def submit(self, request: AppRequest) -> Tuple[int, int]:
+        """Dispatch one application; returns (device index, device app id)."""
+        if self._ran:
+            raise SchedulerError("cluster already ran; create a new one")
+        estimate = application_latency_estimate_ms(
+            request.graph, request.batch_size, self.config.reconfig_ms
+        )
+        device = self._pick_device(estimate)
+        app_id = self.hypervisors[device].submit(request)
+        self._estimated_load_ms[device] += estimate
+        self._placements[(device, app_id)] = device
+        return device, app_id
+
+    def run(self) -> None:
+        """Run every device's simulation to completion."""
+        self._ran = True
+        for hypervisor in self.hypervisors:
+            hypervisor.run()
+            if not hypervisor.all_retired:
+                raise SchedulerError(
+                    "a cluster device failed to retire all applications"
+                )
+
+    def results(self) -> List[ClusterResult]:
+        """All results across the fleet, ordered by (device, app id)."""
+        out: List[ClusterResult] = []
+        for device, hypervisor in enumerate(self.hypervisors):
+            out.extend(
+                ClusterResult(device, result)
+                for result in hypervisor.results()
+            )
+        return out
+
+    def mean_response_ms(self) -> float:
+        """Fleet-wide mean response time."""
+        results = self.results()
+        if not results:
+            raise SchedulerError("no applications were submitted")
+        return sum(r.result.response_ms for r in results) / len(results)
+
+    def device_utilization(self) -> List[int]:
+        """Applications placed per device (dispatch balance diagnostics)."""
+        counts = [0] * self.num_devices
+        for device, hypervisor in enumerate(self.hypervisors):
+            counts[device] = len(hypervisor.apps)
+        return counts

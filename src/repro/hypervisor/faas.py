@@ -1,0 +1,230 @@
+"""Function-as-a-Service front-end over the Nimblock hypervisor (§1).
+
+The paper motivates FPGA virtualization as the enabler for serverless
+computing "with FPGAs as a first-class citizen". This module is that thin
+platform layer: accelerated functions are registered once (name, task
+graph, defaults, optional SLO), then invoked by name; every invocation
+becomes a hypervisor application request, and per-invocation latency and
+SLO compliance are reported after the run.
+
+SLOs follow the paper's deadline convention (§5.4): an invocation meets
+its SLO when its response time is within ``slo_factor x single-slot
+latency`` for its batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.catalog import get_benchmark
+from repro.config import PRIORITY_LEVELS
+from repro.errors import WorkloadError
+from repro.hypervisor.application import AppRequest
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.results import AppResult
+from repro.taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One registered accelerated function."""
+
+    name: str
+    graph: TaskGraph
+    default_priority: int = 3
+    default_batch: int = 1
+    slo_factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.default_priority not in PRIORITY_LEVELS:
+            raise WorkloadError(
+                f"default_priority must be one of {PRIORITY_LEVELS}"
+            )
+        if self.default_batch < 1:
+            raise WorkloadError("default_batch must be >= 1")
+        if self.slo_factor is not None and self.slo_factor <= 0:
+            raise WorkloadError("slo_factor must be > 0")
+
+
+@dataclass(frozen=True)
+class InvocationOutcome:
+    """Latency report for one completed invocation."""
+
+    invocation_id: int
+    function: str
+    result: AppResult
+    slo_factor: Optional[float]
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end invocation latency."""
+        return self.result.response_ms
+
+    @property
+    def met_slo(self) -> Optional[bool]:
+        """SLO compliance (None when the function declared no SLO)."""
+        if self.slo_factor is None:
+            return None
+        return not self.result.violates_deadline(self.slo_factor)
+
+
+class FaaSGateway:
+    """Register functions, invoke them by name, collect outcomes.
+
+    ``max_inflight_per_function`` enables admission control: invocations
+    beyond the window queue inside the gateway and are released (in
+    arrival order) as earlier invocations of the same function retire —
+    the serverless platform's standard concurrency limit, protecting the
+    board from one function's burst.
+    """
+
+    def __init__(
+        self,
+        hypervisor: Hypervisor,
+        max_inflight_per_function: Optional[int] = None,
+    ) -> None:
+        if (
+            max_inflight_per_function is not None
+            and max_inflight_per_function < 1
+        ):
+            raise WorkloadError(
+                "max_inflight_per_function must be >= 1, got "
+                f"{max_inflight_per_function}"
+            )
+        self._hypervisor = hypervisor
+        self._functions: Dict[str, FunctionSpec] = {}
+        self._invocations: Dict[int, str] = {}
+        self._max_inflight = max_inflight_per_function
+        self._inflight: Dict[str, int] = {}
+        self._deferred: Dict[str, List[dict]] = {}
+        self.deferred_total = 0
+        if max_inflight_per_function is not None:
+            hypervisor.add_retire_listener(self._on_retire)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, spec: FunctionSpec) -> None:
+        """Register one function; names are unique."""
+        if spec.name in self._functions:
+            raise WorkloadError(f"function {spec.name!r} already registered")
+        self._functions[spec.name] = spec
+
+    def register_benchmark(
+        self,
+        benchmark: str,
+        function_name: Optional[str] = None,
+        default_priority: int = 3,
+        slo_factor: Optional[float] = None,
+    ) -> None:
+        """Register one of the catalog benchmarks as a function."""
+        app = get_benchmark(benchmark)
+        self.register(
+            FunctionSpec(
+                name=function_name or app.name,
+                graph=app.graph,
+                default_priority=default_priority,
+                slo_factor=slo_factor,
+            )
+        )
+
+    def functions(self) -> List[str]:
+        """Registered function names."""
+        return sorted(self._functions)
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+    def invoke(
+        self,
+        function: str,
+        at_ms: float,
+        batch_size: Optional[int] = None,
+        priority: Optional[int] = None,
+    ) -> Optional[int]:
+        """Schedule one invocation; returns its invocation id.
+
+        With admission control enabled, an invocation beyond the inflight
+        window is deferred and this returns None; the invocation gets its
+        id when a slot in the window opens.
+        """
+        spec = self._functions.get(function)
+        if spec is None:
+            raise WorkloadError(
+                f"unknown function {function!r}; "
+                f"registered: {self.functions()}"
+            )
+        params = {
+            "batch_size": batch_size or spec.default_batch,
+            "priority": priority or spec.default_priority,
+            "at_ms": at_ms,
+        }
+        if (
+            self._max_inflight is not None
+            and self._inflight.get(function, 0) >= self._max_inflight
+        ):
+            self._deferred.setdefault(function, []).append(params)
+            self.deferred_total += 1
+            return None
+        return self._submit(function, spec, params)
+
+    def _submit(self, function: str, spec: FunctionSpec, params: dict) -> int:
+        request = AppRequest(
+            name=spec.name,
+            graph=spec.graph,
+            batch_size=params["batch_size"],
+            priority=params["priority"],
+            arrival_ms=params["at_ms"],
+        )
+        invocation_id = self._hypervisor.submit(request)
+        self._invocations[invocation_id] = function
+        self._inflight[function] = self._inflight.get(function, 0) + 1
+        return invocation_id
+
+    def _on_retire(self, app, now: float) -> None:
+        function = self._invocations.get(app.app_id)
+        if function is None:
+            return
+        self._inflight[function] = max(0, self._inflight.get(function, 1) - 1)
+        queue = self._deferred.get(function)
+        if queue:
+            params = queue.pop(0)
+            params = dict(params, at_ms=max(params["at_ms"], now))
+            self._submit(function, self._functions[function], params)
+
+    def run(self) -> None:
+        """Execute all scheduled invocations to completion."""
+        self._hypervisor.run()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def outcomes(self) -> List[InvocationOutcome]:
+        """Per-invocation outcomes, in invocation-id order."""
+        out = []
+        for result in self._hypervisor.results():
+            function = self._invocations.get(result.app_id)
+            if function is None:
+                continue  # not one of ours (direct hypervisor submission)
+            spec = self._functions[function]
+            out.append(
+                InvocationOutcome(
+                    invocation_id=result.app_id,
+                    function=function,
+                    result=result,
+                    slo_factor=spec.slo_factor,
+                )
+            )
+        return out
+
+    def slo_compliance(self) -> Dict[str, float]:
+        """Per-function fraction of invocations that met their SLO."""
+        met: Dict[str, List[bool]] = {}
+        for outcome in self.outcomes():
+            if outcome.met_slo is None:
+                continue
+            met.setdefault(outcome.function, []).append(outcome.met_slo)
+        return {
+            name: sum(flags) / len(flags) for name, flags in met.items()
+        }

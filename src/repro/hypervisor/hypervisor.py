@@ -1,0 +1,461 @@
+"""The hypervisor main loop binding scheduler policy to the simulated board.
+
+Responsibilities mirror the paper's §2.2 description: accept application
+requests, load partial bitstreams and drive reconfiguration through the
+CAP, allocate and release data buffers, launch batch items on configured
+tasks, retire finished applications and record response times.
+
+Execution model
+---------------
+Every state change (arrival, reconfiguration completion, item completion,
+periodic tick) requests a *scheduler pass*. Passes at the same simulated
+instant coalesce. A pass first lets the policy act while the configuration
+port is idle — preempting slots and/or starting at most one
+reconfiguration, because the device can only reconfigure one slot at a
+time — and then mechanically launches the next batch item on every
+configured task whose dependencies (bulk or pipelined, per the policy's
+flags) are satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.hls import application_latency_estimate_ms, reports_for_benchmark
+from repro.config import SystemConfig
+from repro.errors import SchedulerError
+from repro.hypervisor.application import (
+    AppRequest,
+    AppRun,
+    TaskRun,
+    TaskRunState,
+)
+from repro.hypervisor.queues import PendingQueue
+from repro.hypervisor.results import AppResult
+from repro.overlay.bitstream import BitstreamHeader, BitstreamStore
+from repro.overlay.device import FPGADevice, Slot, SlotPhase
+from repro.overlay.interconnect import InterconnectModel, ZeroCost
+from repro.overlay.memory import BufferManager
+from repro.schedulers.base import (
+    Action,
+    ConfigureAction,
+    PreemptAction,
+    SchedulerPolicy,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import Trace, TraceKind
+
+#: Nominal size of one task-output buffer (per batch item).
+ITEM_BUFFER_BYTES = 256 * 1024
+
+
+class SchedulerContext:
+    """Read-mostly view of hypervisor state handed to policies."""
+
+    def __init__(self, hypervisor: "Hypervisor") -> None:
+        self._hv = hypervisor
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (ms)."""
+        return self._hv.engine.now
+
+    @property
+    def config(self) -> SystemConfig:
+        """Platform configuration."""
+        return self._hv.config
+
+    @property
+    def device(self) -> FPGADevice:
+        """The simulated board."""
+        return self._hv.device
+
+    @property
+    def pending(self) -> PendingQueue:
+        """Queue of unretired applications."""
+        return self._hv.pending
+
+    def pending_apps(self) -> List[AppRun]:
+        """Unretired applications, oldest first."""
+        return self._hv.pending.in_arrival_order()
+
+    def app(self, app_id: int) -> AppRun:
+        """Look up any submitted application by id."""
+        return self._hv.apps[app_id]
+
+    def free_slot_index(self) -> Optional[int]:
+        """Index of the lowest-numbered free slot, or None."""
+        for slot in self._hv.device.slots:
+            if slot.is_free:
+                return slot.index
+        return None
+
+    def free_slot_count(self) -> int:
+        """Number of slots ready for reconfiguration."""
+        return len(self._hv.device.free_slots())
+
+    def slot_occupant(self, slot_index: int) -> Optional[Tuple[AppRun, TaskRun]]:
+        """(app, task) pair hosted by a slot, or None."""
+        slot = self._hv.device.slot(slot_index)
+        if slot.phase != SlotPhase.OCCUPIED:
+            return None
+        return slot.occupant  # type: ignore[return-value]
+
+    def slot_waiting(self, slot_index: int) -> bool:
+        """True if a slot hosts a task idling at a batch boundary."""
+        slot = self._hv.device.slot(slot_index)
+        return slot.phase == SlotPhase.OCCUPIED and not slot.busy
+
+
+class Hypervisor:
+    """System manager running one scheduling policy over one workload."""
+
+    def __init__(
+        self,
+        scheduler: SchedulerPolicy,
+        config: Optional[SystemConfig] = None,
+        engine: Optional[SimulationEngine] = None,
+        buffer_capacity_bytes: int = 16 * 1024**3,
+        model_bitstream_loads: bool = False,
+        interconnect: Optional["InterconnectModel"] = None,
+        item_buffer_bytes: int = ITEM_BUFFER_BYTES,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.engine = engine or SimulationEngine()
+        self.scheduler = scheduler
+        self.device = FPGADevice(self.engine, self.config.num_slots)
+        self.store = BitstreamStore(self.config.num_slots)
+        self.buffers = BufferManager(buffer_capacity_bytes)
+        self.trace = Trace()
+        self.pending = PendingQueue()
+        self.apps: Dict[int, AppRun] = {}
+        self.retired: List[AppRun] = []
+        self._ctx = SchedulerContext(self)
+        self._next_app_id = 0
+        self._pass_pending = False
+        self._tick_scheduled = False
+        self._arrivals_outstanding = 0
+        self._registered_apps: set = set()
+        self._model_bitstream_loads = model_bitstream_loads
+        self.interconnect = interconnect or ZeroCost()
+        if item_buffer_bytes <= 0:
+            raise SchedulerError(
+                f"item_buffer_bytes must be > 0, got {item_buffer_bytes}"
+            )
+        self.item_buffer_bytes = item_buffer_bytes
+        self._retire_listeners: List = []
+        self.scheduler_passes = 0
+
+    def add_retire_listener(self, callback) -> None:
+        """Register ``callback(app_run, now)`` to fire on each retirement.
+
+        Listeners run after the policy's completion notification; they may
+        submit new applications (the FaaS gateway's admission control uses
+        this to release queued invocations).
+        """
+        self._retire_listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: AppRequest) -> int:
+        """Queue an application arrival; returns its assigned app id."""
+        app_id = self._next_app_id
+        self._next_app_id += 1
+        self._arrivals_outstanding += 1
+        self.engine.schedule_at(
+            request.arrival_ms,
+            lambda now, r=request, a=app_id: self._on_arrival(now, a, r),
+            priority=-5,
+        )
+        return app_id
+
+    def _register_bitstreams(self, request: AppRequest) -> None:
+        if request.name in self._registered_apps:
+            return
+        self._registered_apps.add(request.name)
+        for task_id in request.graph.topological_order:
+            spec = request.graph.task(task_id)
+            header = BitstreamHeader(
+                application=request.name,
+                task_id=task_id,
+                latency_estimate_ms=spec.latency_ms,
+                batch_size=request.batch_size,
+                priority=request.priority,
+            )
+            self.store.register_task(header)
+
+    def _on_arrival(self, now: float, app_id: int, request: AppRequest) -> None:
+        self._arrivals_outstanding -= 1
+        self._register_bitstreams(request)
+        error = self.config.hls_estimation_error
+        estimate = application_latency_estimate_ms(
+            request.graph, request.batch_size, self.config.reconfig_ms,
+            estimation_error=error,
+        )
+        task_estimates = None
+        if error > 0:
+            task_estimates = {
+                task_id: report.latency_estimate_ms
+                for task_id, report in reports_for_benchmark(
+                    request.graph, error
+                ).items()
+            }
+        app = AppRun(app_id, request, estimate, task_estimates)
+        self.apps[app_id] = app
+        self.pending.add(app)
+        self.trace.record(now, TraceKind.APP_ARRIVED, app_id=app_id)
+        self.scheduler.notify_arrival(self._ctx, app)
+        self._ensure_tick()
+        self._request_pass()
+
+    # ------------------------------------------------------------------
+    # Periodic scheduling interval
+    # ------------------------------------------------------------------
+    def _workload_active(self) -> bool:
+        # Ticks only run while applications are pending; arrival handling
+        # restarts the chain, so a long idle gap before a future arrival
+        # costs no tick events.
+        return len(self.pending) > 0
+
+    def _ensure_tick(self) -> None:
+        if self._tick_scheduled or not self._workload_active():
+            return
+        self._tick_scheduled = True
+        self.engine.schedule_after(
+            self.config.scheduling_interval_ms, self._on_tick, priority=5
+        )
+
+    def _on_tick(self, now: float) -> None:
+        self._tick_scheduled = False
+        if not self._workload_active():
+            return
+        self.scheduler.notify_tick(self._ctx)
+        self._request_pass()
+        self._ensure_tick()
+
+    # ------------------------------------------------------------------
+    # Scheduler pass
+    # ------------------------------------------------------------------
+    def _request_pass(self) -> None:
+        if self._pass_pending:
+            return
+        self._pass_pending = True
+        self.engine.schedule_after(0.0, self._run_pass, priority=10)
+
+    def _run_pass(self, now: float) -> None:
+        self._pass_pending = False
+        self.scheduler_passes += 1
+        guard = 0
+        while not self.device.port.is_busy:
+            guard += 1
+            if guard > 4 * self.config.num_slots + 4:
+                raise SchedulerError(
+                    f"policy {self.scheduler.name!r} looped without progress"
+                )
+            action = self.scheduler.decide(self._ctx)
+            if action is None:
+                break
+            self._apply(action, now)
+            if isinstance(action, ConfigureAction):
+                break
+        self._launch_ready_items(now)
+
+    def _apply(self, action: Action, now: float) -> None:
+        if isinstance(action, ConfigureAction):
+            self._apply_configure(action, now)
+        elif isinstance(action, PreemptAction):
+            self._apply_preempt(action, now)
+        else:  # pragma: no cover - type guard
+            raise SchedulerError(f"unknown action {action!r}")
+
+    def _apply_configure(self, action: ConfigureAction, now: float) -> None:
+        app = self.apps.get(action.app_id)
+        if app is None or action.app_id not in self.pending:
+            raise SchedulerError(
+                f"configure for unknown/retired app {action.app_id}"
+            )
+        task = app.tasks.get(action.task_id)
+        if task is None:
+            raise SchedulerError(
+                f"configure for unknown task {action.task_id!r}"
+            )
+        if task.state != TaskRunState.PENDING:
+            raise SchedulerError(
+                f"task {action.task_id!r} cannot be configured from {task.state}"
+            )
+        if task.items_done >= app.batch_size:
+            raise SchedulerError(
+                f"task {action.task_id!r} already finished its batch"
+            )
+        slot = self.device.slot(action.slot_index)
+        if not slot.is_free:
+            raise SchedulerError(
+                f"slot {action.slot_index} is not free for {action.task_id!r}"
+            )
+
+        duration = self.config.reconfig_ms + self.config.dispatch_overhead_ms
+        if self._model_bitstream_loads:
+            _, load_ms = self.store.load(app.name, task.task_id, slot.index)
+            duration += load_ms
+        task.state = TaskRunState.CONFIGURING
+        task.slot_index = slot.index
+        task.configure_count += 1
+        app.reconfig_busy_ms += duration
+        self.trace.record(
+            now, TraceKind.TASK_CONFIG_START,
+            app_id=app.app_id, task_id=task.task_id, slot=slot.index,
+        )
+
+        def on_done(done_now: float, app=app, task=task, slot=slot) -> None:
+            slot.host((app, task))
+            task.state = TaskRunState.CONFIGURED
+            self.trace.record(
+                done_now, TraceKind.TASK_CONFIG_DONE,
+                app_id=app.app_id, task_id=task.task_id, slot=slot.index,
+            )
+            self._request_pass()
+
+        self.device.port.request(slot, duration, on_done)
+
+    def _apply_preempt(self, action: PreemptAction, now: float) -> None:
+        slot = self.device.slot(action.slot_index)
+        if slot.phase != SlotPhase.OCCUPIED:
+            raise SchedulerError(
+                f"cannot preempt slot {action.slot_index} in phase {slot.phase}"
+            )
+        if slot.busy:
+            raise SchedulerError(
+                f"cannot preempt slot {action.slot_index} mid-item; "
+                "batch-preemption only fires at batch boundaries"
+            )
+        app, task = slot.occupant  # type: ignore[misc]
+        task.detach()
+        slot.clear()
+        self.trace.record(
+            now, TraceKind.TASK_PREEMPTED,
+            app_id=app.app_id, task_id=task.task_id, slot=slot.index,
+            detail=float(task.items_done),
+        )
+
+    # ------------------------------------------------------------------
+    # Item execution
+    # ------------------------------------------------------------------
+    def _launch_ready_items(self, now: float) -> None:
+        pipelined = self.scheduler.pipelined
+        for slot in self.device.slots:
+            if slot.phase != SlotPhase.OCCUPIED or slot.busy:
+                continue
+            app, task = slot.occupant  # type: ignore[misc]
+            if not app.item_ready(task.task_id, pipelined):
+                continue
+            item = task.items_done
+            slot.start_item()
+            if app.first_item_start_ms is None:
+                app.first_item_start_ms = now
+                self.trace.record(now, TraceKind.APP_STARTED, app_id=app.app_id)
+            self.trace.record(
+                now, TraceKind.ITEM_START,
+                app_id=app.app_id, task_id=task.task_id, slot=slot.index,
+                detail=float(item),
+            )
+            duration = task.latency_ms + self._transfer_in_ms(app, task, item,
+                                                              slot.index)
+            self.engine.schedule_after(
+                duration,
+                lambda done_now, a=app, t=task, s=slot: self._on_item_done(
+                    done_now, a, t, s
+                ),
+                priority=-2,
+            )
+
+    def _transfer_in_ms(
+        self, app: AppRun, task: TaskRun, item: int, slot_index: int
+    ) -> float:
+        """Cost of fetching the item's inputs over the interconnect.
+
+        With the default :class:`ZeroCost` model this is always 0 (the
+        calibrated task latencies already include PS-routed movement); the
+        explicit models charge per producing slot.
+        """
+        if isinstance(self.interconnect, ZeroCost):
+            return 0.0
+        worst = 0.0
+        for pred in app.graph.predecessors(task.task_id):
+            producer_slot = app.tasks[pred].producer_slots[item]
+            worst = max(
+                worst,
+                self.interconnect.transfer_ms(
+                    self.item_buffer_bytes,
+                    same_slot=producer_slot == slot_index,
+                ),
+            )
+        return worst
+
+    def _on_item_done(
+        self, now: float, app: AppRun, task: TaskRun, slot: Slot
+    ) -> None:
+        slot.finish_item()
+        item = task.items_done
+        task.items_done += 1
+        task.producer_slots.append(slot.index)
+        app.last_item_done_ms = now
+        self.trace.record(
+            now, TraceKind.ITEM_DONE,
+            app_id=app.app_id, task_id=task.task_id, slot=slot.index,
+            detail=float(item),
+        )
+
+        successors = app.graph.successors(task.task_id)
+        self.buffers.publish_output(
+            app.app_id, task.task_id, item, self.item_buffer_bytes,
+            len(successors),
+        )
+        for pred in app.graph.predecessors(task.task_id):
+            self.buffers.consume(app.app_id, pred, item)
+
+        if task.items_done >= app.batch_size:
+            task.state = TaskRunState.DONE
+            task.slot_index = None
+            slot.clear()
+            self.trace.record(
+                now, TraceKind.TASK_DONE,
+                app_id=app.app_id, task_id=task.task_id, slot=slot.index,
+            )
+            if app.is_complete:
+                self._retire(app, now)
+        self._request_pass()
+
+    def _retire(self, app: AppRun, now: float) -> None:
+        app.retire_ms = now
+        self.pending.remove(app.app_id)
+        self.retired.append(app)
+        self.buffers.release_app(app.app_id)
+        self.trace.record(now, TraceKind.APP_RETIRED, app_id=app.app_id)
+        self.scheduler.notify_completion(self._ctx, app)
+        for listener in self._retire_listeners:
+            listener(app, now)
+
+    # ------------------------------------------------------------------
+    # Running and results
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulation to completion (or to the ``until`` horizon)."""
+        self.engine.run(until=until)
+
+    @property
+    def all_retired(self) -> bool:
+        """True once every submitted application has retired."""
+        return (
+            self._arrivals_outstanding == 0
+            and len(self.pending) == 0
+            and len(self.retired) == len(self.apps)
+        )
+
+    def results(self) -> List[AppResult]:
+        """Per-application results for every retired application."""
+        ordered = sorted(self.retired, key=lambda app: app.app_id)
+        return [
+            AppResult.from_app(app, self.config.reconfig_ms)
+            for app in ordered
+        ]

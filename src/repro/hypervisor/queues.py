@@ -1,0 +1,60 @@
+"""Application queues maintained by the hypervisor (paper §2.2, §4.1).
+
+Arriving applications sit in the pending queue until they retire. The
+candidate pool — the subset whose scheduling tokens cleared the PREMA
+threshold — is derived from the pending queue by the policies; the queue
+itself only guarantees deterministic arrival ordering and O(1) membership.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import SchedulerError
+from repro.hypervisor.application import AppRun
+
+
+class PendingQueue:
+    """Arrival-ordered queue of unretired applications."""
+
+    def __init__(self) -> None:
+        self._apps: List[AppRun] = []
+        self._index: Dict[int, AppRun] = {}
+
+    def add(self, app: AppRun) -> None:
+        """Append a newly arrived application."""
+        if app.app_id in self._index:
+            raise SchedulerError(f"app {app.app_id} already pending")
+        self._apps.append(app)
+        self._index[app.app_id] = app
+
+    def remove(self, app_id: int) -> AppRun:
+        """Remove a retired application."""
+        app = self._index.pop(app_id, None)
+        if app is None:
+            raise SchedulerError(f"app {app_id} is not pending")
+        self._apps.remove(app)
+        return app
+
+    def get(self, app_id: int) -> Optional[AppRun]:
+        """The pending app with ``app_id``, or None."""
+        return self._index.get(app_id)
+
+    def __contains__(self, app_id: int) -> bool:
+        return app_id in self._index
+
+    def __len__(self) -> int:
+        return len(self._apps)
+
+    def __iter__(self) -> Iterator[AppRun]:
+        """Iterate in arrival order."""
+        return iter(list(self._apps))
+
+    def in_arrival_order(self) -> List[AppRun]:
+        """Snapshot of pending applications, oldest first."""
+        return sorted(self._apps, key=lambda app: app.age_key)
+
+    def oldest(self) -> Optional[AppRun]:
+        """The longest-waiting pending application."""
+        apps = self.in_arrival_order()
+        return apps[0] if apps else None

@@ -1,0 +1,110 @@
+"""Per-application results extracted after a simulation run.
+
+These records carry everything the paper's metrics need: response time
+(retirement minus arrival, §3.1), wait time, execution window, summed task
+run time, reconfiguration time and the analytic single-slot latency used to
+derive deadlines (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.errors import ExperimentError
+from repro.hypervisor.application import AppRun
+from repro.taskgraph.graph import TaskGraph
+
+
+def single_slot_latency_ms(
+    graph: TaskGraph, batch_size: int, reconfig_ms: float
+) -> float:
+    """Latency of the application on one slot with zero contention.
+
+    With a single slot, tasks execute strictly serially in topological
+    order, each paying one reconfiguration and then processing the full
+    batch. Deadlines are this value scaled by ``D_s`` (paper §5.4).
+    """
+    if batch_size < 1:
+        raise ExperimentError(f"batch_size must be >= 1, got {batch_size}")
+    total = 0.0
+    for task_id in graph.topological_order:
+        total += reconfig_ms + batch_size * graph.task(task_id).latency_ms
+    return total
+
+
+@dataclass(frozen=True)
+class AppResult:
+    """Measured outcome for one application in one simulation run."""
+
+    app_id: int
+    name: str
+    batch_size: int
+    priority: int
+    arrival_ms: float
+    first_start_ms: float
+    retire_ms: float
+    run_busy_ms: float
+    reconfig_busy_ms: float
+    reconfig_count: int
+    preemption_count: int
+    single_slot_latency_ms: float
+
+    @property
+    def response_ms(self) -> float:
+        """Response time: retirement minus arrival (paper §3.1)."""
+        return self.retire_ms - self.arrival_ms
+
+    @property
+    def wait_ms(self) -> float:
+        """Queueing delay before the first task item executed."""
+        return self.first_start_ms - self.arrival_ms
+
+    @property
+    def execution_ms(self) -> float:
+        """Window from first item start to retirement (Table 3 semantics)."""
+        return self.retire_ms - self.first_start_ms
+
+    @property
+    def throughput_items_per_s(self) -> float:
+        """Completed batch items per second of response time (Figure 11)."""
+        return self.batch_size / (self.response_ms / 1000.0)
+
+    def violates_deadline(self, scaling_factor: float) -> bool:
+        """True if response exceeded ``D_s x single-slot latency`` (§5.4)."""
+        if scaling_factor <= 0:
+            raise ExperimentError(
+                f"deadline scaling factor must be > 0, got {scaling_factor}"
+            )
+        return self.response_ms > scaling_factor * self.single_slot_latency_ms
+
+    @classmethod
+    def from_app(cls, app: AppRun, reconfig_ms: float) -> "AppResult":
+        """Build the result record from a retired :class:`AppRun`."""
+        if app.retire_ms is None or app.first_item_start_ms is None:
+            raise ExperimentError(
+                f"app {app.app_id} ({app.name}) has not retired"
+            )
+        total_configs = sum(
+            run.configure_count for run in app.tasks.values()
+        )
+        total_preempts = sum(
+            run.preemption_count for run in app.tasks.values()
+        )
+        run_busy = sum(
+            run.items_done * run.latency_ms for run in app.tasks.values()
+        )
+        return cls(
+            app_id=app.app_id,
+            name=app.name,
+            batch_size=app.batch_size,
+            priority=app.priority,
+            arrival_ms=app.arrival_ms,
+            first_start_ms=app.first_item_start_ms,
+            retire_ms=app.retire_ms,
+            run_busy_ms=run_busy,
+            reconfig_busy_ms=app.reconfig_busy_ms,
+            reconfig_count=total_configs,
+            preemption_count=total_preempts,
+            single_slot_latency_ms=single_slot_latency_ms(
+                app.graph, app.batch_size, reconfig_ms
+            ),
+        )

@@ -1,0 +1,29 @@
+"""Schedule-length analysis standing in for DML's Gurobi ILP (paper §4.2).
+
+The paper transforms an application task graph (with partial-reconfiguration
+nodes) into an ILP solved by Gurobi, purely to estimate application latency
+as a function of the number of slots — the knee of that curve is the
+*saturation point*. Gurobi is unavailable offline, so this package provides:
+
+* :mod:`repro.ilp.model` — the pipelined-schedule problem and an exact
+  forward-pass evaluator for a given task-to-slot assignment (respecting
+  per-item dependencies, serialized reconfiguration, and slot exclusivity);
+* :mod:`repro.ilp.estimator` — heuristic assignments (topological
+  round-robin, least-loaded) evaluated exactly, returning the best;
+* :mod:`repro.ilp.solver` — branch-and-bound over all assignments for
+  small instances, used to validate the estimator and to benchmark the
+  cost the paper avoids by keeping ILP solving off the critical path.
+"""
+
+from repro.ilp.model import ScheduleProblem, evaluate_assignment
+from repro.ilp.estimator import estimate_makespan_ms, heuristic_assignments
+from repro.ilp.solver import BranchAndBoundSolver, SolverResult
+
+__all__ = [
+    "ScheduleProblem",
+    "evaluate_assignment",
+    "estimate_makespan_ms",
+    "heuristic_assignments",
+    "BranchAndBoundSolver",
+    "SolverResult",
+]

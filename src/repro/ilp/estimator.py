@@ -1,0 +1,51 @@
+"""Fast latency estimation: heuristic assignments evaluated exactly.
+
+This is the cheap stand-in for DML's ILP that Nimblock's saturation
+analysis sweeps across slot counts. Three assignment heuristics are
+evaluated with the exact forward pass of :mod:`repro.ilp.model` and the
+best makespan wins; on the paper's feed-forward benchmarks this matches
+the exact branch-and-bound answer on every instance small enough to verify
+(see ``tests/test_ilp.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ilp.model import (
+    ScheduleProblem,
+    evaluate_assignment,
+    least_loaded_assignment,
+    round_robin_assignment,
+    stage_major_assignment,
+)
+
+
+def heuristic_assignments(
+    problem: ScheduleProblem,
+) -> List[Tuple[str, Dict[str, int]]]:
+    """The named candidate assignments the estimator evaluates."""
+    return [
+        ("round_robin", round_robin_assignment(problem)),
+        ("least_loaded", least_loaded_assignment(problem)),
+        ("stage_major", stage_major_assignment(problem)),
+    ]
+
+
+def estimate_makespan_ms(problem: ScheduleProblem) -> float:
+    """Best makespan over the heuristic assignments."""
+    return min(
+        evaluate_assignment(problem, assignment)
+        for _, assignment in heuristic_assignments(problem)
+    )
+
+
+def best_heuristic(problem: ScheduleProblem) -> Tuple[str, float]:
+    """(heuristic name, makespan) of the winning assignment."""
+    best_name = ""
+    best_value = float("inf")
+    for name, assignment in heuristic_assignments(problem):
+        value = evaluate_assignment(problem, assignment)
+        if value < best_value:
+            best_name, best_value = name, value
+    return best_name, best_value

@@ -1,0 +1,55 @@
+"""Metrics mirroring the paper's evaluation methodology (§5).
+
+Response-time reductions are computed per event against the baseline run
+of the *same* stimuli, producing the normalized distributions behind
+Figures 5 and 6; deadline analysis sweeps the scaling factor ``D_s``
+(§5.4); the time-breakdown splits each application's total time into run,
+partial-reconfiguration and wait components (Figure 8).
+"""
+
+from repro.metrics.response import (
+    ResponseStats,
+    match_results,
+    mean_reduction_factor,
+    normalized_responses,
+    per_event_mean_reduction,
+    percentile,
+    reduction_factors,
+    tail_normalized_response,
+)
+from repro.metrics.stats import bootstrap_ci, reduction_ci
+from repro.metrics.deadlines import (
+    DEFAULT_DS_VALUES,
+    DeadlineCurve,
+    deadline_curve,
+    first_point_below,
+    violation_rate,
+)
+from repro.metrics.breakdown import TimeBreakdown, breakdown_by_benchmark
+from repro.metrics.fairness import jain_index, priority_speedups, sharing_fairness
+from repro.metrics.utilization import UtilizationReport, board_utilization
+
+__all__ = [
+    "ResponseStats",
+    "match_results",
+    "mean_reduction_factor",
+    "normalized_responses",
+    "per_event_mean_reduction",
+    "percentile",
+    "reduction_factors",
+    "bootstrap_ci",
+    "reduction_ci",
+    "tail_normalized_response",
+    "DEFAULT_DS_VALUES",
+    "DeadlineCurve",
+    "deadline_curve",
+    "first_point_below",
+    "violation_rate",
+    "TimeBreakdown",
+    "breakdown_by_benchmark",
+    "jain_index",
+    "priority_speedups",
+    "sharing_fairness",
+    "UtilizationReport",
+    "board_utilization",
+]

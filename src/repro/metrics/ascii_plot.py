@@ -1,0 +1,112 @@
+"""Terminal plotting for experiment outputs.
+
+The CLI renders Figure 7's deadline curves and Figure 5's bars directly in
+the terminal; no plotting dependency is needed. Plots are plain monospace
+text: multi-series line charts use one marker letter per series, bar
+charts scale to a fixed column budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import ExperimentError
+
+#: Marker characters assigned to series in insertion order.
+SERIES_MARKERS = "NXPRFBoasdfghjkl"
+
+
+def render_curves(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render multiple y(x) series as an ASCII line chart.
+
+    All series share ``x_values``. The y-axis spans [0, max] (deadline
+    rates span [0, 1]); later series overwrite earlier ones where they
+    collide, so list the most important series last.
+    """
+    if not x_values:
+        raise ExperimentError("x_values must be non-empty")
+    if not series:
+        raise ExperimentError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ExperimentError(
+                f"series {name!r} has {len(ys)} points for "
+                f"{len(x_values)} x values"
+            )
+    if width < 8 or height < 4:
+        raise ExperimentError("plot area too small")
+
+    y_max = max(max(ys) for ys in series.values())
+    y_max = max(y_max, 1e-12)
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = max(x_max - x_min, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    used_markers: set = set()
+    for index, (name, ys) in enumerate(series.items()):
+        marker = ""
+        for char in name.upper():
+            if char.isalpha() and char not in used_markers:
+                marker = char
+                break
+        if not marker:
+            for char in SERIES_MARKERS:
+                if char not in used_markers:
+                    marker = char
+                    break
+            else:
+                marker = "?"
+        used_markers.add(marker)
+        legend.append(f"{marker}={name}")
+        for x, y in zip(x_values, ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round(y / y_max * (height - 1)))
+            grid[row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_at_row = y_max * (height - 1 - row_index) / (height - 1)
+        prefix = f"{y_at_row:6.2f} |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    left = f"{x_min:g}"
+    right = f"{x_max:g}"
+    pad = max(width - len(left) - len(right), 1)
+    lines.append(" " * 8 + left + " " * pad + right)
+    footer = "  ".join(legend)
+    if x_label or y_label:
+        footer += f"   ({y_label} vs {x_label})" if y_label else f"   ({x_label})"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart."""
+    if len(labels) != len(values):
+        raise ExperimentError("labels and values must align")
+    if not labels:
+        raise ExperimentError("nothing to plot")
+    if any(v < 0 for v in values):
+        raise ExperimentError("bar values must be >= 0")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / peak * width))) if value else ""
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Application time breakdown (paper §5.5, Figure 8).
+
+For each application, total time from arrival to retirement splits into:
+
+* **run** — the running time of all tasks summed together;
+* **PR** — total partial-reconfiguration time charged to the application;
+* **wait** — the time spent queued before the first task ran.
+
+Run and PR time can overlap other components (tasks execute
+simultaneously), so the paper presents them as proportions of the total
+application time rather than a strict partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ExperimentError
+from repro.hypervisor.results import AppResult
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Proportions of one application's total time (Figure 8 bars)."""
+
+    benchmark: str
+    samples: int
+    run_fraction: float
+    reconfig_fraction: float
+    wait_fraction: float
+
+    @classmethod
+    def from_results(
+        cls, benchmark: str, results: Sequence[AppResult]
+    ) -> "TimeBreakdown":
+        """Average the per-application proportions of one benchmark."""
+        if not results:
+            raise ExperimentError(f"no results for benchmark {benchmark!r}")
+        run = reconfig = wait = 0.0
+        for result in results:
+            total = result.response_ms
+            if total <= 0:
+                raise ExperimentError(
+                    f"non-positive response for app {result.app_id}"
+                )
+            run += result.run_busy_ms / total
+            reconfig += result.reconfig_busy_ms / total
+            wait += result.wait_ms / total
+        n = len(results)
+        return cls(
+            benchmark=benchmark,
+            samples=n,
+            run_fraction=run / n,
+            reconfig_fraction=reconfig / n,
+            wait_fraction=wait / n,
+        )
+
+
+def breakdown_by_benchmark(
+    results: Sequence[AppResult],
+) -> Dict[str, TimeBreakdown]:
+    """Figure 8's per-benchmark breakdown from one (or more) runs."""
+    grouped: Dict[str, List[AppResult]] = {}
+    for result in results:
+        grouped.setdefault(result.name, []).append(result)
+    return {
+        name: TimeBreakdown.from_results(name, group)
+        for name, group in sorted(grouped.items())
+    }

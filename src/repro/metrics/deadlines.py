@@ -1,0 +1,112 @@
+"""Deadline-violation analysis (paper §5.4, Figure 7).
+
+An application's deadline is ``D_s`` times its single-slot latency — the
+latency it would see alone on one slot with no contention. The paper
+sweeps ``D_s`` from 1 to 20 at 0.25 intervals, focuses on high-priority
+applications (tight deadlines), and reports each algorithm's violation
+rate plus its 10% error point (the first ``D_s`` at which fewer than 10%
+of deadlines are missed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.hypervisor.results import AppResult
+
+
+def _ds_sweep() -> Tuple[float, ...]:
+    values = []
+    step = 0.25
+    current = 1.0
+    while current <= 20.0 + 1e-9:
+        values.append(round(current, 2))
+        current += step
+    return tuple(values)
+
+
+#: The paper's sweep: D_s from 1 to 20 at 0.25 intervals.
+DEFAULT_DS_VALUES: Tuple[float, ...] = _ds_sweep()
+
+
+def violation_rate(
+    results: Sequence[AppResult],
+    scaling_factor: float,
+    priority: Optional[int] = None,
+) -> float:
+    """Fraction of applications missing ``D_s x single-slot latency``.
+
+    ``priority`` filters the population (the paper analyzes high-priority
+    applications, priority 9).
+    """
+    population = [
+        r for r in results if priority is None or r.priority == priority
+    ]
+    if not population:
+        raise ExperimentError(
+            f"no applications at priority {priority} to analyze"
+        )
+    violations = sum(
+        1 for r in population if r.violates_deadline(scaling_factor)
+    )
+    return violations / len(population)
+
+
+@dataclass(frozen=True)
+class DeadlineCurve:
+    """Violation rate as a function of the deadline scaling factor."""
+
+    scheduler: str
+    ds_values: Tuple[float, ...]
+    rates: Tuple[float, ...]
+
+    def rate_at(self, scaling_factor: float) -> float:
+        """Violation rate at one swept ``D_s`` value."""
+        try:
+            index = self.ds_values.index(scaling_factor)
+        except ValueError:
+            raise ExperimentError(
+                f"D_s={scaling_factor} was not part of the sweep"
+            ) from None
+        return self.rates[index]
+
+    @property
+    def tightest_rate(self) -> float:
+        """Violation rate at the tightest constraint (D_s = 1)."""
+        return self.rates[0]
+
+    def error_point(self, target_rate: float = 0.10) -> Optional[float]:
+        """First ``D_s`` whose violation rate is <= ``target_rate``.
+
+        This is the paper's "10% error point"; None if never reached.
+        """
+        return first_point_below(self, target_rate)
+
+
+def deadline_curve(
+    scheduler: str,
+    results: Sequence[AppResult],
+    ds_values: Sequence[float] = DEFAULT_DS_VALUES,
+    priority: Optional[int] = 9,
+) -> DeadlineCurve:
+    """Sweep ``D_s`` and record the violation rate at each point."""
+    rates = tuple(
+        violation_rate(results, ds, priority=priority) for ds in ds_values
+    )
+    return DeadlineCurve(scheduler, tuple(ds_values), rates)
+
+
+def first_point_below(
+    curve: DeadlineCurve, target_rate: float
+) -> Optional[float]:
+    """The smallest swept ``D_s`` with violation rate <= ``target_rate``."""
+    if not 0 <= target_rate <= 1:
+        raise ExperimentError(
+            f"target_rate must be in [0, 1], got {target_rate}"
+        )
+    for ds, rate in zip(curve.ds_values, curve.rates):
+        if rate <= target_rate:
+            return ds
+    return None

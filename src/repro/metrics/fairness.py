@@ -1,0 +1,57 @@
+"""Fairness metrics over per-event normalized responses.
+
+Used by the extension analyses to quantify what the paper only gestures
+at: FCFS/RR "are unable to fairly balance allocations". Jain's fairness
+index over per-event speedups is 1.0 when every application benefits
+equally from sharing and approaches ``1/n`` when one application takes
+the entire benefit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import ExperimentError
+from repro.hypervisor.results import AppResult
+from repro.metrics.response import reduction_factors
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2)."""
+    if not values:
+        raise ExperimentError("cannot compute fairness of no values")
+    if any(v < 0 for v in values):
+        raise ExperimentError("fairness values must be >= 0")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        raise ExperimentError("fairness undefined for all-zero values")
+    return (total * total) / (len(values) * squares)
+
+
+def sharing_fairness(
+    baseline: Sequence[AppResult], other: Sequence[AppResult]
+) -> float:
+    """Jain index over per-event response-time reduction factors.
+
+    1.0 means the sharing algorithm sped every event up by the same
+    factor; low values mean the benefit concentrated on a few events.
+    """
+    return jain_index(reduction_factors(baseline, other))
+
+
+def priority_speedups(
+    baseline: Sequence[AppResult], other: Sequence[AppResult]
+) -> Dict[int, float]:
+    """Mean per-event reduction factor per priority class."""
+    from repro.metrics.response import match_results
+
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for base, result in match_results(baseline, other):
+        factor = base.response_ms / result.response_ms
+        sums[result.priority] = sums.get(result.priority, 0.0) + factor
+        counts[result.priority] = counts.get(result.priority, 0) + 1
+    return {
+        priority: sums[priority] / counts[priority] for priority in sums
+    }

@@ -1,0 +1,92 @@
+"""Board utilization from traces (the paper's efficiency motivation, §1).
+
+The case for fine-grained sharing is resource efficiency: a no-sharing
+system leaves most of the board dark while one application's tasks run.
+These helpers compute, from a run's trace, the fraction of slot-time spent
+computing, reconfiguring, resident-but-idle, and empty over the busy
+window of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ExperimentError
+from repro.sim.trace import Trace, TraceKind
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Slot-time shares over a run's busy window."""
+
+    window_ms: float
+    num_slots: int
+    compute_fraction: float
+    reconfig_fraction: float
+    idle_resident_fraction: float
+
+    @property
+    def empty_fraction(self) -> float:
+        """Share of slot-time with nothing configured."""
+        return max(
+            0.0,
+            1.0
+            - self.compute_fraction
+            - self.reconfig_fraction
+            - self.idle_resident_fraction,
+        )
+
+    @property
+    def busy_fraction(self) -> float:
+        """Compute plus reconfiguration (the 'working' share)."""
+        return self.compute_fraction + self.reconfig_fraction
+
+
+def board_utilization(trace: Trace, num_slots: int) -> UtilizationReport:
+    """Compute slot-time shares from a trace.
+
+    The window runs from the first arrival to the last retirement; with
+    ``num_slots`` slots the denominator is ``window x num_slots``.
+    """
+    if num_slots < 1:
+        raise ExperimentError(f"num_slots must be >= 1, got {num_slots}")
+    if not len(trace):
+        raise ExperimentError("cannot analyze an empty trace")
+
+    first = trace.events[0].time
+    last = trace.events[-1].time
+    window = last - first
+    if window <= 0:
+        raise ExperimentError("trace window is empty")
+    denominator = window * num_slots
+
+    compute = trace.run_busy_ms()
+    reconfig = trace.reconfig_busy_ms()
+
+    # Resident-idle: time between a task's configuration (or previous item
+    # completion) and its next item start, while it stays in the slot.
+    idle = 0.0
+    resident_since: Dict[Tuple[int, str], float] = {}
+    for event in trace:
+        key = (event.app_id, event.task_id)
+        if event.kind == TraceKind.TASK_CONFIG_DONE:
+            resident_since[key] = event.time
+        elif event.kind == TraceKind.ITEM_START:
+            opened = resident_since.pop(key, None)
+            if opened is not None:
+                idle += event.time - opened
+        elif event.kind == TraceKind.ITEM_DONE:
+            resident_since[key] = event.time
+        elif event.kind in (TraceKind.TASK_DONE, TraceKind.TASK_PREEMPTED):
+            opened = resident_since.pop(key, None)
+            if opened is not None:
+                idle += event.time - opened
+
+    return UtilizationReport(
+        window_ms=window,
+        num_slots=num_slots,
+        compute_fraction=compute / denominator,
+        reconfig_fraction=reconfig / denominator,
+        idle_resident_fraction=idle / denominator,
+    )

@@ -1,0 +1,52 @@
+"""Model of the Nimblock FPGA overlay (paper §2.1).
+
+The overlay splits the ZCU106 fabric into a static region (interconnect,
+decoupling, PS bridges) plus ten uniform reconfigurable slots. This package
+models the pieces the scheduler interacts with: slot state machines, the
+serialized configuration access port (CAP), the partial-bitstream store and
+the hypervisor-managed data buffers. Table 1's resource numbers are encoded
+in :mod:`repro.overlay.resources`.
+"""
+
+from repro.overlay.resources import (
+    RESOURCE_KINDS,
+    ResourceVector,
+    SLOT_UTILIZATION_RANGE,
+    STATIC_REGION_UTILIZATION,
+    ZCU106_RESOURCES,
+)
+from repro.overlay.floorplan import Floorplan, SlotRegion
+from repro.overlay.bitstream import BitstreamHeader, BitstreamStore, PartialBitstream
+from repro.overlay.device import FPGADevice, ReconfigurationPort, Slot, SlotPhase
+from repro.overlay.interconnect import (
+    InterconnectModel,
+    NoC,
+    PSRouted,
+    ZeroCost,
+    make_interconnect,
+)
+from repro.overlay.memory import BufferManager, DataBuffer
+
+__all__ = [
+    "RESOURCE_KINDS",
+    "ResourceVector",
+    "SLOT_UTILIZATION_RANGE",
+    "STATIC_REGION_UTILIZATION",
+    "ZCU106_RESOURCES",
+    "Floorplan",
+    "SlotRegion",
+    "BitstreamHeader",
+    "BitstreamStore",
+    "PartialBitstream",
+    "FPGADevice",
+    "ReconfigurationPort",
+    "Slot",
+    "SlotPhase",
+    "InterconnectModel",
+    "NoC",
+    "PSRouted",
+    "ZeroCost",
+    "make_interconnect",
+    "BufferManager",
+    "DataBuffer",
+]

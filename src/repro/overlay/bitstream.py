@@ -1,0 +1,168 @@
+"""Partial bitstreams and the hypervisor's bitstream store (paper §2.2).
+
+For ``n`` slots, every task carries ``n`` partial bitstreams — one per slot
+— because the prototype does not use bitstream relocation. Each bitstream
+has a header with interface information, batch size, HLS performance
+estimates and priority level; the header is what the scheduler consumes.
+
+The "SD card" of the prototype becomes an in-memory store with a simulated
+load cost so traces account for the load-before-reconfigure step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import BitstreamError
+
+
+@dataclass(frozen=True)
+class BitstreamHeader:
+    """Metadata attached to every partial bitstream (paper §2.2).
+
+    ``latency_estimate_ms`` comes from the HLS report; ``batch_size`` and
+    ``priority`` are user-specified; the interface fields describe the two
+    memory-mapped ports (control + data) that the slot wrapper expects.
+    """
+
+    application: str
+    task_id: str
+    latency_estimate_ms: float
+    batch_size: int
+    priority: int
+    control_interface: str = "axilite"
+    data_interface: str = "axi4"
+
+    def __post_init__(self) -> None:
+        if self.latency_estimate_ms <= 0:
+            raise BitstreamError(
+                f"latency estimate for {self.task_id!r} must be > 0"
+            )
+        if self.batch_size < 1:
+            raise BitstreamError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.priority < 1:
+            raise BitstreamError(f"priority must be >= 1, got {self.priority}")
+
+
+@dataclass(frozen=True)
+class PartialBitstream:
+    """One slot-specific partial bitstream."""
+
+    header: BitstreamHeader
+    slot: int
+    size_bytes: int = 4_000_000  # typical slot-sized partial on ZU7EV
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise BitstreamError(f"slot must be >= 0, got {self.slot}")
+        if self.size_bytes <= 0:
+            raise BitstreamError(f"size_bytes must be > 0, got {self.size_bytes}")
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        """Unique identity (application, task, slot)."""
+        return (self.header.application, self.header.task_id, self.slot)
+
+
+class BitstreamStore:
+    """The filesystem holding partial bitstreams (the prototype's SD card).
+
+    ``register_task`` adds one bitstream per slot for a task, mirroring the
+    paper's per-slot bitstream generation. ``load`` returns the bitstream
+    plus the simulated SD-to-DRAM load time.
+
+    With ``relocatable=True`` the store models bitstream relocation
+    (the [5, 10, 23] line of work the paper cites as out of scope): a
+    single slot-agnostic bitstream per task is stored and retargeted to
+    any slot at load time, dividing storage by the slot count.
+    """
+
+    #: Effective SD-card read bandwidth used to cost bitstream loads.
+    SD_BANDWIDTH_BYTES_PER_MS = 20_000_000 / 1000.0 * 50  # ~1 GB/s DMA-cached
+
+    def __init__(self, num_slots: int, relocatable: bool = False) -> None:
+        if num_slots < 1:
+            raise BitstreamError(f"num_slots must be >= 1, got {num_slots}")
+        self._num_slots = num_slots
+        self._relocatable = relocatable
+        self._store: Dict[Tuple[str, str, int], PartialBitstream] = {}
+        self._cached: set = set()
+        self.loads = 0
+        self.cache_hits = 0
+
+    @property
+    def num_slots(self) -> int:
+        """Slot count the store generates bitstreams for."""
+        return self._num_slots
+
+    @property
+    def relocatable(self) -> bool:
+        """True when one slot-agnostic bitstream per task is stored."""
+        return self._relocatable
+
+    def register_task(
+        self,
+        header: BitstreamHeader,
+        size_bytes: int = 4_000_000,
+    ) -> List[PartialBitstream]:
+        """Register the task's bitstreams (one per slot, or one relocatable)."""
+        slots = [0] if self._relocatable else range(self._num_slots)
+        streams = []
+        for slot in slots:
+            stream = PartialBitstream(header, slot, size_bytes)
+            if stream.key in self._store:
+                raise BitstreamError(
+                    f"bitstream already registered for {stream.key}"
+                )
+            self._store[stream.key] = stream
+            streams.append(stream)
+        return streams
+
+    def register_all(
+        self, headers: Iterable[BitstreamHeader], size_bytes: int = 4_000_000
+    ) -> None:
+        """Register every header's full per-slot bitstream set."""
+        for header in headers:
+            self.register_task(header, size_bytes)
+
+    def lookup(
+        self, application: str, task_id: str, slot: int
+    ) -> PartialBitstream:
+        """The bitstream for (application, task, slot); raises if absent.
+
+        In relocatable mode the stored slot-agnostic bitstream satisfies
+        lookups for every valid slot index.
+        """
+        if not 0 <= slot < self._num_slots:
+            raise BitstreamError(
+                f"slot {slot} out of range for a {self._num_slots}-slot store"
+            )
+        key = (application, task_id, 0 if self._relocatable else slot)
+        try:
+            return self._store[key]
+        except KeyError:
+            raise BitstreamError(f"no bitstream registered for {key}") from None
+
+    def load(
+        self, application: str, task_id: str, slot: int
+    ) -> Tuple[PartialBitstream, float]:
+        """Fetch a bitstream, returning it and the load latency in ms.
+
+        Recently loaded bitstreams stay cached in DRAM (the hypervisor keeps
+        them resident), so repeat loads are free — matching the prototype's
+        load-on-demand behaviour.
+        """
+        stream = self.lookup(application, task_id, slot)
+        self.loads += 1
+        if stream.key in self._cached:
+            self.cache_hits += 1
+            return stream, 0.0
+        self._cached.add(stream.key)
+        return stream, stream.size_bytes / self.SD_BANDWIDTH_BYTES_PER_MS
+
+    def count(self, application: Optional[str] = None) -> int:
+        """Total bitstreams stored (optionally for one application)."""
+        if application is None:
+            return len(self._store)
+        return sum(1 for key in self._store if key[0] == application)

@@ -1,0 +1,208 @@
+"""Runtime model of the virtualized FPGA: slots and the configuration port.
+
+Two hardware constraints from the paper shape every scheduler:
+
+* a slot hosts at most one task, and must be partially reconfigured
+  (~80 ms) before hosting a different one;
+* only one reconfiguration can be in flight at a time, because the device
+  has a single configuration access port (CAP).
+
+:class:`FPGADevice` enforces both as state machines on top of the
+discrete-event engine; violations raise instead of silently corrupting a
+schedule, which the property-based tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Deque, List, Optional
+
+from collections import deque
+
+from repro.errors import ReconfigurationError, SlotStateError
+from repro.sim.engine import SimulationEngine
+
+
+class SlotPhase(str, Enum):
+    """Lifecycle of one reconfigurable slot."""
+
+    EMPTY = "empty"
+    RECONFIGURING = "reconfiguring"
+    OCCUPIED = "occupied"
+
+
+@dataclass
+class Slot:
+    """One reconfigurable region at runtime.
+
+    ``occupant`` is an opaque handle owned by the hypervisor (a runtime task
+    instance). ``busy`` is True while the hosted logic is processing a batch
+    item; an occupied, non-busy slot is "waiting for its next batch", the
+    only state in which Nimblock may preempt it.
+    """
+
+    index: int
+    phase: SlotPhase = SlotPhase.EMPTY
+    occupant: Optional[object] = None
+    busy: bool = False
+
+    def host(self, occupant: object) -> None:
+        """Complete a reconfiguration: the slot now hosts ``occupant``."""
+        if self.phase != SlotPhase.RECONFIGURING:
+            raise SlotStateError(
+                f"slot {self.index} cannot host from phase {self.phase}"
+            )
+        self.phase = SlotPhase.OCCUPIED
+        self.occupant = occupant
+        self.busy = False
+
+    def begin_reconfig(self) -> None:
+        """Enter the reconfiguring phase (evicting any previous occupant)."""
+        if self.phase == SlotPhase.RECONFIGURING:
+            raise SlotStateError(f"slot {self.index} is already reconfiguring")
+        if self.busy:
+            raise SlotStateError(
+                f"slot {self.index} cannot be reconfigured while running"
+            )
+        self.phase = SlotPhase.RECONFIGURING
+        self.occupant = None
+
+    def clear(self) -> None:
+        """Release the slot (task finished or was preempted)."""
+        if self.phase != SlotPhase.OCCUPIED:
+            raise SlotStateError(
+                f"slot {self.index} cannot clear from phase {self.phase}"
+            )
+        if self.busy:
+            raise SlotStateError(
+                f"slot {self.index} cannot be cleared while running an item"
+            )
+        self.phase = SlotPhase.EMPTY
+        self.occupant = None
+
+    def start_item(self) -> None:
+        """Mark the hosted logic as running one batch item."""
+        if self.phase != SlotPhase.OCCUPIED:
+            raise SlotStateError(
+                f"slot {self.index} cannot run items in phase {self.phase}"
+            )
+        if self.busy:
+            raise SlotStateError(f"slot {self.index} is already running an item")
+        self.busy = True
+
+    def finish_item(self) -> None:
+        """Mark the current batch item as complete."""
+        if not self.busy:
+            raise SlotStateError(f"slot {self.index} finished an item it never started")
+        self.busy = False
+
+    @property
+    def is_free(self) -> bool:
+        """True if the slot can accept a new reconfiguration immediately."""
+        return self.phase == SlotPhase.EMPTY
+
+
+@dataclass
+class _ReconfigRequest:
+    slot: Slot
+    duration_ms: float
+    on_done: Callable[[float], None]
+
+
+class ReconfigurationPort:
+    """The serialized CAP: at most one partial reconfiguration in flight.
+
+    Requests queue FIFO. Each request puts its slot into
+    ``RECONFIGURING`` immediately (the slot is unusable while queued, as on
+    real hardware where the hypervisor has already decoupled it) and calls
+    ``on_done(now)`` once the bits are written.
+    """
+
+    def __init__(self, engine: SimulationEngine) -> None:
+        self._engine = engine
+        self._queue: Deque[_ReconfigRequest] = deque()
+        self._active: Optional[_ReconfigRequest] = None
+        self.total_reconfigs = 0
+        self.busy_ms = 0.0
+
+    @property
+    def is_busy(self) -> bool:
+        """True while a reconfiguration is in flight."""
+        return self._active is not None
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of requests waiting behind the active one."""
+        return len(self._queue)
+
+    def request(
+        self,
+        slot: Slot,
+        duration_ms: float,
+        on_done: Callable[[float], None],
+    ) -> None:
+        """Queue a reconfiguration of ``slot`` taking ``duration_ms``."""
+        if duration_ms < 0:
+            raise ReconfigurationError(f"negative duration {duration_ms}")
+        slot.begin_reconfig()
+        self._queue.append(_ReconfigRequest(slot, duration_ms, on_done))
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._active is not None or not self._queue:
+            return
+        request = self._queue.popleft()
+        self._active = request
+        self.total_reconfigs += 1
+        self.busy_ms += request.duration_ms
+        self._engine.schedule_after(
+            request.duration_ms, self._complete, priority=-1
+        )
+
+    def _complete(self, now: float) -> None:
+        if self._active is None:
+            raise ReconfigurationError("CAP completion with no active request")
+        request = self._active
+        self._active = None
+        request.on_done(now)
+        self._pump()
+
+
+class FPGADevice:
+    """The virtualized board: uniform slots plus one reconfiguration port."""
+
+    def __init__(self, engine: SimulationEngine, num_slots: int) -> None:
+        if num_slots < 1:
+            raise SlotStateError(f"num_slots must be >= 1, got {num_slots}")
+        self._slots: List[Slot] = [Slot(i) for i in range(num_slots)]
+        self.port = ReconfigurationPort(engine)
+
+    @property
+    def num_slots(self) -> int:
+        """Number of reconfigurable slots."""
+        return len(self._slots)
+
+    @property
+    def slots(self) -> List[Slot]:
+        """All slots in index order (live objects, not copies)."""
+        return self._slots
+
+    def slot(self, index: int) -> Slot:
+        """The slot at ``index``."""
+        if not 0 <= index < len(self._slots):
+            raise SlotStateError(f"slot index {index} out of range")
+        return self._slots[index]
+
+    def free_slots(self) -> List[Slot]:
+        """Slots that can accept a reconfiguration right now."""
+        return [slot for slot in self._slots if slot.is_free]
+
+    def occupied_slots(self) -> List[Slot]:
+        """Slots currently hosting a task."""
+        return [slot for slot in self._slots if slot.phase == SlotPhase.OCCUPIED]
+
+    def utilization(self) -> float:
+        """Fraction of slots occupied or reconfiguring."""
+        used = sum(1 for slot in self._slots if not slot.is_free)
+        return used / len(self._slots)

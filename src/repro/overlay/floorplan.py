@@ -1,0 +1,132 @@
+"""Floorplanning of the slot-based overlay onto the target device.
+
+The scheduler never reads the floorplan at runtime — slots are uniform by
+construction (paper §2.1) — but the floorplanner verifies the premise: the
+static region plus ``num_slots`` uniform slots must fit the device, and a
+slot must be large enough for the largest benchmark task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import FloorplanError
+from repro.overlay.resources import (
+    ResourceVector,
+    STATIC_REGION_UTILIZATION,
+    ZCU106_RESOURCES,
+    slot_resource_vector,
+)
+
+
+@dataclass(frozen=True)
+class SlotRegion:
+    """One physical reconfigurable region of the overlay."""
+
+    index: int
+    resources: ResourceVector
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise FloorplanError(f"slot index must be >= 0, got {self.index}")
+
+
+class Floorplan:
+    """A static region plus a set of uniform reconfigurable slot regions.
+
+    Example
+    -------
+    >>> plan = Floorplan.zcu106(num_slots=10)
+    >>> plan.validate()
+    >>> len(plan.slots)
+    10
+    """
+
+    def __init__(
+        self,
+        device_resources: ResourceVector,
+        static_resources: ResourceVector,
+        slots: Sequence[SlotRegion],
+    ) -> None:
+        if not slots:
+            raise FloorplanError("a floorplan needs at least one slot")
+        indices = [slot.index for slot in slots]
+        if sorted(indices) != list(range(len(slots))):
+            raise FloorplanError(
+                f"slot indices must be 0..{len(slots) - 1}, got {indices}"
+            )
+        first = slots[0].resources
+        if any(slot.resources != first for slot in slots):
+            raise FloorplanError("overlay slots must be uniform (paper §2.1)")
+        self._device = device_resources
+        self._static = static_resources
+        self._slots: List[SlotRegion] = sorted(slots, key=lambda s: s.index)
+
+    @classmethod
+    def zcu106(cls, num_slots: int = 10, slot_size: str = "min") -> "Floorplan":
+        """The paper's ZCU106 floorplan with Table 1 resource numbers.
+
+        Table 1 reports each slot as a min-max range because the ten
+        uniform-area slots cover different column mixes; ``slot_size``
+        picks which end of the range to model. Only the ``"min"`` end can
+        hold ten identical slots next to the static region on the real
+        XCZU7EV, so it is the default for device-fit validation.
+        """
+        slot_vector = slot_resource_vector(slot_size)
+        slots = [SlotRegion(i, slot_vector) for i in range(num_slots)]
+        return cls(ZCU106_RESOURCES, STATIC_REGION_UTILIZATION, slots)
+
+    @property
+    def slots(self) -> List[SlotRegion]:
+        """The slot regions in index order."""
+        return list(self._slots)
+
+    @property
+    def num_slots(self) -> int:
+        """Number of reconfigurable slots."""
+        return len(self._slots)
+
+    @property
+    def slot_resources(self) -> ResourceVector:
+        """Resources of one (uniform) slot."""
+        return self._slots[0].resources
+
+    @property
+    def static_resources(self) -> ResourceVector:
+        """Resources consumed by the static region."""
+        return self._static
+
+    def total_reconfigurable(self) -> ResourceVector:
+        """Resources across all slots combined."""
+        return self.slot_resources.scaled(self.num_slots)
+
+    def validate(self) -> None:
+        """Raise :class:`FloorplanError` unless the overlay fits the device."""
+        total = self._static + self.total_reconfigurable()
+        if not total.fits_within(self._device):
+            overflow = {
+                kind: used - avail
+                for (kind, used), avail in zip(
+                    total.as_dict().items(), self._device.counts
+                )
+                if used > avail
+            }
+            raise FloorplanError(
+                f"overlay exceeds device resources by {overflow}"
+            )
+
+    def task_fits_slot(self, task_resources: ResourceVector) -> bool:
+        """True if a task's resource demand fits a single slot."""
+        return task_resources.fits_within(self.slot_resources)
+
+    def utilization_report(self) -> dict:
+        """Device-level utilization breakdown (drives the Table 1 bench)."""
+        total = self._static + self.total_reconfigurable()
+        return {
+            "static": self._static.as_dict(),
+            "per_slot": self.slot_resources.as_dict(),
+            "all_slots": self.total_reconfigurable().as_dict(),
+            "device": self._device.as_dict(),
+            "device_utilization": total.utilization_of(self._device),
+        }

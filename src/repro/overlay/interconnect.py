@@ -1,0 +1,125 @@
+"""Inter-slot data movement models (paper §7, future work).
+
+On the prototype, slots communicate through the PS: a producer's output is
+written to shared memory by way of the ARM core before a consumer in
+another slot can read it. The paper's future-work section proposes a
+Network-on-Chip for "optimized data transfer between slots".
+
+The default model used for paper reproduction is :class:`ZeroCost` — the
+benchmark task latencies were measured end-to-end on the board and already
+include PS-routed transfer time, so charging it again would double-count.
+The explicit models exist for the extension study
+(``repro.experiments.ext_interconnect``): re-run the evaluation with
+transfer costs broken out and compare PS routing against a NoC.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ReproError
+
+
+class InterconnectModel(ABC):
+    """Latency model for moving one item's data between producer and consumer."""
+
+    #: Registry/display name.
+    name: str = "abstract"
+
+    @abstractmethod
+    def transfer_ms(self, payload_bytes: int, same_slot: bool) -> float:
+        """Latency to move ``payload_bytes`` from producer to consumer."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ZeroCost(InterconnectModel):
+    """Transfers are free (folded into measured task latencies)."""
+
+    name = "zero_cost"
+
+    def transfer_ms(self, payload_bytes: int, same_slot: bool) -> float:
+        return 0.0
+
+
+class PSRouted(InterconnectModel):
+    """Producer -> DDR -> ARM-mediated handoff -> consumer (the prototype).
+
+    The ARM core orchestrates both buffer copies, so each hop pays a fixed
+    software overhead plus two traversals of the PS memory path.
+    """
+
+    name = "ps_routed"
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_ms: float = 1.2e6,  # ~1.2 GB/s effective
+        software_overhead_ms: float = 0.08,
+    ) -> None:
+        if bandwidth_bytes_per_ms <= 0:
+            raise ReproError("bandwidth must be > 0")
+        if software_overhead_ms < 0:
+            raise ReproError("software overhead must be >= 0")
+        self.bandwidth_bytes_per_ms = bandwidth_bytes_per_ms
+        self.software_overhead_ms = software_overhead_ms
+
+    def transfer_ms(self, payload_bytes: int, same_slot: bool) -> float:
+        if payload_bytes < 0:
+            raise ReproError(f"negative payload {payload_bytes}")
+        if same_slot:
+            # Data stays in the slot-local buffer; only the handoff costs.
+            return self.software_overhead_ms
+        two_copies = 2 * payload_bytes / self.bandwidth_bytes_per_ms
+        return self.software_overhead_ms + two_copies
+
+
+class NoC(InterconnectModel):
+    """Direct slot-to-slot transfers over an on-fabric network.
+
+    One traversal at much higher bandwidth and no ARM involvement;
+    same-slot handoffs are free (data never leaves the region).
+    """
+
+    name = "noc"
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_ms: float = 16e6,  # ~16 GB/s aggregate
+        router_latency_ms: float = 0.002,
+        hops: int = 2,
+    ) -> None:
+        if bandwidth_bytes_per_ms <= 0:
+            raise ReproError("bandwidth must be > 0")
+        if router_latency_ms < 0:
+            raise ReproError("router latency must be >= 0")
+        if hops < 1:
+            raise ReproError("hops must be >= 1")
+        self.bandwidth_bytes_per_ms = bandwidth_bytes_per_ms
+        self.router_latency_ms = router_latency_ms
+        self.hops = hops
+
+    def transfer_ms(self, payload_bytes: int, same_slot: bool) -> float:
+        if payload_bytes < 0:
+            raise ReproError(f"negative payload {payload_bytes}")
+        if same_slot:
+            return 0.0
+        return (
+            self.hops * self.router_latency_ms
+            + payload_bytes / self.bandwidth_bytes_per_ms
+        )
+
+
+def make_interconnect(name: str) -> InterconnectModel:
+    """Instantiate an interconnect model by name."""
+    models = {
+        "zero_cost": ZeroCost,
+        "ps_routed": PSRouted,
+        "noc": NoC,
+    }
+    factory = models.get(name)
+    if factory is None:
+        raise ReproError(
+            f"unknown interconnect {name!r}; known: {sorted(models)}"
+        )
+    return factory()

@@ -1,0 +1,131 @@
+"""Hypervisor-managed data buffers (paper §2.2).
+
+Tasks read inputs from and write outputs to buffers allocated by the
+hypervisor in shared system memory; a task consuming another task's output
+reads the buffer its producer filled. When a task retires, buffers no
+longer referenced are released.
+
+The scheduler itself is insensitive to buffer sizes, but modeling the
+allocator (a) exercises the full hypervisor control path the paper
+describes and (b) lets tests assert the no-leak invariant: after an
+application retires, all of its buffers are gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import BufferError_
+
+
+@dataclass
+class DataBuffer:
+    """One shared-memory buffer holding a task's output for one batch item."""
+
+    buffer_id: int
+    app_id: int
+    task_id: str
+    item: int
+    size_bytes: int
+    refcount: int = 0
+
+
+class BufferManager:
+    """Allocator for inter-task data buffers in shared system memory.
+
+    A producer's output buffer for batch item ``b`` is created when the item
+    completes, with one reference per consumer edge; each consumer drops its
+    reference when it finishes processing that item. Sink-task outputs are
+    held until the application's response is sent, then released in bulk by
+    :meth:`release_app`.
+    """
+
+    def __init__(self, capacity_bytes: int = 2 * 1024**3) -> None:
+        if capacity_bytes <= 0:
+            raise BufferError_(f"capacity must be > 0, got {capacity_bytes}")
+        self._capacity = capacity_bytes
+        self._used = 0
+        self._next_id = 0
+        self._buffers: Dict[int, DataBuffer] = {}
+        self._by_output: Dict[Tuple[int, str, int], int] = {}
+        self.peak_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def live_buffers(self) -> int:
+        """Number of live buffers."""
+        return len(self._buffers)
+
+    def publish_output(
+        self,
+        app_id: int,
+        task_id: str,
+        item: int,
+        size_bytes: int,
+        consumers: int,
+    ) -> DataBuffer:
+        """Allocate the output buffer of (app, task, item).
+
+        ``consumers`` is the number of downstream readers; a sink task has
+        zero consumers but its buffer is retained (refcount pinned at 1)
+        until :meth:`release_app`.
+        """
+        if size_bytes <= 0:
+            raise BufferError_(f"buffer size must be > 0, got {size_bytes}")
+        key = (app_id, task_id, item)
+        if key in self._by_output:
+            raise BufferError_(f"output buffer already published for {key}")
+        if self._used + size_bytes > self._capacity:
+            raise BufferError_(
+                f"out of buffer memory: need {size_bytes}, "
+                f"free {self._capacity - self._used}"
+            )
+        buffer = DataBuffer(
+            self._next_id, app_id, task_id, item, size_bytes,
+            refcount=max(consumers, 1),
+        )
+        self._next_id += 1
+        self._buffers[buffer.buffer_id] = buffer
+        self._by_output[key] = buffer.buffer_id
+        self._used += size_bytes
+        self.peak_bytes = max(self.peak_bytes, self._used)
+        return buffer
+
+    def consume(self, app_id: int, task_id: str, item: int) -> None:
+        """Drop one consumer reference from (app, task, item)'s buffer."""
+        key = (app_id, task_id, item)
+        buffer_id = self._by_output.get(key)
+        if buffer_id is None:
+            raise BufferError_(f"no buffer published for {key}")
+        buffer = self._buffers[buffer_id]
+        buffer.refcount -= 1
+        if buffer.refcount <= 0:
+            self._release(buffer_id)
+
+    def _release(self, buffer_id: int) -> None:
+        buffer = self._buffers.pop(buffer_id)
+        self._by_output.pop((buffer.app_id, buffer.task_id, buffer.item), None)
+        self._used -= buffer.size_bytes
+
+    def release_app(self, app_id: int) -> int:
+        """Free every buffer belonging to ``app_id``; returns bytes freed."""
+        doomed = [
+            bid for bid, buf in self._buffers.items() if buf.app_id == app_id
+        ]
+        freed = 0
+        for buffer_id in doomed:
+            freed += self._buffers[buffer_id].size_bytes
+            self._release(buffer_id)
+        return freed
+
+    def app_bytes(self, app_id: int) -> int:
+        """Bytes currently held by one application."""
+        return sum(
+            buf.size_bytes for buf in self._buffers.values()
+            if buf.app_id == app_id
+        )

@@ -1,0 +1,132 @@
+"""FPGA resource accounting (Table 1 of the paper).
+
+The paper reports the per-slot and static-region utilization of the ZCU106
+overlay across seven resource kinds. We encode those numbers so the
+floorplanner can check that ten slots plus the static region actually fit
+the device, and so Table 1 can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import FloorplanError
+
+#: Resource kinds tracked by the overlay, in Table 1 column order.
+RESOURCE_KINDS: Tuple[str, ...] = (
+    "DSP",
+    "LUT",
+    "FF",
+    "Carry",
+    "RAMB18",
+    "RAMB36",
+    "IOBuf",
+)
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A count per resource kind, supporting addition and comparison."""
+
+    counts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != len(RESOURCE_KINDS):
+            raise FloorplanError(
+                f"expected {len(RESOURCE_KINDS)} resource counts, "
+                f"got {len(self.counts)}"
+            )
+        if any(count < 0 for count in self.counts):
+            raise FloorplanError(f"negative resource count in {self.counts}")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, int]) -> "ResourceVector":
+        """Build a vector from a ``{kind: count}`` mapping (missing -> 0)."""
+        unknown = set(mapping) - set(RESOURCE_KINDS)
+        if unknown:
+            raise FloorplanError(f"unknown resource kinds: {sorted(unknown)}")
+        return cls(tuple(int(mapping.get(kind, 0)) for kind in RESOURCE_KINDS))
+
+    @classmethod
+    def zero(cls) -> "ResourceVector":
+        """The all-zero vector."""
+        return cls(tuple(0 for _ in RESOURCE_KINDS))
+
+    def as_dict(self) -> Dict[str, int]:
+        """``{kind: count}`` view of the vector."""
+        return dict(zip(RESOURCE_KINDS, self.counts))
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            tuple(a + b for a, b in zip(self.counts, other.counts))
+        )
+
+    def scaled(self, factor: int) -> "ResourceVector":
+        """The vector multiplied element-wise by a non-negative integer."""
+        if factor < 0:
+            raise FloorplanError(f"scale factor must be >= 0, got {factor}")
+        return ResourceVector(tuple(count * factor for count in self.counts))
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """True if every count is <= the corresponding capacity count."""
+        return all(a <= b for a, b in zip(self.counts, capacity.counts))
+
+    def utilization_of(self, capacity: "ResourceVector") -> Dict[str, float]:
+        """Fractional utilization per resource kind (0 capacity -> 0.0)."""
+        result = {}
+        for kind, used, avail in zip(RESOURCE_KINDS, self.counts, capacity.counts):
+            result[kind] = used / avail if avail else 0.0
+        return result
+
+
+#: Approximate total programmable-logic resources of the XCZU7EV (ZCU106).
+ZCU106_RESOURCES = ResourceVector.from_mapping(
+    {
+        "DSP": 1728,
+        "LUT": 230400,
+        "FF": 460800,
+        "Carry": 28800,
+        "RAMB18": 624,
+        "RAMB36": 312,
+        "IOBuf": 52000,
+    }
+)
+
+#: Table 1, "Slot" row: the paper reports a min-max range per resource kind
+#: because the ten slots are uniform in area but not in exact column mix.
+SLOT_UTILIZATION_RANGE: Dict[str, Tuple[int, int]] = {
+    "DSP": (46, 92),
+    "LUT": (9680, 12960),
+    "FF": (19360, 22880),
+    "Carry": (1210, 1620),
+    "RAMB18": (44, 46),
+    "RAMB36": (22, 23),
+    "IOBuf": (1908, 2343),
+}
+
+#: Table 1, "Static" row.
+STATIC_REGION_UTILIZATION = ResourceVector.from_mapping(
+    {
+        "DSP": 1004,
+        "LUT": 122560,
+        "FF": 245120,
+        "Carry": 15320,
+        "RAMB18": 172,
+        "RAMB36": 86,
+        "IOBuf": 24803,
+    }
+)
+
+
+def slot_resource_vector(which: str = "min") -> ResourceVector:
+    """A per-slot resource vector from Table 1.
+
+    ``which`` selects the ``"min"`` or ``"max"`` end of the reported range.
+    """
+    if which not in ("min", "max"):
+        raise FloorplanError(f"which must be 'min' or 'max', got {which!r}")
+    index = 0 if which == "min" else 1
+    return ResourceVector.from_mapping(
+        {kind: bounds[index] for kind, bounds in SLOT_UTILIZATION_RANGE.items()}
+    )

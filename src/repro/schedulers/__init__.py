@@ -1,0 +1,37 @@
+"""Scheduling policies evaluated in the paper (§5.1).
+
+Five algorithms share one hypervisor: the no-sharing baseline, naive FCFS,
+task-based PREMA, Coyote-style queue-based round-robin, and Nimblock
+(exported from :mod:`repro.core`). The registry maps the names used by the
+experiment harness to policy factories.
+"""
+
+from repro.schedulers.base import (
+    Action,
+    ConfigureAction,
+    PreemptAction,
+    SchedulerPolicy,
+)
+from repro.schedulers.no_sharing import NoSharingScheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.prema import PremaScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.registry import (
+    ALL_SCHEDULERS,
+    SHARING_SCHEDULERS,
+    make_scheduler,
+)
+
+__all__ = [
+    "Action",
+    "ConfigureAction",
+    "PreemptAction",
+    "SchedulerPolicy",
+    "NoSharingScheduler",
+    "FCFSScheduler",
+    "PremaScheduler",
+    "RoundRobinScheduler",
+    "ALL_SCHEDULERS",
+    "SHARING_SCHEDULERS",
+    "make_scheduler",
+]

@@ -1,0 +1,56 @@
+"""DML-style static slot designation (extension; paper §6.2 contrast).
+
+DML pipelines tasks like Nimblock but "requires the user to statically
+designate a certain number of slots to each application" and reallocates
+nothing at runtime. This policy reproduces that contrast inside our
+runtime: each application's slot budget is fixed at arrival (we stand in
+for the user with the same saturation analysis Nimblock runs), there are
+no tokens, no reallocation, and no preemption. Applications are served
+oldest-first within their fixed budgets, pipelining across batches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.saturation import SaturationAnalyzer
+from repro.schedulers.base import Action, ConfigureAction, SchedulerPolicy
+
+
+class DMLStaticScheduler(SchedulerPolicy):
+    """Fixed per-application slot budgets with pipelining."""
+
+    name = "dml_static"
+    pipelined = True
+    prefetch = True
+
+    def __init__(self) -> None:
+        self._analyzer: Optional[SaturationAnalyzer] = None
+        self._budgets: Dict[int, int] = {}
+
+    def notify_arrival(self, ctx, app) -> None:
+        if self._analyzer is None:
+            self._analyzer = SaturationAnalyzer(ctx.config)
+        budget = self._analyzer.goal_number(app.graph, app.batch_size)
+        self._budgets[app.app_id] = budget
+        # Static designation is visible in the runtime bookkeeping too, so
+        # over-consumption diagnostics stay meaningful.
+        app.slots_allocated = budget
+
+    def notify_completion(self, ctx, app) -> None:
+        self._budgets.pop(app.app_id, None)
+
+    def decide(self, ctx) -> Optional[Action]:
+        """Oldest application still under its static budget gets a slot."""
+        slot_index = ctx.free_slot_index()
+        if slot_index is None:
+            return None
+        for app in ctx.pending_apps():
+            budget = self._budgets.get(app.app_id)
+            if budget is None:
+                continue  # arrival notification not yet delivered
+            if app.slots_used >= budget:
+                continue
+            for task_id in app.configurable_tasks(prefetch=self.prefetch):
+                return ConfigureAction(app.app_id, task_id, slot_index)
+        return None

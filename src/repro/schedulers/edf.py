@@ -1,0 +1,64 @@
+"""Earliest-deadline-first scheduling (extension, not in the paper).
+
+A classic real-time baseline the paper's related work gestures at but does
+not evaluate. Each application receives an internal deadline at arrival —
+``arrival + slack_factor x latency_estimate`` — and ready tasks are drawn
+from the live application with the earliest deadline. Like the other
+comparison schedulers it is bulk-mode with no preemption, so it isolates
+the value of deadline ordering alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SchedulerError
+from repro.schedulers.base import Action, ConfigureAction, SchedulerPolicy
+
+
+class EDFScheduler(SchedulerPolicy):
+    """Earliest internal deadline first, bulk execution."""
+
+    name = "edf"
+    pipelined = False
+    prefetch = False
+
+    def __init__(self, slack_factor: float = 2.0) -> None:
+        if slack_factor <= 0:
+            raise SchedulerError(
+                f"slack_factor must be > 0, got {slack_factor}"
+            )
+        self.slack_factor = slack_factor
+        self._deadlines: Dict[int, float] = {}
+
+    def notify_arrival(self, ctx, app) -> None:
+        self._deadlines[app.app_id] = (
+            app.arrival_ms + self.slack_factor * app.latency_estimate_ms
+        )
+
+    def notify_completion(self, ctx, app) -> None:
+        self._deadlines.pop(app.app_id, None)
+
+    def _deadline(self, app) -> float:
+        deadline = self._deadlines.get(app.app_id)
+        if deadline is None:
+            # Defensive: an app submitted before the policy was attached.
+            deadline = (
+                app.arrival_ms + self.slack_factor * app.latency_estimate_ms
+            )
+            self._deadlines[app.app_id] = deadline
+        return deadline
+
+    def decide(self, ctx) -> Optional[Action]:
+        """Configure the first ready task of the earliest-deadline app."""
+        slot_index = ctx.free_slot_index()
+        if slot_index is None:
+            return None
+        apps = sorted(
+            ctx.pending_apps(),
+            key=lambda app: (self._deadline(app), app.age_key),
+        )
+        for app in apps:
+            for task_id in app.configurable_tasks(prefetch=self.prefetch):
+                return ConfigureAction(app.app_id, task_id, slot_index)
+        return None

@@ -1,0 +1,32 @@
+"""Naive first-come, first-served sharing (§5.1).
+
+All tasks that are *ready to execute* (every predecessor finished its whole
+batch) from all applications are selected in application arrival order and
+placed into any free slot. Applications share the board and may run
+parallel branches simultaneously, but there is no prioritisation, no
+pipelining across batches and no preemption.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schedulers.base import Action, ConfigureAction, SchedulerPolicy
+
+
+class FCFSScheduler(SchedulerPolicy):
+    """First-come first-served task scheduling across all applications."""
+
+    name = "fcfs"
+    pipelined = False
+    prefetch = False
+
+    def decide(self, ctx) -> Optional[Action]:
+        """Configure the oldest application's first ready task."""
+        slot_index = ctx.free_slot_index()
+        if slot_index is None:
+            return None
+        for app in ctx.pending_apps():
+            for task_id in app.configurable_tasks(prefetch=self.prefetch):
+                return ConfigureAction(app.app_id, task_id, slot_index)
+        return None

@@ -1,0 +1,35 @@
+"""The paper's baseline: no sharing, no virtualization benefits (§5.1).
+
+Only one application uses the FPGA at a time; the rest wait in the pending
+queue. The active application may use *all* slots to execute parallel
+branches of its task graph (and we let it prefetch-configure tasks whose
+predecessors are still running, hiding reconfiguration, which only makes
+the baseline stronger), but batches are bulk-processed — no inter-batch
+pipelining — and no other application touches the board until it retires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schedulers.base import Action, ConfigureAction, SchedulerPolicy
+
+
+class NoSharingScheduler(SchedulerPolicy):
+    """Exclusive, in-order use of the whole board (baseline)."""
+
+    name = "baseline"
+    pipelined = False
+    prefetch = True
+
+    def decide(self, ctx) -> Optional[Action]:
+        """Configure the next task of the oldest (active) application."""
+        active = ctx.pending.oldest()
+        if active is None:
+            return None
+        slot_index = ctx.free_slot_index()
+        if slot_index is None:
+            return None
+        for task_id in active.configurable_tasks(prefetch=self.prefetch):
+            return ConfigureAction(active.app_id, task_id, slot_index)
+        return None

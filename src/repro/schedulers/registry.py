@@ -1,0 +1,77 @@
+"""Name-to-policy registry used by experiments, benches and the CLI.
+
+Nimblock variants are imported lazily to keep the package import graph
+acyclic (``repro.core`` builds on ``repro.schedulers.base``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import SchedulerError
+from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.no_sharing import NoSharingScheduler
+from repro.schedulers.prema import PremaScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+#: The five algorithms of the paper's evaluation, in Figure 5 legend order.
+ALL_SCHEDULERS: Tuple[str, ...] = (
+    "baseline",
+    "fcfs",
+    "prema",
+    "rr",
+    "nimblock",
+)
+
+#: The sharing algorithms (everything except the no-sharing baseline).
+SHARING_SCHEDULERS: Tuple[str, ...] = ("fcfs", "prema", "rr", "nimblock")
+
+#: Extension policies beyond the paper's evaluation (see each module).
+EXTENSION_SCHEDULERS: Tuple[str, ...] = ("edf", "dml_static")
+
+
+def _nimblock_factories() -> Dict[str, Callable[[], SchedulerPolicy]]:
+    from repro.core.variants import (
+        nimblock_full,
+        nimblock_no_pipe,
+        nimblock_no_preempt,
+        nimblock_no_preempt_no_pipe,
+    )
+
+    return {
+        "nimblock": nimblock_full,
+        "nimblock_no_preempt": nimblock_no_preempt,
+        "nimblock_no_pipe": nimblock_no_pipe,
+        "nimblock_no_preempt_no_pipe": nimblock_no_preempt_no_pipe,
+    }
+
+
+def scheduler_factories() -> Dict[str, Callable[[], SchedulerPolicy]]:
+    """All known policy factories, keyed by registry name."""
+    from repro.schedulers.dml_static import DMLStaticScheduler
+    from repro.schedulers.edf import EDFScheduler
+
+    factories: Dict[str, Callable[[], SchedulerPolicy]] = {
+        "baseline": NoSharingScheduler,
+        "no_sharing": NoSharingScheduler,
+        "fcfs": FCFSScheduler,
+        "prema": PremaScheduler,
+        "rr": RoundRobinScheduler,
+        "round_robin": RoundRobinScheduler,
+        "edf": EDFScheduler,
+        "dml_static": DMLStaticScheduler,
+    }
+    factories.update(_nimblock_factories())
+    return factories
+
+
+def make_scheduler(name: str) -> SchedulerPolicy:
+    """Instantiate a fresh policy by registry name."""
+    factories = scheduler_factories()
+    factory = factories.get(name)
+    if factory is None:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; known: {sorted(factories)}"
+        )
+    return factory()

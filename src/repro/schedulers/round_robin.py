@@ -1,0 +1,91 @@
+"""Queue-based round-robin scheduling, adapted from Coyote (§5.1).
+
+Ready tasks from all pending applications are issued to **per-slot priority
+queues**: each new task goes to the queue of the slot with the fewest
+waiting tasks (ties broken by slot index). Within a queue, tasks sort by
+priority level (high first) and then issue order. A free slot always takes
+the head of its own queue — a task never migrates to another slot's queue,
+which is exactly the load-balancing weakness the paper's evaluation
+exposes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hypervisor.application import TaskRunState
+from repro.schedulers.base import Action, ConfigureAction, SchedulerPolicy
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """One task waiting in a per-slot queue; sorts by (-priority, seq)."""
+
+    sort_key: Tuple[int, int]
+    app_id: int = field(compare=False)
+    task_id: str = field(compare=False)
+
+
+class RoundRobinScheduler(SchedulerPolicy):
+    """Coyote-style per-slot priority queues."""
+
+    name = "rr"
+    pipelined = False
+    prefetch = False
+
+    def __init__(self) -> None:
+        self._queues: Optional[Dict[int, List[_QueueEntry]]] = None
+        self._issued: Set[Tuple[int, str]] = set()
+        self._seq = itertools.count()
+
+    def _ensure_queues(self, ctx) -> Dict[int, List[_QueueEntry]]:
+        if self._queues is None:
+            self._queues = {
+                slot.index: [] for slot in ctx.device.slots
+            }
+        return self._queues
+
+    def _issue_ready_tasks(self, ctx) -> None:
+        """Push newly ready tasks onto the emptiest per-slot queues."""
+        queues = self._ensure_queues(ctx)
+        for app in ctx.pending_apps():
+            for task_id in app.configurable_tasks(prefetch=self.prefetch):
+                key = (app.app_id, task_id)
+                if key in self._issued:
+                    continue
+                self._issued.add(key)
+                target = min(
+                    queues, key=lambda index: (len(queues[index]), index)
+                )
+                entry = _QueueEntry(
+                    (-app.priority, next(self._seq)), app.app_id, task_id
+                )
+                queues[target].append(entry)
+                queues[target].sort()
+
+    def decide(self, ctx) -> Optional[Action]:
+        """Pop the head of a free slot's queue and configure it there."""
+        self._issue_ready_tasks(ctx)
+        queues = self._ensure_queues(ctx)
+        best_slot: Optional[int] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for slot in ctx.device.slots:
+            if not slot.is_free or not queues[slot.index]:
+                continue
+            head = queues[slot.index][0]
+            if best_key is None or head.sort_key < best_key:
+                best_key = head.sort_key
+                best_slot = slot.index
+        if best_slot is None:
+            return None
+        entry = queues[best_slot].pop(0)
+        app = ctx.app(entry.app_id)
+        task = app.tasks[entry.task_id]
+        if task.state != TaskRunState.PENDING:
+            # The task was already handled (defensive; should not happen
+            # without preemption). Drop the stale entry and retry.
+            self._issued.discard((entry.app_id, entry.task_id))
+            return self.decide(ctx)
+        return ConfigureAction(entry.app_id, entry.task_id, best_slot)

@@ -1,0 +1,22 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine replaces the wall clock of the paper's bare-metal ARM testbed.
+It provides a millisecond-resolution virtual clock, a stable event heap and
+a trace recorder used by the metrics layer.
+"""
+
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.timeline import render_timeline
+from repro.sim.trace import Trace, TraceEvent, TraceKind
+from repro.sim.trace_export import load_trace, save_trace
+
+__all__ = [
+    "Event",
+    "SimulationEngine",
+    "Trace",
+    "TraceEvent",
+    "TraceKind",
+    "render_timeline",
+    "load_trace",
+    "save_trace",
+]

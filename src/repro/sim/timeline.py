@@ -1,0 +1,105 @@
+"""ASCII timeline rendering of a board trace (debugging/teaching aid).
+
+Renders one row per slot over a time window: ``#`` while reconfiguring,
+an application letter while an item executes, ``-`` while a task is
+resident but idle at a batch boundary, and space while the slot is empty.
+This makes sharing modes (Figure 2 of the paper) directly visible in a
+terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.sim.trace import Trace, TraceKind
+
+#: Application marker alphabet (app_id modulo its length).
+APP_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _intervals_per_slot(
+    trace: Trace,
+) -> Dict[int, List[Tuple[float, float, str]]]:
+    """Per-slot (start, end, glyph) intervals from a trace."""
+    intervals: Dict[int, List[Tuple[float, float, str]]] = {}
+    config_start: Dict[int, float] = {}
+    item_start: Dict[int, Tuple[float, int]] = {}
+    resident_since: Dict[int, Tuple[float, int]] = {}
+
+    def add(slot: int, start: float, end: float, glyph: str) -> None:
+        if end > start:
+            intervals.setdefault(slot, []).append((start, end, glyph))
+
+    def close_resident(slot: int, now: float) -> None:
+        opened = resident_since.pop(slot, None)
+        if opened is not None:
+            start, app_id = opened
+            add(slot, start, now, "-")
+
+    for event in trace:
+        slot = event.slot
+        if slot is None:
+            continue
+        if event.kind == TraceKind.TASK_CONFIG_START:
+            config_start[slot] = event.time
+        elif event.kind == TraceKind.TASK_CONFIG_DONE:
+            start = config_start.pop(slot, event.time)
+            add(slot, start, event.time, "#")
+            resident_since[slot] = (event.time, event.app_id or 0)
+        elif event.kind == TraceKind.ITEM_START:
+            close_resident(slot, event.time)
+            item_start[slot] = (event.time, event.app_id or 0)
+        elif event.kind == TraceKind.ITEM_DONE:
+            opened = item_start.pop(slot, None)
+            if opened is not None:
+                start, app_id = opened
+                add(slot, start, event.time, APP_MARKERS[app_id % 26])
+            resident_since[slot] = (event.time, event.app_id or 0)
+        elif event.kind in (TraceKind.TASK_DONE, TraceKind.TASK_PREEMPTED):
+            close_resident(slot, event.time)
+    return intervals
+
+
+def render_timeline(
+    trace: Trace,
+    num_slots: int,
+    start_ms: Optional[float] = None,
+    end_ms: Optional[float] = None,
+    width: int = 80,
+) -> str:
+    """Render the board's slot occupancy over [start_ms, end_ms].
+
+    Legend: ``#`` reconfiguration, letters = application items (A = app 0,
+    B = app 1, ...), ``-`` resident but waiting, space = empty slot.
+    """
+    if width < 10:
+        raise ExperimentError("timeline width must be >= 10")
+    if num_slots < 1:
+        raise ExperimentError("num_slots must be >= 1")
+    if not len(trace):
+        raise ExperimentError("cannot render an empty trace")
+
+    times = [event.time for event in trace]
+    t0 = times[0] if start_ms is None else start_ms
+    t1 = times[-1] if end_ms is None else end_ms
+    if t1 <= t0:
+        raise ExperimentError(f"empty window [{t0}, {t1}]")
+    span = t1 - t0
+
+    per_slot = _intervals_per_slot(trace)
+    lines = [
+        f"timeline {t0:.0f}..{t1:.0f} ms "
+        f"(#=reconfig, letter=app item, -=resident idle)"
+    ]
+    for slot in range(num_slots):
+        row = [" "] * width
+        for start, end, glyph in per_slot.get(slot, []):
+            if end <= t0 or start >= t1:
+                continue
+            first = int((max(start, t0) - t0) / span * (width - 1))
+            last = int((min(end, t1) - t0) / span * (width - 1))
+            for col in range(first, last + 1):
+                row[col] = glyph
+        lines.append(f"slot {slot:2d} |{''.join(row)}|")
+    return "\n".join(lines)

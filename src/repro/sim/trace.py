@@ -1,0 +1,124 @@
+"""Structured trace of everything that happens on the simulated board.
+
+The hypervisor emits one :class:`TraceEvent` per state change. The metrics
+layer (Figures 5-11, Table 3) is computed entirely from traces, so every
+experiment is post-processable without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+
+class TraceKind(str, Enum):
+    """Kinds of trace events recorded by the hypervisor."""
+
+    APP_ARRIVED = "app_arrived"
+    APP_STARTED = "app_started"          # first task began executing
+    APP_RETIRED = "app_retired"
+    TASK_CONFIG_START = "task_config_start"
+    TASK_CONFIG_DONE = "task_config_done"
+    ITEM_START = "item_start"
+    ITEM_DONE = "item_done"
+    TASK_DONE = "task_done"              # all batch items finished
+    TASK_PREEMPTED = "task_preempted"
+    TASK_RESUMED = "task_resumed"
+    DEADLINE_ASSIGNED = "deadline_assigned"
+    SCHEDULER_PASS = "scheduler_pass"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence on the simulated platform."""
+
+    time: float
+    kind: TraceKind
+    app_id: Optional[int] = None
+    task_id: Optional[str] = None
+    slot: Optional[int] = None
+    detail: Optional[float] = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{self.time:10.1f}ms {self.kind.value}"]
+        if self.app_id is not None:
+            parts.append(f"app={self.app_id}")
+        if self.task_id is not None:
+            parts.append(f"task={self.task_id}")
+        if self.slot is not None:
+            parts.append(f"slot={self.slot}")
+        if self.detail is not None:
+            parts.append(f"detail={self.detail}")
+        return " ".join(parts)
+
+
+@dataclass
+class Trace:
+    """Append-only log of :class:`TraceEvent` records."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        time: float,
+        kind: TraceKind,
+        app_id: Optional[int] = None,
+        task_id: Optional[str] = None,
+        slot: Optional[int] = None,
+        detail: Optional[float] = None,
+    ) -> None:
+        """Append one event to the trace."""
+        self.events.append(TraceEvent(time, kind, app_id, task_id, slot, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: TraceKind) -> List[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def for_app(self, app_id: int) -> List[TraceEvent]:
+        """All events belonging to one application."""
+        return [event for event in self.events if event.app_id == app_id]
+
+    def first(self, kind: TraceKind, app_id: Optional[int] = None) -> Optional[TraceEvent]:
+        """First event of ``kind`` (optionally for one app), or None."""
+        for event in self.events:
+            if event.kind != kind:
+                continue
+            if app_id is not None and event.app_id != app_id:
+                continue
+            return event
+        return None
+
+    def reconfig_busy_ms(self, app_id: Optional[int] = None) -> float:
+        """Total time spent reconfiguring slots (optionally for one app)."""
+        starts: Dict[tuple, float] = {}
+        total = 0.0
+        for event in self.events:
+            if app_id is not None and event.app_id != app_id:
+                continue
+            key = (event.app_id, event.task_id, event.slot)
+            if event.kind == TraceKind.TASK_CONFIG_START:
+                starts[key] = event.time
+            elif event.kind == TraceKind.TASK_CONFIG_DONE and key in starts:
+                total += event.time - starts.pop(key)
+        return total
+
+    def run_busy_ms(self, app_id: Optional[int] = None) -> float:
+        """Total task execution time summed over all items (and apps)."""
+        starts: Dict[tuple, float] = {}
+        total = 0.0
+        for event in self.events:
+            if app_id is not None and event.app_id != app_id:
+                continue
+            key = (event.app_id, event.task_id, event.slot, event.detail)
+            if event.kind == TraceKind.ITEM_START:
+                starts[key] = event.time
+            elif event.kind == TraceKind.ITEM_DONE and key in starts:
+                total += event.time - starts.pop(key)
+        return total

@@ -1,0 +1,35 @@
+"""Task graphs: applications partitioned into slot-sized tasks (paper §2.2).
+
+An application is a Directed Acyclic Graph whose nodes are tasks (each small
+enough to fit one reconfigurable slot) and whose edges are data
+dependencies. This package provides the DAG model, common builders and the
+partitioner that turns a layered application description into a task graph.
+"""
+
+from repro.taskgraph.graph import TaskGraph, TaskSpec
+from repro.taskgraph.builders import (
+    chain_graph,
+    diamond_graph,
+    layered_graph,
+    parallel_chains_graph,
+    single_task_graph,
+)
+from repro.taskgraph.partition import LayerSpec, partition_layers
+from repro.taskgraph.random_dags import (
+    random_layered_dag,
+    random_series_parallel_dag,
+)
+
+__all__ = [
+    "random_layered_dag",
+    "random_series_parallel_dag",
+    "TaskGraph",
+    "TaskSpec",
+    "chain_graph",
+    "diamond_graph",
+    "layered_graph",
+    "parallel_chains_graph",
+    "single_task_graph",
+    "LayerSpec",
+    "partition_layers",
+]

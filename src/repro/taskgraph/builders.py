@@ -1,0 +1,122 @@
+"""Constructors for common task-graph shapes.
+
+The benchmark catalog (``repro.apps``) and many tests build graphs through
+these helpers instead of enumerating nodes and edges by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.graph import TaskGraph, TaskSpec
+
+
+def single_task_graph(name: str, latency_ms: float) -> TaskGraph:
+    """A graph with exactly one task and no edges."""
+    return TaskGraph(name, [TaskSpec(f"{name}_t0", latency_ms)], [])
+
+
+def chain_graph(name: str, latencies_ms: Sequence[float]) -> TaskGraph:
+    """A linear pipeline ``t0 -> t1 -> ... -> tN`` (LeNet-style)."""
+    if not latencies_ms:
+        raise TaskGraphError("chain_graph requires at least one latency")
+    tasks = [
+        TaskSpec(f"{name}_t{i}", latency, stage=i)
+        for i, latency in enumerate(latencies_ms)
+    ]
+    edges = [
+        (f"{name}_t{i}", f"{name}_t{i + 1}") for i in range(len(tasks) - 1)
+    ]
+    return TaskGraph(name, tasks, edges)
+
+
+def diamond_graph(name: str, latencies_ms: Sequence[float]) -> TaskGraph:
+    """A 4-node diamond: one source fans out to two tasks that join at a sink.
+
+    ``latencies_ms`` must contain exactly four values
+    (source, left, right, sink).
+    """
+    if len(latencies_ms) != 4:
+        raise TaskGraphError(
+            f"diamond_graph needs 4 latencies, got {len(latencies_ms)}"
+        )
+    src, left, right, sink = latencies_ms
+    tasks = [
+        TaskSpec(f"{name}_src", src, stage=0),
+        TaskSpec(f"{name}_left", left, stage=1),
+        TaskSpec(f"{name}_right", right, stage=1),
+        TaskSpec(f"{name}_sink", sink, stage=2),
+    ]
+    edges = [
+        (f"{name}_src", f"{name}_left"),
+        (f"{name}_src", f"{name}_right"),
+        (f"{name}_left", f"{name}_sink"),
+        (f"{name}_right", f"{name}_sink"),
+    ]
+    return TaskGraph(name, tasks, edges)
+
+
+def layered_graph(
+    name: str,
+    widths: Sequence[int],
+    layer_latencies_ms: Sequence[float],
+) -> TaskGraph:
+    """A fully connected layered DAG (AlexNet-style, Figure 4).
+
+    Layer ``i`` contains ``widths[i]`` identical tasks of latency
+    ``layer_latencies_ms[i]``; every task of layer ``i`` feeds every task of
+    layer ``i + 1``. Tasks within a layer share a ``stage`` label, matching
+    the identical-task coloring of Figure 4.
+    """
+    if len(widths) != len(layer_latencies_ms):
+        raise TaskGraphError(
+            "widths and layer_latencies_ms must have equal length, got "
+            f"{len(widths)} and {len(layer_latencies_ms)}"
+        )
+    if not widths:
+        raise TaskGraphError("layered_graph requires at least one layer")
+    if any(w < 1 for w in widths):
+        raise TaskGraphError(f"layer widths must be >= 1, got {list(widths)}")
+
+    tasks = []
+    layers = []
+    for stage, (width, latency) in enumerate(zip(widths, layer_latencies_ms)):
+        layer_ids = [f"{name}_l{stage}n{j}" for j in range(width)]
+        layers.append(layer_ids)
+        tasks.extend(TaskSpec(tid, latency, stage=stage) for tid in layer_ids)
+
+    edges = []
+    for prev, nxt in zip(layers, layers[1:]):
+        edges.extend((src, dst) for src in prev for dst in nxt)
+    return TaskGraph(name, tasks, edges)
+
+
+def parallel_chains_graph(
+    name: str,
+    num_chains: int,
+    chain_latencies_ms: Sequence[float],
+) -> TaskGraph:
+    """Independent parallel chains joined by a shared source and sink.
+
+    Useful for exercising graphs whose saturation point exceeds two slots.
+    """
+    if num_chains < 1:
+        raise TaskGraphError(f"num_chains must be >= 1, got {num_chains}")
+    if not chain_latencies_ms:
+        raise TaskGraphError("chain_latencies_ms must be non-empty")
+    source = TaskSpec(f"{name}_src", chain_latencies_ms[0], stage=0)
+    sink_stage = len(chain_latencies_ms) + 1
+    sink = TaskSpec(f"{name}_sink", chain_latencies_ms[-1], stage=sink_stage)
+    tasks = [source]
+    edges = []
+    for chain in range(num_chains):
+        prev = source.task_id
+        for depth, latency in enumerate(chain_latencies_ms):
+            tid = f"{name}_c{chain}d{depth}"
+            tasks.append(TaskSpec(tid, latency, stage=depth + 1))
+            edges.append((prev, tid))
+            prev = tid
+        edges.append((prev, sink.task_id))
+    tasks.append(sink)
+    return TaskGraph(name, tasks, edges)

@@ -1,0 +1,236 @@
+"""DAG model for partitioned applications.
+
+Each node is a :class:`TaskSpec` — a slot-sized unit of work with an HLS
+latency estimate for processing **one batch item**. Edges carry data
+dependencies: task ``t`` may process batch item ``b`` only after every
+predecessor of ``t`` has produced item ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import TaskGraphError
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One slot-sized task of an application.
+
+    Parameters
+    ----------
+    task_id:
+        Identifier unique within the application graph.
+    latency_ms:
+        HLS-estimated execution time for one batch item on one slot.
+    stage:
+        Optional pipeline-stage label (tasks split from the same layer share
+        a stage; this mirrors the vertex colors of Figure 4).
+    """
+
+    task_id: str
+    latency_ms: float
+    stage: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise TaskGraphError("task_id must be non-empty")
+        if self.latency_ms <= 0:
+            raise TaskGraphError(
+                f"task {self.task_id!r} latency must be > 0, got {self.latency_ms}"
+            )
+
+
+class TaskGraph:
+    """An immutable application DAG.
+
+    The constructor validates the graph: unique task ids, edges between
+    existing nodes, no self loops, no cycles. Topological order is computed
+    once (Kahn's algorithm with deterministic tie-breaking by insertion
+    order) and reused by the schedulers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tasks: Sequence[TaskSpec],
+        edges: Iterable[Tuple[str, str]],
+    ) -> None:
+        if not name:
+            raise TaskGraphError("graph name must be non-empty")
+        if not tasks:
+            raise TaskGraphError(f"graph {name!r} must contain at least one task")
+        self._name = name
+        self._tasks: Dict[str, TaskSpec] = {}
+        for spec in tasks:
+            if spec.task_id in self._tasks:
+                raise TaskGraphError(
+                    f"duplicate task id {spec.task_id!r} in graph {name!r}"
+                )
+            self._tasks[spec.task_id] = spec
+
+        self._preds: Dict[str, List[str]] = {tid: [] for tid in self._tasks}
+        self._succs: Dict[str, List[str]] = {tid: [] for tid in self._tasks}
+        edge_set = set()
+        for src, dst in edges:
+            if src not in self._tasks or dst not in self._tasks:
+                raise TaskGraphError(
+                    f"edge ({src!r}, {dst!r}) references unknown task in {name!r}"
+                )
+            if src == dst:
+                raise TaskGraphError(f"self loop on {src!r} in graph {name!r}")
+            if (src, dst) in edge_set:
+                raise TaskGraphError(
+                    f"duplicate edge ({src!r}, {dst!r}) in graph {name!r}"
+                )
+            edge_set.add((src, dst))
+            self._succs[src].append(dst)
+            self._preds[dst].append(src)
+        self._edges: Tuple[Tuple[str, str], ...] = tuple(sorted(edge_set))
+        self._topo: Tuple[str, ...] = self._toposort()
+        self._topo_index: Dict[str, int] = {
+            tid: i for i, tid in enumerate(self._topo)
+        }
+
+    def _toposort(self) -> Tuple[str, ...]:
+        indegree = {tid: len(self._preds[tid]) for tid in self._tasks}
+        ready = [tid for tid in self._tasks if indegree[tid] == 0]
+        order: List[str] = []
+        while ready:
+            tid = ready.pop(0)
+            order.append(tid)
+            for succ in self._succs[tid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._tasks):
+            raise TaskGraphError(f"graph {self._name!r} contains a cycle")
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Application name."""
+        return self._name
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks (Table 2 column 2)."""
+        return len(self._tasks)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of dependency edges (Table 2 column 3)."""
+        return len(self._edges)
+
+    @property
+    def tasks(self) -> Mapping[str, TaskSpec]:
+        """Mapping of task id to :class:`TaskSpec`."""
+        return dict(self._tasks)
+
+    @property
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        """All edges, sorted."""
+        return self._edges
+
+    @property
+    def topological_order(self) -> Tuple[str, ...]:
+        """Deterministic topological ordering of the task ids."""
+        return self._topo
+
+    def task(self, task_id: str) -> TaskSpec:
+        """The :class:`TaskSpec` for ``task_id``."""
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise TaskGraphError(
+                f"unknown task {task_id!r} in graph {self._name!r}"
+            ) from None
+
+    def predecessors(self, task_id: str) -> Tuple[str, ...]:
+        """Task ids that must produce an item before ``task_id`` consumes it."""
+        self.task(task_id)
+        return tuple(self._preds[task_id])
+
+    def successors(self, task_id: str) -> Tuple[str, ...]:
+        """Task ids that consume the output of ``task_id``."""
+        self.task(task_id)
+        return tuple(self._succs[task_id])
+
+    def topo_index(self, task_id: str) -> int:
+        """Position of ``task_id`` in the topological order."""
+        self.task(task_id)
+        return self._topo_index[task_id]
+
+    def sources(self) -> Tuple[str, ...]:
+        """Tasks with no predecessors."""
+        return tuple(t for t in self._topo if not self._preds[t])
+
+    def sinks(self) -> Tuple[str, ...]:
+        """Tasks with no successors."""
+        return tuple(t for t in self._topo if not self._succs[t])
+
+    # ------------------------------------------------------------------
+    # Derived structure used by the schedulers
+    # ------------------------------------------------------------------
+    def total_latency_ms(self) -> float:
+        """Sum of all task latencies for one batch item."""
+        return sum(spec.latency_ms for spec in self._tasks.values())
+
+    def critical_path_ms(self) -> float:
+        """Longest dependency chain measured in per-item latency."""
+        longest: Dict[str, float] = {}
+        for tid in self._topo:
+            base = max((longest[p] for p in self._preds[tid]), default=0.0)
+            longest[tid] = base + self._tasks[tid].latency_ms
+        return max(longest.values())
+
+    def depth(self) -> int:
+        """Number of tasks on the longest dependency chain."""
+        level: Dict[str, int] = {}
+        for tid in self._topo:
+            level[tid] = 1 + max((level[p] for p in self._preds[tid]), default=0)
+        return max(level.values())
+
+    def max_width(self) -> int:
+        """Maximum number of tasks sharing the same dependency depth.
+
+        This approximates "the number of parallel paths in the graph"
+        (paper §4.2) and upper-bounds useful same-stage parallelism.
+        Cached: graphs are immutable and the schedulers call this per
+        allocation pass.
+        """
+        cached = getattr(self, "_max_width_cache", None)
+        if cached is not None:
+            return cached
+        level: Dict[str, int] = {}
+        for tid in self._topo:
+            level[tid] = 1 + max((level[p] for p in self._preds[tid]), default=0)
+        counts: Dict[int, int] = {}
+        for lvl in level.values():
+            counts[lvl] = counts.get(lvl, 0) + 1
+        width = max(counts.values())
+        self._max_width_cache = width
+        return width
+
+    def ancestors(self, task_id: str) -> FrozenSet[str]:
+        """Transitive predecessors of ``task_id``."""
+        self.task(task_id)
+        seen: set = set()
+        stack = list(self._preds[task_id])
+        while stack:
+            tid = stack.pop()
+            if tid in seen:
+                continue
+            seen.add(tid)
+            stack.extend(self._preds[tid])
+        return frozenset(seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskGraph(name={self._name!r}, tasks={self.num_tasks}, "
+            f"edges={self.num_edges})"
+        )

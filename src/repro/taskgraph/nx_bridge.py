@@ -1,0 +1,113 @@
+"""NetworkX interoperability for task graphs.
+
+Converts between :class:`repro.taskgraph.TaskGraph` and
+``networkx.DiGraph`` so users can apply the whole networkx toolbox
+(centrality, visualization layouts, graph edits) to application graphs,
+and import DAGs authored elsewhere. networkx is an optional convenience —
+nothing in the core library imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.graph import TaskGraph, TaskSpec
+
+
+def to_networkx(graph: TaskGraph) -> "nx.DiGraph":
+    """A ``networkx.DiGraph`` with latency/stage node attributes."""
+    out = nx.DiGraph(name=graph.name)
+    for task_id in graph.topological_order:
+        spec = graph.task(task_id)
+        out.add_node(
+            task_id, latency_ms=spec.latency_ms, stage=spec.stage
+        )
+    out.add_edges_from(graph.edges)
+    return out
+
+
+def from_networkx(
+    digraph: "nx.DiGraph", name: Optional[str] = None
+) -> TaskGraph:
+    """Build a :class:`TaskGraph` from a networkx DAG.
+
+    Node attribute ``latency_ms`` is required; ``stage`` defaults to the
+    node's dependency depth. Cycles are rejected (by TaskGraph validation).
+    """
+    if digraph.number_of_nodes() == 0:
+        raise TaskGraphError("cannot convert an empty graph")
+    graph_name = name or str(digraph.graph.get("name") or "imported")
+    if not nx.is_directed_acyclic_graph(digraph):
+        raise TaskGraphError(f"graph {graph_name!r} contains a cycle")
+
+    depth = {}
+    for node in nx.topological_sort(digraph):
+        preds = list(digraph.predecessors(node))
+        depth[node] = 1 + max((depth[p] for p in preds), default=-1)
+
+    tasks = []
+    for node, data in digraph.nodes(data=True):
+        latency = data.get("latency_ms")
+        if latency is None:
+            raise TaskGraphError(
+                f"node {node!r} is missing the 'latency_ms' attribute"
+            )
+        tasks.append(
+            TaskSpec(
+                str(node),
+                float(latency),
+                stage=int(data.get("stage", depth[node])),
+            )
+        )
+    edges = [(str(src), str(dst)) for src, dst in digraph.edges()]
+    return TaskGraph(graph_name, tasks, edges)
+
+
+def cross_check_metrics(graph: TaskGraph) -> dict:
+    """Independent recomputation of graph metrics via networkx.
+
+    Used by the validation tests: our hand-rolled critical path and depth
+    must agree with networkx's ``dag_longest_path`` machinery.
+    """
+    digraph = to_networkx(graph)
+    longest_nodes = nx.dag_longest_path(digraph, weight=None)
+    critical = nx.dag_longest_path_length(
+        digraph,
+        weight=None,
+        default_weight=1,
+    )
+    # Weighted critical path: weight each edge by its head's latency and
+    # add the path's first node latency.
+    weighted = nx.DiGraph()
+    weighted.add_nodes_from(digraph.nodes(data=True))
+    for src, dst in digraph.edges():
+        weighted.add_edge(
+            src, dst, weight=digraph.nodes[dst]["latency_ms"]
+        )
+    best = 0.0
+    for source in (n for n in digraph if digraph.in_degree(n) == 0):
+        lengths = nx.single_source_dag_longest_path_length(  # type: ignore[attr-defined]
+            weighted, source
+        ) if hasattr(nx, "single_source_dag_longest_path_length") else None
+        if lengths is None:
+            break
+        source_latency = digraph.nodes[source]["latency_ms"]
+        best = max(best, source_latency + max(lengths.values(), default=0.0))
+    if best == 0.0:
+        # Portable fallback: enumerate longest weighted path via DP.
+        order = list(nx.topological_sort(digraph))
+        dist = {}
+        for node in order:
+            preds = list(digraph.predecessors(node))
+            base = max((dist[p] for p in preds), default=0.0)
+            dist[node] = base + digraph.nodes[node]["latency_ms"]
+        best = max(dist.values())
+    return {
+        "num_nodes": digraph.number_of_nodes(),
+        "num_edges": digraph.number_of_edges(),
+        "depth": len(longest_nodes) if longest_nodes else critical + 1,
+        "critical_path_ms": best,
+    }

@@ -1,0 +1,126 @@
+"""Partitioning of layered applications into slot-sized tasks (paper §2.2).
+
+The paper partitions each benchmark manually (e.g. LeNet's six layers become
+three tasks of two layers each) or via an automatic flow. This module
+implements the automatic equivalent: given per-layer resource demands and a
+slot resource budget, greedily group consecutive layers into tasks such that
+every task fits one slot, then split any layer that alone exceeds the slot
+into parallel same-stage tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import PartitionError
+from repro.taskgraph.graph import TaskGraph, TaskSpec
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer of an unpartitioned application.
+
+    ``resource_units`` is an abstract demand (normalized LUT/DSP cost);
+    ``latency_ms`` is the HLS estimate for one batch item through the layer.
+    ``splittable`` marks layers that can be divided into parallel tasks
+    (convolutions can; fully connected reductions often cannot).
+    """
+
+    name: str
+    resource_units: float
+    latency_ms: float
+    splittable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.resource_units <= 0:
+            raise PartitionError(
+                f"layer {self.name!r} resource_units must be > 0"
+            )
+        if self.latency_ms <= 0:
+            raise PartitionError(f"layer {self.name!r} latency_ms must be > 0")
+
+
+def _split_layer(layer: LayerSpec, slot_capacity: float) -> int:
+    """Number of parallel tasks needed for a layer exceeding one slot."""
+    if not layer.splittable:
+        raise PartitionError(
+            f"layer {layer.name!r} needs {layer.resource_units} units but the "
+            f"slot holds {slot_capacity} and the layer is not splittable"
+        )
+    pieces = 1
+    while layer.resource_units / pieces > slot_capacity:
+        pieces += 1
+        if pieces > 1024:
+            raise PartitionError(
+                f"layer {layer.name!r} cannot be split to fit slot capacity "
+                f"{slot_capacity}"
+            )
+    return pieces
+
+
+def partition_layers(
+    name: str,
+    layers: Sequence[LayerSpec],
+    slot_capacity: float,
+) -> TaskGraph:
+    """Partition a feed-forward layer sequence into a slot-sized task graph.
+
+    Consecutive layers are greedily merged while their combined resource
+    demand fits ``slot_capacity`` (maximizing slot utilization, per the
+    paper's "user logic uses as much of the slot as possible"). A layer too
+    large for one slot is split into parallel tasks that all connect densely
+    to the neighbouring stages, reproducing the AlexNet-style structure of
+    Figure 4.
+    """
+    if not layers:
+        raise PartitionError("cannot partition an application with no layers")
+    if slot_capacity <= 0:
+        raise PartitionError(f"slot_capacity must be > 0, got {slot_capacity}")
+
+    # Stage construction: each stage is either a merged group of small
+    # consecutive layers (one task) or a single oversized layer split into
+    # parallel tasks.
+    stages: List[List[TaskSpec]] = []
+    group: List[LayerSpec] = []
+    group_units = 0.0
+
+    def flush_group() -> None:
+        nonlocal group, group_units
+        if not group:
+            return
+        stage = len(stages)
+        latency = sum(layer.latency_ms for layer in group)
+        label = "+".join(layer.name for layer in group)
+        stages.append([TaskSpec(f"{name}_s{stage}_{label}", latency, stage=stage)])
+        group = []
+        group_units = 0.0
+
+    for layer in layers:
+        if layer.resource_units > slot_capacity:
+            flush_group()
+            pieces = _split_layer(layer, slot_capacity)
+            stage = len(stages)
+            per_piece_latency = layer.latency_ms / pieces
+            stages.append(
+                [
+                    TaskSpec(
+                        f"{name}_s{stage}_{layer.name}p{piece}",
+                        per_piece_latency,
+                        stage=stage,
+                    )
+                    for piece in range(pieces)
+                ]
+            )
+            continue
+        if group and group_units + layer.resource_units > slot_capacity:
+            flush_group()
+        group.append(layer)
+        group_units += layer.resource_units
+    flush_group()
+
+    tasks = [spec for stage in stages for spec in stage]
+    edges = []
+    for prev, nxt in zip(stages, stages[1:]):
+        edges.extend((a.task_id, b.task_id) for a in prev for b in nxt)
+    return TaskGraph(name, tasks, edges)

@@ -1,0 +1,120 @@
+"""Seeded random DAG generation for fuzzing and synthetic workloads.
+
+The paper notes Nimblock "is a general solution applicable to applications
+with different characteristics" beyond the feed-forward benchmark suite.
+These generators produce arbitrary layered and series-parallel DAGs with
+controlled size and fan-out so tests (and users) can exercise the
+scheduler far outside the six-benchmark envelope.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.graph import TaskGraph, TaskSpec
+
+
+def random_layered_dag(
+    seed: int,
+    max_layers: int = 5,
+    max_width: int = 4,
+    latency_range_ms: Tuple[float, float] = (5.0, 200.0),
+    edge_probability: float = 0.6,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """A random layered DAG with sparse inter-layer edges.
+
+    Every task keeps at least one predecessor in the previous layer (so
+    the graph stays connected layer to layer) and additional edges appear
+    with ``edge_probability``.
+    """
+    if max_layers < 1 or max_width < 1:
+        raise TaskGraphError("max_layers and max_width must be >= 1")
+    low, high = latency_range_ms
+    if low <= 0 or high < low:
+        raise TaskGraphError(f"bad latency range {latency_range_ms}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise TaskGraphError(
+            f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    rng = random.Random(seed)
+    name = name or f"rand{seed}"
+    num_layers = rng.randint(1, max_layers)
+    layers: List[List[TaskSpec]] = []
+    for stage in range(num_layers):
+        width = rng.randint(1, max_width)
+        layers.append(
+            [
+                TaskSpec(
+                    f"{name}_l{stage}n{i}",
+                    rng.uniform(low, high),
+                    stage=stage,
+                )
+                for i in range(width)
+            ]
+        )
+    tasks = [spec for layer in layers for spec in layer]
+    edges = []
+    for prev, nxt in zip(layers, layers[1:]):
+        for dst in nxt:
+            anchors = [rng.choice(prev)]
+            for src in prev:
+                if src is not anchors[0] and rng.random() < edge_probability:
+                    anchors.append(src)
+            edges.extend((src.task_id, dst.task_id) for src in anchors)
+    return TaskGraph(name, tasks, edges)
+
+
+def random_series_parallel_dag(
+    seed: int,
+    depth: int = 3,
+    latency_range_ms: Tuple[float, float] = (5.0, 200.0),
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """A random series-parallel DAG built by recursive composition.
+
+    At each level the generator either chains two sub-blocks in series or
+    runs them in parallel between a fork and a join task; recursion
+    bottoms out in single tasks. Series-parallel graphs are the classic
+    shape of media and signal-processing pipelines.
+    """
+    if depth < 0:
+        raise TaskGraphError(f"depth must be >= 0, got {depth}")
+    low, high = latency_range_ms
+    if low <= 0 or high < low:
+        raise TaskGraphError(f"bad latency range {latency_range_ms}")
+    rng = random.Random(seed)
+    name = name or f"sp{seed}"
+    counter = {"n": 0}
+    tasks: List[TaskSpec] = []
+    edges: List[Tuple[str, str]] = []
+
+    def new_task() -> str:
+        task_id = f"{name}_t{counter['n']}"
+        counter["n"] += 1
+        tasks.append(TaskSpec(task_id, rng.uniform(low, high)))
+        return task_id
+
+    def build(level: int) -> Tuple[str, str]:
+        """Returns (entry task, exit task) of a sub-block."""
+        if level == 0 or rng.random() < 0.3:
+            task_id = new_task()
+            return task_id, task_id
+        if rng.random() < 0.5:  # series
+            first_in, first_out = build(level - 1)
+            second_in, second_out = build(level - 1)
+            edges.append((first_out, second_in))
+            return first_in, second_out
+        # parallel between fork and join
+        fork = new_task()
+        join = new_task()
+        for _ in range(rng.randint(2, 3)):
+            sub_in, sub_out = build(level - 1)
+            edges.append((fork, sub_in))
+            edges.append((sub_out, join))
+        return fork, join
+
+    build(depth)
+    return TaskGraph(name, tasks, edges)

@@ -1,0 +1,44 @@
+"""Workload generation: the testbed event sequences of §5.1.
+
+An *event* is the arrival of an application at the hypervisor: benchmark
+name, batch size, priority level and arrival time. Sequences of randomly
+generated events — under the standard / stress / real-time congestion
+scenarios — drive every experiment in the paper.
+"""
+
+from repro.workload.events import EventSequence, EventSpec
+from repro.workload.generator import EventGenerator
+from repro.workload.trace_io import (
+    load_sequence,
+    load_suite,
+    save_sequence,
+    save_suite,
+)
+from repro.workload.scenarios import (
+    ABLATION_BATCH_SIZES,
+    REALTIME,
+    STANDARD,
+    STRESS,
+    Scenario,
+    SCENARIOS,
+    fixed_batch_sequence,
+    scenario_sequence,
+)
+
+__all__ = [
+    "EventSequence",
+    "EventSpec",
+    "EventGenerator",
+    "ABLATION_BATCH_SIZES",
+    "REALTIME",
+    "STANDARD",
+    "STRESS",
+    "Scenario",
+    "SCENARIOS",
+    "fixed_batch_sequence",
+    "scenario_sequence",
+    "load_sequence",
+    "load_suite",
+    "save_sequence",
+    "save_suite",
+]

@@ -1,0 +1,98 @@
+"""Batching strategies: one logical batch as one or many requests (§3.2).
+
+The paper motivates large batches: "large batches are able to hide the
+latency required for reconfiguration; the reconfiguration time takes up a
+higher percentage of the overall latency for smaller batch sizes", and
+once a pipeline is established the scheduler avoids re-deciding work that
+re-submission in smaller batches would force.
+
+A :class:`BatchingStrategy` splits one logical workload (application +
+total item count) into hypervisor requests. ``whole`` submits one request;
+``chunks(k)`` splits into ceil(total/k) back-to-back requests of size k;
+``per_item`` is the degenerate one-item-per-request case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.hypervisor.application import AppRequest
+from repro.taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class BatchingStrategy:
+    """How one logical batch is cut into requests."""
+
+    name: str
+    chunk_size: int  # 0 means "the whole batch in one request"
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 0:
+            raise WorkloadError(f"chunk_size must be >= 0, got {self.chunk_size}")
+
+    def split(self, total_items: int) -> List[int]:
+        """Request sizes covering ``total_items`` exactly."""
+        if total_items < 1:
+            raise WorkloadError(f"total_items must be >= 1, got {total_items}")
+        if self.chunk_size == 0 or self.chunk_size >= total_items:
+            return [total_items]
+        full = total_items // self.chunk_size
+        sizes = [self.chunk_size] * full
+        remainder = total_items - full * self.chunk_size
+        if remainder:
+            sizes.append(remainder)
+        return sizes
+
+
+def whole() -> BatchingStrategy:
+    """The entire logical batch as one request."""
+    return BatchingStrategy("whole", 0)
+
+
+def chunks(size: int) -> BatchingStrategy:
+    """Fixed-size chunks submitted back to back."""
+    if size < 1:
+        raise WorkloadError(f"chunk size must be >= 1, got {size}")
+    return BatchingStrategy(f"chunks{size}", size)
+
+
+def per_item() -> BatchingStrategy:
+    """One request per item (maximum re-scheduling overhead)."""
+    return BatchingStrategy("per_item", 1)
+
+
+def requests_for(
+    name: str,
+    graph: TaskGraph,
+    total_items: int,
+    strategy: BatchingStrategy,
+    priority: int = 3,
+    arrival_ms: float = 0.0,
+) -> List[AppRequest]:
+    """Materialize one logical workload under a batching strategy.
+
+    Chunks share the arrival time: the client has all the data up front
+    and chooses only how to present it to the hypervisor, exactly the
+    §3.2 trade-off (the later chunks simply queue).
+    """
+    return [
+        AppRequest(
+            name=f"{name}",
+            graph=graph,
+            batch_size=size,
+            priority=priority,
+            arrival_ms=arrival_ms,
+        )
+        for size in strategy.split(total_items)
+    ]
+
+
+def num_requests(total_items: int, strategy: BatchingStrategy) -> int:
+    """How many requests a strategy produces (diagnostics)."""
+    if strategy.chunk_size == 0:
+        return 1
+    return math.ceil(total_items / strategy.chunk_size)

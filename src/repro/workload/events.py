@@ -1,0 +1,88 @@
+"""Event model: application arrivals released to the hypervisor (§5.1).
+
+The paper's testbed reads a sequence of events, each carrying an
+application name, batch information, priority level and arrival time, and
+releases each event to the hypervisor once its arrival time has passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.apps.catalog import get_benchmark
+from repro.errors import WorkloadError
+from repro.hypervisor.application import AppRequest
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One application arrival in a test sequence."""
+
+    benchmark: str
+    batch_size: int
+    priority: int
+    arrival_ms: float
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise WorkloadError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.priority < 1:
+            raise WorkloadError(f"priority must be >= 1, got {self.priority}")
+        if self.arrival_ms < 0:
+            raise WorkloadError(f"arrival_ms must be >= 0, got {self.arrival_ms}")
+
+    def to_request(self) -> AppRequest:
+        """Materialize the event into a hypervisor request."""
+        app = get_benchmark(self.benchmark)
+        return AppRequest(
+            name=app.name,
+            graph=app.graph,
+            batch_size=self.batch_size,
+            priority=self.priority,
+            arrival_ms=self.arrival_ms,
+        )
+
+
+class EventSequence:
+    """An ordered, validated sequence of arrival events."""
+
+    def __init__(self, events: Sequence[EventSpec], label: str = "") -> None:
+        if not events:
+            raise WorkloadError("event sequence must be non-empty")
+        ordered = sorted(events, key=lambda e: e.arrival_ms)
+        if list(events) != ordered:
+            raise WorkloadError("events must be given in arrival order")
+        self._events: List[EventSpec] = list(events)
+        self.label = label
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[EventSpec]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> EventSpec:
+        return self._events[index]
+
+    @property
+    def events(self) -> List[EventSpec]:
+        """The events in arrival order."""
+        return list(self._events)
+
+    @property
+    def span_ms(self) -> float:
+        """Time between the first and last arrival."""
+        return self._events[-1].arrival_ms - self._events[0].arrival_ms
+
+    def benchmarks_used(self) -> List[str]:
+        """Distinct benchmark names, in first-appearance order."""
+        seen: List[str] = []
+        for event in self._events:
+            if event.benchmark not in seen:
+                seen.append(event.benchmark)
+        return seen
+
+    def to_requests(self) -> List[AppRequest]:
+        """All events as hypervisor requests."""
+        return [event.to_request() for event in self._events]

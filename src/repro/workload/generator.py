@@ -1,0 +1,87 @@
+"""Random event-sequence generation (paper §5.1).
+
+Each sequence consists of randomly selected events from the application
+pool; batch sizes (up to 30), priority levels (1/3/9) and inter-arrival
+delays are drawn uniformly. Generation is fully seeded so every scheduler
+sees byte-identical stimuli — the paper's "same set of stimuli" fairness
+requirement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from repro.apps.catalog import BENCHMARK_NAMES
+from repro.config import PRIORITY_LEVELS
+from repro.errors import WorkloadError
+from repro.workload.events import EventSequence, EventSpec
+
+#: Paper: "The maximum batch size for an event is 30."
+MAX_BATCH_SIZE = 30
+
+#: Paper: "each sequence consists of 20 randomly selected events".
+EVENTS_PER_SEQUENCE = 20
+
+
+class EventGenerator:
+    """Seeded generator of random arrival sequences."""
+
+    def __init__(
+        self,
+        seed: int,
+        benchmarks: Sequence[str] = BENCHMARK_NAMES,
+        priorities: Sequence[int] = PRIORITY_LEVELS,
+    ) -> None:
+        if not benchmarks:
+            raise WorkloadError("benchmark pool must be non-empty")
+        if not priorities:
+            raise WorkloadError("priority pool must be non-empty")
+        self._seed = seed
+        self._benchmarks = tuple(benchmarks)
+        self._priorities = tuple(priorities)
+
+    def sequence(
+        self,
+        num_events: int = EVENTS_PER_SEQUENCE,
+        delay_range_ms: Tuple[float, float] = (1500.0, 2000.0),
+        batch_range: Tuple[int, int] = (1, MAX_BATCH_SIZE),
+        fixed_batch: Optional[int] = None,
+        label: str = "",
+    ) -> EventSequence:
+        """Generate one sequence of ``num_events`` arrivals.
+
+        ``delay_range_ms`` bounds the delay between consecutive arrivals;
+        ``fixed_batch`` overrides random batch-size selection (used by the
+        Table 3 and ablation experiments).
+        """
+        if num_events < 1:
+            raise WorkloadError(f"num_events must be >= 1, got {num_events}")
+        low, high = delay_range_ms
+        if low < 0 or high < low:
+            raise WorkloadError(f"bad delay range {delay_range_ms}")
+        batch_low, batch_high = batch_range
+        if batch_low < 1 or batch_high < batch_low:
+            raise WorkloadError(f"bad batch range {batch_range}")
+        if fixed_batch is not None and fixed_batch < 1:
+            raise WorkloadError(f"fixed_batch must be >= 1, got {fixed_batch}")
+
+        rng = random.Random(self._seed)
+        events = []
+        arrival = 0.0
+        for index in range(num_events):
+            if index > 0:
+                arrival += rng.uniform(low, high)
+            if fixed_batch is not None:
+                batch = fixed_batch
+            else:
+                batch = rng.randint(batch_low, batch_high)
+            events.append(
+                EventSpec(
+                    benchmark=rng.choice(self._benchmarks),
+                    batch_size=batch,
+                    priority=rng.choice(self._priorities),
+                    arrival_ms=arrival,
+                )
+            )
+        return EventSequence(events, label=label or f"seed{self._seed}")

@@ -1,0 +1,51 @@
+"""Weighted benchmark mixes for robustness studies.
+
+The paper's random workloads draw the six benchmarks uniformly. Real
+tenant populations skew: an inference cluster is short-task-heavy, a batch
+analytics cluster long-task-heavy. Each mix below is a weighted pool
+(weights expressed by repetition) handed to the event generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import WorkloadError
+from repro.workload.events import EventSequence
+from repro.workload.generator import EventGenerator
+
+#: Named mixes: benchmark pools with repetition as weighting.
+MIXES: Dict[str, Tuple[str, ...]] = {
+    # The paper's uniform draw over the whole suite.
+    "balanced": ("lenet", "alexnet", "imgc", "of", "3dr", "dr"),
+    # Interactive/inference tenants: sub-second benchmarks dominate.
+    "short_heavy": (
+        "imgc", "imgc", "imgc", "lenet", "lenet", "lenet",
+        "3dr", "3dr", "of", "alexnet",
+    ),
+    # Batch analytics tenants: long-running benchmarks dominate.
+    "long_heavy": (
+        "dr", "dr", "alexnet", "alexnet", "alexnet", "of", "of", "of",
+        "lenet", "imgc",
+    ),
+    # No kilosecond outlier at all (isolates head-of-line effects).
+    "no_outlier": ("lenet", "alexnet", "imgc", "of", "3dr"),
+}
+
+
+def mix_sequence(
+    mix: str,
+    seed: int,
+    num_events: int,
+    delay_range_ms: Tuple[float, float] = (150.0, 200.0),
+) -> EventSequence:
+    """A random sequence drawn from one named mix."""
+    pool = MIXES.get(mix)
+    if pool is None:
+        raise WorkloadError(f"unknown mix {mix!r}; known: {sorted(MIXES)}")
+    generator = EventGenerator(seed, benchmarks=pool)
+    return generator.sequence(
+        num_events=num_events,
+        delay_range_ms=delay_range_ms,
+        label=f"mix-{mix}-n{num_events}-seed{seed}",
+    )

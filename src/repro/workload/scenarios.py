@@ -1,0 +1,84 @@
+"""The paper's three congestion scenarios plus fixed-batch variants (§5.1).
+
+* **standard** — moderate delay between arrivals (1500–2000 ms), the
+  low-demand case where tasks can leverage additional resources;
+* **stress** — a rapid stream (150–200 ms delays);
+* **real-time** — a consistent 50 ms between arrivals, emulating
+  streaming input.
+
+Two fixed-batch workloads support Table 3 (batch 5, 500 ms delay) and the
+ablation study of §5.6 (stress delays, fixed batch per run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.workload.events import EventSequence
+from repro.workload.generator import EVENTS_PER_SEQUENCE, EventGenerator
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One congestion scenario: a named inter-arrival delay range."""
+
+    name: str
+    delay_range_ms: Tuple[float, float]
+    description: str
+
+
+STANDARD = Scenario(
+    "standard", (1500.0, 2000.0),
+    "moderate arrival delay; low demand, room to use extra resources",
+)
+STRESS = Scenario(
+    "stress", (150.0, 200.0),
+    "rapid event stream with little delay between arrivals",
+)
+REALTIME = Scenario(
+    "realtime", (50.0, 50.0),
+    "consistent 50 ms between events; streaming input",
+)
+
+#: All three congestion scenarios in Figure 5 order.
+SCENARIOS: Tuple[Scenario, ...] = (STANDARD, STRESS, REALTIME)
+
+#: Fixed batch sizes swept by the ablation study (Figures 9-11).
+ABLATION_BATCH_SIZES: Tuple[int, ...] = (1, 5, 10, 15, 20)
+
+
+def scenario_sequence(
+    scenario: Scenario,
+    seed: int,
+    num_events: int = EVENTS_PER_SEQUENCE,
+) -> EventSequence:
+    """A random sequence under one congestion scenario."""
+    generator = EventGenerator(seed)
+    return generator.sequence(
+        num_events=num_events,
+        delay_range_ms=scenario.delay_range_ms,
+        label=f"{scenario.name}-n{num_events}-seed{seed}",
+    )
+
+
+def fixed_batch_sequence(
+    batch_size: int,
+    seed: int,
+    delay_ms: float = 500.0,
+    num_events: int = EVENTS_PER_SEQUENCE,
+) -> EventSequence:
+    """A random-benchmark sequence with a fixed batch size.
+
+    With the defaults (batch 5, 500 ms delay) this is the Table 3
+    workload; the ablation study reuses it with stress-test delays.
+    """
+    generator = EventGenerator(seed)
+    return generator.sequence(
+        num_events=num_events,
+        delay_range_ms=(delay_ms, delay_ms),
+        fixed_batch=batch_size,
+        label=(
+            f"batch{batch_size}-d{delay_ms:g}-n{num_events}-seed{seed}"
+        ),
+    )

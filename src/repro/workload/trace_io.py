@@ -1,0 +1,115 @@
+"""Persist event sequences as JSON (the paper's test-sequence scripts).
+
+The artifact appendix ships Python scripts that generate randomized test
+sequences and copy them into the testbed source; a deployed system would
+"easily parse the information from a JSON file" (§2.2). This module is
+that JSON interchange: save a sequence, reload it bit-exactly, and
+round-trip whole experiment suites.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import WorkloadError
+from repro.workload.events import EventSequence, EventSpec
+
+#: Format identifier embedded in every file for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def sequence_to_dict(sequence: EventSequence) -> dict:
+    """JSON-serializable representation of one sequence."""
+    return {
+        "format": FORMAT_VERSION,
+        "label": sequence.label,
+        "events": [
+            {
+                "benchmark": event.benchmark,
+                "batch_size": event.batch_size,
+                "priority": event.priority,
+                "arrival_ms": event.arrival_ms,
+            }
+            for event in sequence
+        ],
+    }
+
+
+def sequence_from_dict(payload: dict) -> EventSequence:
+    """Rebuild a sequence from :func:`sequence_to_dict` output."""
+    if not isinstance(payload, dict):
+        raise WorkloadError(f"expected an object, got {type(payload).__name__}")
+    version = payload.get("format")
+    if version != FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported sequence format {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    raw_events = payload.get("events")
+    if not isinstance(raw_events, list) or not raw_events:
+        raise WorkloadError("sequence file contains no events")
+    events: List[EventSpec] = []
+    for index, raw in enumerate(raw_events):
+        try:
+            events.append(
+                EventSpec(
+                    benchmark=raw["benchmark"],
+                    batch_size=int(raw["batch_size"]),
+                    priority=int(raw["priority"]),
+                    arrival_ms=float(raw["arrival_ms"]),
+                )
+            )
+        except KeyError as missing:
+            raise WorkloadError(
+                f"event {index} is missing field {missing}"
+            ) from None
+    return EventSequence(events, label=str(payload.get("label", "")))
+
+
+def save_sequence(
+    sequence: EventSequence, path: Union[str, Path]
+) -> Path:
+    """Write one sequence to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(sequence_to_dict(sequence), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_sequence(path: Union[str, Path]) -> EventSequence:
+    """Read a sequence written by :func:`save_sequence`."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"no sequence file at {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise WorkloadError(f"{path} is not valid JSON: {error}") from None
+    return sequence_from_dict(payload)
+
+
+def save_suite(
+    sequences: List[EventSequence], directory: Union[str, Path]
+) -> List[Path]:
+    """Write a set of sequences into ``directory``, one file each."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for index, sequence in enumerate(sequences):
+        label = sequence.label or f"sequence{index}"
+        paths.append(save_sequence(sequence, directory / f"{label}.json"))
+    return paths
+
+
+def load_suite(directory: Union[str, Path]) -> List[EventSequence]:
+    """Read every ``*.json`` sequence in ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise WorkloadError(f"{directory} is not a directory")
+    return [
+        load_sequence(path) for path in sorted(directory.glob("*.json"))
+    ]

@@ -1,0 +1,6 @@
+"""Test suite for the Nimblock reproduction.
+
+This is a package (not loose modules) so cross-test helpers such as
+``tests.conftest.run_workload`` import identically under both
+``python -m pytest`` and a bare ``pytest`` invocation.
+"""

@@ -1,0 +1,100 @@
+"""Shared fixtures and helpers for the Nimblock reproduction test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.hypervisor.application import AppRequest
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.results import AppResult
+from repro.schedulers.base import SchedulerPolicy
+from repro.schedulers.registry import make_scheduler
+from repro.taskgraph.builders import chain_graph, diamond_graph
+from repro.taskgraph.graph import TaskGraph
+
+
+def small_config(
+    num_slots: int = 2,
+    reconfig_ms: float = 80.0,
+    interval_ms: float = 400.0,
+) -> SystemConfig:
+    """A small platform for hand-computable timing tests.
+
+    Dispatch overhead is zeroed so reconfigurations take exactly
+    ``reconfig_ms`` and the arithmetic in the timing tests stays exact.
+    """
+    return SystemConfig(
+        num_slots=num_slots,
+        reconfig_ms=reconfig_ms,
+        dispatch_overhead_ms=0.0,
+        scheduling_interval_ms=interval_ms,
+    )
+
+
+def request(
+    graph: TaskGraph,
+    batch_size: int = 1,
+    priority: int = 1,
+    arrival_ms: float = 0.0,
+) -> AppRequest:
+    """Convenience AppRequest constructor."""
+    return AppRequest(
+        name=graph.name,
+        graph=graph,
+        batch_size=batch_size,
+        priority=priority,
+        arrival_ms=arrival_ms,
+    )
+
+
+def run_workload(
+    scheduler: SchedulerPolicy,
+    requests: Sequence[AppRequest],
+    config: Optional[SystemConfig] = None,
+) -> Tuple[Hypervisor, List[AppResult]]:
+    """Run requests to completion; returns the hypervisor and its results."""
+    hypervisor = Hypervisor(scheduler, config=config or small_config())
+    for req in requests:
+        hypervisor.submit(req)
+    hypervisor.run()
+    assert hypervisor.all_retired, (
+        f"{scheduler.name} left work unfinished: "
+        f"{len(hypervisor.retired)}/{len(hypervisor.apps)} retired"
+    )
+    return hypervisor, hypervisor.results()
+
+
+def run_named(
+    scheduler_name: str,
+    requests: Sequence[AppRequest],
+    config: Optional[SystemConfig] = None,
+) -> Tuple[Hypervisor, List[AppResult]]:
+    """run_workload with a registry scheduler name."""
+    return run_workload(make_scheduler(scheduler_name), requests, config)
+
+
+@pytest.fixture
+def two_slot_config() -> SystemConfig:
+    """Two slots, 80 ms reconfig, 400 ms interval."""
+    return small_config()
+
+
+@pytest.fixture
+def chain2() -> TaskGraph:
+    """Two-task chain, 100 ms per item each."""
+    return chain_graph("chain2", [100.0, 100.0])
+
+
+@pytest.fixture
+def chain3() -> TaskGraph:
+    """Three-task chain, 100 ms per item each."""
+    return chain_graph("chain3", [100.0, 100.0, 100.0])
+
+
+@pytest.fixture
+def diamond() -> TaskGraph:
+    """Four-task diamond, 100 ms per item each."""
+    return diamond_graph("dia", [100.0, 100.0, 100.0, 100.0])

@@ -1,0 +1,86 @@
+"""Tests for the three-phase slot allocator — §4.2 (repro.core.allocation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import allocate_slots
+from repro.errors import SchedulerError
+from repro.taskgraph.builders import chain_graph
+from tests.test_application_state import make_app
+
+
+def candidates(*specs):
+    """Build AppRuns from (num_tasks, batch, arrival) specs, oldest first."""
+    apps = []
+    for index, (num_tasks, batch, arrival) in enumerate(specs):
+        graph = chain_graph(f"g{index}", [10.0] * num_tasks)
+        apps.append(
+            make_app(graph=graph, batch=batch, arrival=arrival, app_id=index)
+        )
+    return sorted(apps, key=lambda a: a.age_key)
+
+
+class TestPhase1ForwardProgress:
+    def test_everyone_gets_one_slot(self):
+        apps = candidates((3, 1, 0.0), (3, 1, 1.0), (3, 1, 2.0))
+        goals = {a.app_id: 1 for a in apps}
+        allocation = allocate_slots(apps, 3, goals)
+        assert allocation == {0: 1, 1: 1, 2: 1}
+
+    def test_more_candidates_than_slots_favors_oldest(self):
+        apps = candidates((3, 1, 0.0), (3, 1, 1.0), (3, 1, 2.0))
+        goals = {a.app_id: 3 for a in apps}
+        allocation = allocate_slots(apps, 2, goals)
+        assert allocation == {0: 1, 1: 1, 2: 0}
+
+
+class TestPhase2GoalNumbers:
+    def test_raised_to_goal_oldest_first(self):
+        apps = candidates((4, 5, 0.0), (4, 5, 1.0))
+        goals = {0: 3, 1: 3}
+        allocation = allocate_slots(apps, 5, goals)
+        assert allocation == {0: 3, 1: 2}
+
+    def test_goal_capped_by_useful_slots(self):
+        apps = candidates((2, 5, 0.0))
+        goals = {0: 4}  # only 2 unfinished tasks -> cap at 2
+        allocation = allocate_slots(apps, 10, goals)
+        assert allocation[0] == 2
+
+    def test_zero_phase1_slot_is_skipped_in_phase2(self):
+        apps = candidates((3, 5, 0.0), (3, 5, 1.0))
+        goals = {0: 3, 1: 3}
+        allocation = allocate_slots(apps, 1, goals)
+        assert allocation == {0: 1, 1: 0}
+
+
+class TestPhase3Surplus:
+    def test_surplus_goes_to_oldest_up_to_capacity(self):
+        apps = candidates((6, 5, 0.0), (2, 5, 1.0))
+        goals = {0: 2, 1: 2}
+        allocation = allocate_slots(apps, 10, goals)
+        # phase1: 1+1; phase2: -> 2+2; phase3: the older app grows to its
+        # concurrency bound min(6 tasks, batch 5 x width 1) = 5.
+        assert allocation == {0: 5, 1: 2}
+
+    def test_total_never_exceeds_slots(self):
+        apps = candidates((6, 5, 0.0), (6, 5, 1.0), (6, 5, 2.0))
+        goals = {a.app_id: 4 for a in apps}
+        allocation = allocate_slots(apps, 10, goals)
+        assert sum(allocation.values()) <= 10
+        assert allocation[0] >= allocation[1] >= allocation[2] >= 1
+
+
+class TestValidation:
+    def test_missing_goal_rejected(self):
+        apps = candidates((3, 1, 0.0))
+        with pytest.raises(SchedulerError, match="goal"):
+            allocate_slots(apps, 4, {})
+
+    def test_bad_total_rejected(self):
+        with pytest.raises(SchedulerError, match="total_slots"):
+            allocate_slots([], 0, {})
+
+    def test_empty_candidates(self):
+        assert allocate_slots([], 10, {}) == {}

@@ -1,0 +1,87 @@
+"""Simulator-vs-closed-form validation (repro.analysis.baseline_model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.baseline_model import (
+    predicted_baseline_responses,
+    predicted_exclusive_execution_ms,
+)
+from repro.config import SystemConfig
+from repro.errors import SolverError
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.schedulers.registry import make_scheduler
+from repro.taskgraph.builders import chain_graph, diamond_graph
+from repro.workload.generator import EventGenerator
+
+#: Chain-only benchmark pool (the closed form covers chains).
+CHAIN_BENCHMARKS = ("lenet", "imgc", "of", "3dr", "dr")
+
+
+class TestClosedForm:
+    def test_hand_computed_two_task_chain(self):
+        config = SystemConfig(num_slots=2, reconfig_ms=80.0,
+                              dispatch_overhead_ms=0.0)
+        graph = chain_graph("c", [100.0, 100.0])
+        first, finish = predicted_exclusive_execution_ms(graph, 2, config)
+        # config t0 at 80, items to 280; t1 config at 160, runs 280-480.
+        assert first == 80.0
+        assert finish == 480.0
+
+    def test_dispatch_overhead_included(self):
+        config = SystemConfig(num_slots=2, dispatch_overhead_ms=2.0)
+        graph = chain_graph("c", [100.0])
+        first, finish = predicted_exclusive_execution_ms(graph, 1, config)
+        assert first == 82.0
+        assert finish == 182.0
+
+    def test_rejects_wide_graphs(self):
+        config = SystemConfig()
+        graph = diamond_graph("d", [1.0, 1.0, 1.0, 1.0])
+        with pytest.raises(SolverError, match="not a chain"):
+            predicted_exclusive_execution_ms(graph, 1, config)
+
+    def test_rejects_chains_longer_than_board(self):
+        config = SystemConfig(num_slots=2)
+        graph = chain_graph("c", [1.0, 1.0, 1.0])
+        with pytest.raises(SolverError, match="exceeds"):
+            predicted_exclusive_execution_ms(graph, 1, config)
+
+
+class TestSimulatorAgreement:
+    """The correctness anchor: simulation == closed form, exactly."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_baseline_simulation_matches_model(self, seed):
+        config = SystemConfig()
+        sequence = EventGenerator(
+            seed, benchmarks=CHAIN_BENCHMARKS
+        ).sequence(
+            num_events=8, delay_range_ms=(100.0, 900.0),
+            batch_range=(1, 6), label=f"validate{seed}",
+        )
+        predicted = predicted_baseline_responses(sequence, config)
+
+        hypervisor = Hypervisor(make_scheduler("baseline"), config=config)
+        for request in sequence.to_requests():
+            hypervisor.submit(request)
+        hypervisor.run()
+        simulated = [r.response_ms for r in hypervisor.results()]
+
+        assert simulated == pytest.approx(predicted, abs=1e-6)
+
+    def test_agreement_with_custom_platform(self):
+        config = SystemConfig(num_slots=4, reconfig_ms=50.0,
+                              dispatch_overhead_ms=1.0)
+        sequence = EventGenerator(
+            7, benchmarks=("lenet", "3dr")
+        ).sequence(num_events=5, delay_range_ms=(50.0, 500.0),
+                   batch_range=(1, 4), label="validate-custom")
+        predicted = predicted_baseline_responses(sequence, config)
+        hypervisor = Hypervisor(make_scheduler("baseline"), config=config)
+        for request in sequence.to_requests():
+            hypervisor.submit(request)
+        hypervisor.run()
+        simulated = [r.response_ms for r in hypervisor.results()]
+        assert simulated == pytest.approx(predicted, abs=1e-6)

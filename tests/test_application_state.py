@@ -1,0 +1,176 @@
+"""Tests for runtime application state (repro.hypervisor.application)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError, WorkloadError
+from repro.hypervisor.application import (
+    AppRequest,
+    AppRun,
+    TaskRunState,
+)
+from repro.taskgraph.builders import chain_graph, diamond_graph
+
+
+def make_app(graph=None, batch=2, priority=3, arrival=0.0, app_id=0):
+    graph = graph or chain_graph("c", [10.0, 20.0])
+    request = AppRequest(
+        name=graph.name, graph=graph, batch_size=batch,
+        priority=priority, arrival_ms=arrival,
+    )
+    return AppRun(app_id, request, latency_estimate_ms=100.0)
+
+
+class TestRequestValidation:
+    def test_rejects_bad_batch(self):
+        graph = chain_graph("c", [1.0])
+        with pytest.raises(WorkloadError, match="batch"):
+            AppRequest("c", graph, 0, 1, 0.0)
+
+    def test_rejects_bad_priority(self):
+        graph = chain_graph("c", [1.0])
+        with pytest.raises(WorkloadError, match="priority"):
+            AppRequest("c", graph, 1, 0, 0.0)
+
+    def test_rejects_negative_arrival(self):
+        graph = chain_graph("c", [1.0])
+        with pytest.raises(WorkloadError, match="arrival"):
+            AppRequest("c", graph, 1, 1, -1.0)
+
+
+class TestInitialState:
+    def test_token_starts_at_priority(self):
+        assert make_app(priority=9).token == 9.0
+
+    def test_tasks_start_pending_with_zero_progress(self):
+        app = make_app()
+        assert all(
+            run.state == TaskRunState.PENDING and run.items_done == 0
+            for run in app.tasks.values()
+        )
+
+    def test_rejects_bad_estimate(self):
+        graph = chain_graph("c", [1.0])
+        request = AppRequest("c", graph, 1, 1, 0.0)
+        with pytest.raises(WorkloadError, match="estimate"):
+            AppRun(0, request, latency_estimate_ms=0.0)
+
+    def test_age_key_orders_by_arrival_then_id(self):
+        early = make_app(arrival=0.0, app_id=5)
+        late = make_app(arrival=10.0, app_id=1)
+        tie = make_app(arrival=0.0, app_id=6)
+        assert early.age_key < late.age_key
+        assert early.age_key < tie.age_key
+
+
+class TestProgressAccounting:
+    def test_completion_requires_all_items(self):
+        app = make_app(batch=2)
+        assert not app.is_complete
+        for run in app.tasks.values():
+            run.items_done = 2
+        assert app.is_complete
+
+    def test_items_remaining_and_work(self):
+        app = make_app(batch=2)  # chain 10, 20
+        assert app.items_remaining() == 4
+        assert app.remaining_work_ms() == 2 * 10 + 2 * 20
+        first = app.tasks[app.graph.topological_order[0]]
+        first.items_done = 2
+        assert app.items_remaining() == 2
+        assert app.remaining_work_ms() == 40.0
+
+    def test_slots_used_counts_configuring_and_configured(self):
+        app = make_app()
+        runs = list(app.tasks.values())
+        runs[0].state = TaskRunState.CONFIGURING
+        runs[1].state = TaskRunState.CONFIGURED
+        assert app.slots_used == 2
+
+    def test_over_consumption(self):
+        app = make_app()
+        app.slots_allocated = 1
+        for run in app.tasks.values():
+            run.state = TaskRunState.CONFIGURED
+        assert app.over_consumption == 1
+
+    def test_max_useful_slots_bounded_by_concurrency(self):
+        # A batch-1 chain can only keep one slot busy at a time.
+        app = make_app(batch=1)
+        assert app.max_useful_slots() == 1
+
+    def test_max_useful_slots_shrinks_as_tasks_finish(self):
+        app = make_app(batch=3)  # chain of 2: min(2, 3 x 1) = 2
+        assert app.max_useful_slots() == 2
+        first = app.tasks[app.graph.topological_order[0]]
+        first.items_done = 3
+        assert app.max_useful_slots() == 1
+
+
+class TestReadiness:
+    def test_pipelined_item_ready_follows_predecessor_items(self):
+        app = make_app(batch=3)
+        t0, t1 = app.graph.topological_order
+        app.tasks[t0].state = TaskRunState.CONFIGURED
+        app.tasks[t1].state = TaskRunState.CONFIGURED
+        assert app.item_ready(t0, pipelined=True)
+        assert not app.item_ready(t1, pipelined=True)
+        app.tasks[t0].items_done = 1
+        assert app.item_ready(t1, pipelined=True)
+
+    def test_bulk_item_ready_requires_full_predecessor_batch(self):
+        app = make_app(batch=3)
+        t0, t1 = app.graph.topological_order
+        app.tasks[t1].state = TaskRunState.CONFIGURED
+        app.tasks[t0].items_done = 2
+        assert not app.item_ready(t1, pipelined=False)
+        app.tasks[t0].items_done = 3
+        assert app.item_ready(t1, pipelined=False)
+
+    def test_item_ready_false_when_unconfigured_or_done(self):
+        app = make_app(batch=1)
+        t0 = app.graph.topological_order[0]
+        assert not app.item_ready(t0, pipelined=True)
+        app.tasks[t0].state = TaskRunState.CONFIGURED
+        app.tasks[t0].items_done = 1
+        assert not app.item_ready(t0, pipelined=True)
+
+    def test_configurable_tasks_prefetch_vs_bulk(self):
+        app = make_app(batch=2)
+        t0, t1 = app.graph.topological_order
+        assert app.configurable_tasks(prefetch=False) == [t0]
+        assert app.configurable_tasks(prefetch=True) == [t0]
+        app.tasks[t0].state = TaskRunState.CONFIGURING
+        assert app.configurable_tasks(prefetch=False) == []
+        assert app.configurable_tasks(prefetch=True) == [t1]
+
+    def test_diamond_parallel_branches_both_configurable(self):
+        graph = diamond_graph("d", [1.0, 1.0, 1.0, 1.0])
+        app = make_app(graph=graph, batch=1)
+        source = graph.topological_order[0]
+        app.tasks[source].items_done = 1
+        app.tasks[source].state = TaskRunState.DONE
+        ready = app.configurable_tasks(prefetch=False)
+        assert set(ready) == {f"d_left", f"d_right"}
+
+
+class TestPreemptionState:
+    def test_detach_preserves_progress(self):
+        app = make_app(batch=3)
+        t0 = app.graph.topological_order[0]
+        run = app.tasks[t0]
+        run.state = TaskRunState.CONFIGURED
+        run.slot_index = 4
+        run.items_done = 2
+        run.detach()
+        assert run.state == TaskRunState.PENDING
+        assert run.slot_index is None
+        assert run.items_done == 2
+        assert run.preemption_count == 1
+
+    def test_detach_requires_configured(self):
+        app = make_app()
+        run = app.tasks[app.graph.topological_order[0]]
+        with pytest.raises(SchedulerError, match="preempted"):
+            run.detach()

@@ -1,0 +1,104 @@
+"""Tests for the benchmark catalog (repro.apps.catalog) — Table 2 fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.catalog import (
+    ALEXNET_STAGE_LATENCIES_MS,
+    ALEXNET_WIDTHS,
+    BENCHMARK_NAMES,
+    benchmark_catalog,
+    get_benchmark,
+)
+from repro.errors import WorkloadError
+
+#: Table 2 of the paper.
+PAPER_SHAPES = {
+    "lenet": (3, 2),
+    "alexnet": (38, 184),
+    "imgc": (6, 5),
+    "of": (9, 8),
+    "3dr": (3, 2),
+    "dr": (3, 2),
+}
+
+#: Table 3 execution times (s) under the batch-5 baseline.
+PAPER_EXEC_S = {
+    "lenet": 0.73,
+    "alexnet": 65.44,
+    "imgc": 0.56,
+    "of": 22.91,
+    "3dr": 1.55,
+    "dr": 984.23,
+}
+
+
+class TestTable2Shapes:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_task_and_edge_counts_match_paper(self, name):
+        app = get_benchmark(name)
+        assert (app.num_tasks, app.num_edges) == PAPER_SHAPES[name]
+
+    def test_alexnet_layer_structure(self):
+        assert sum(ALEXNET_WIDTHS) == 38
+        dense_edges = sum(
+            a * b for a, b in zip(ALEXNET_WIDTHS, ALEXNET_WIDTHS[1:])
+        )
+        assert dense_edges == 184
+
+    def test_alexnet_same_stage_tasks_identical(self):
+        graph = get_benchmark("alexnet").graph
+        by_stage = {}
+        for task_id in graph.topological_order:
+            spec = graph.task(task_id)
+            by_stage.setdefault(spec.stage, set()).add(spec.latency_ms)
+        assert all(len(lats) == 1 for lats in by_stage.values())
+
+
+class TestLatencyCalibration:
+    @pytest.mark.parametrize("name", ["lenet", "imgc", "of", "3dr", "dr"])
+    def test_chain_batch5_execution_matches_table3(self, name):
+        # For chains, batch-5 baseline execution = 5 x sum(latencies).
+        graph = get_benchmark(name).graph
+        exec_s = 5 * graph.total_latency_ms() / 1000.0
+        assert exec_s == pytest.approx(PAPER_EXEC_S[name], rel=0.01)
+
+    def test_alexnet_batch5_execution_matches_table3(self):
+        # Stages run their parallel tasks simultaneously, so execution is
+        # 5 x sum of per-stage latencies.
+        exec_s = 5 * sum(ALEXNET_STAGE_LATENCIES_MS) / 1000.0
+        assert exec_s == pytest.approx(PAPER_EXEC_S["alexnet"], rel=0.01)
+
+    def test_dr_is_the_long_running_outlier(self):
+        # Digit recognition's critical path dwarfs every other benchmark's
+        # (984 s vs 65 s execution in Table 3).
+        dr = get_benchmark("dr").graph.critical_path_ms()
+        others = max(
+            get_benchmark(n).graph.critical_path_ms()
+            for n in BENCHMARK_NAMES if n != "dr"
+        )
+        assert dr > 10 * others
+
+
+class TestCatalogAccess:
+    def test_all_names_resolvable(self):
+        for name in BENCHMARK_NAMES:
+            assert get_benchmark(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError, match="unknown benchmark"):
+            get_benchmark("resnet")
+
+    def test_catalog_returns_fresh_dict(self):
+        catalog = benchmark_catalog()
+        catalog.pop("lenet")
+        assert "lenet" in benchmark_catalog()
+
+    def test_short_names_unique(self):
+        shorts = [get_benchmark(n).short_name for n in BENCHMARK_NAMES]
+        assert len(set(shorts)) == len(shorts)
+
+    def test_sources_attributed(self):
+        assert get_benchmark("of").source == "rosetta"
+        assert get_benchmark("alexnet").source == "custom"

@@ -1,0 +1,105 @@
+"""Tests for batching strategies and the fairness metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError, WorkloadError
+from repro.experiments import ext_batching
+from repro.metrics.fairness import (
+    jain_index,
+    priority_speedups,
+    sharing_fairness,
+)
+from repro.taskgraph.builders import chain_graph
+from repro.workload.batching import (
+    chunks,
+    num_requests,
+    per_item,
+    requests_for,
+    whole,
+)
+from tests.test_results import make_result
+
+
+class TestStrategies:
+    def test_whole_is_one_request(self):
+        assert whole().split(30) == [30]
+        assert num_requests(30, whole()) == 1
+
+    def test_chunks_cover_exactly(self):
+        assert chunks(15).split(30) == [15, 15]
+        assert chunks(7).split(30) == [7, 7, 7, 7, 2]
+        assert sum(chunks(7).split(30)) == 30
+        assert num_requests(30, chunks(7)) == 5
+
+    def test_per_item(self):
+        assert per_item().split(4) == [1, 1, 1, 1]
+
+    def test_oversized_chunk_collapses_to_whole(self):
+        assert chunks(50).split(30) == [30]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            chunks(0)
+        with pytest.raises(WorkloadError):
+            whole().split(0)
+
+    def test_requests_share_arrival(self):
+        graph = chain_graph("g", [10.0])
+        reqs = requests_for("g", graph, 10, chunks(4), arrival_ms=5.0)
+        assert [r.batch_size for r in reqs] == [4, 4, 2]
+        assert all(r.arrival_ms == 5.0 for r in reqs)
+
+
+class TestBatchingExperiment:
+    def test_fragmentation_hurts(self):
+        result = ext_batching.run(
+            benchmarks=("imgc",), total_items=10,
+        )
+        assert result.fragmentation_penalty("imgc") > 1.5
+        # More requests -> more reconfigurations.
+        assert result.reconfigs[("imgc", "per_item")] > result.reconfigs[
+            ("imgc", "whole")
+        ]
+        assert "batching" in ext_batching.format_result(result)
+
+
+class TestFairness:
+    def test_jain_bounds(self):
+        assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        skewed = jain_index([10.0, 0.0001, 0.0001])
+        assert skewed == pytest.approx(1 / 3, rel=0.01)
+
+    def test_jain_validation(self):
+        with pytest.raises(ExperimentError):
+            jain_index([])
+        with pytest.raises(ExperimentError):
+            jain_index([-1.0])
+        with pytest.raises(ExperimentError):
+            jain_index([0.0, 0.0])
+
+    def _paired(self, base_r, other_r, priorities):
+        base = [
+            make_result(app_id=i, arrival_ms=0.0, retire_ms=r, priority=p)
+            for i, (r, p) in enumerate(zip(base_r, priorities))
+        ]
+        other = [
+            make_result(app_id=i, arrival_ms=0.0, retire_ms=r, priority=p)
+            for i, (r, p) in enumerate(zip(other_r, priorities))
+        ]
+        return base, other
+
+    def test_sharing_fairness_of_uniform_speedup(self):
+        base, other = self._paired(
+            [100.0, 200.0], [50.0, 100.0], [1, 9]
+        )
+        assert sharing_fairness(base, other) == pytest.approx(1.0)
+
+    def test_priority_speedups_grouping(self):
+        base, other = self._paired(
+            [100.0, 100.0, 100.0], [50.0, 25.0, 100.0], [1, 9, 9]
+        )
+        speedups = priority_speedups(base, other)
+        assert speedups[1] == pytest.approx(2.0)
+        assert speedups[9] == pytest.approx((4.0 + 1.0) / 2)

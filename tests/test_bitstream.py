@@ -1,0 +1,127 @@
+"""Tests for the bitstream store (repro.overlay.bitstream)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BitstreamError
+from repro.overlay.bitstream import (
+    BitstreamHeader,
+    BitstreamStore,
+    PartialBitstream,
+)
+
+
+def header(task="t0", app="app", **kwargs):
+    defaults = dict(
+        application=app,
+        task_id=task,
+        latency_estimate_ms=10.0,
+        batch_size=2,
+        priority=3,
+    )
+    defaults.update(kwargs)
+    return BitstreamHeader(**defaults)
+
+
+class TestHeader:
+    def test_carries_interface_info(self):
+        h = header()
+        assert h.control_interface == "axilite"
+        assert h.data_interface == "axi4"
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(BitstreamError, match="latency"):
+            header(latency_estimate_ms=0.0)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(BitstreamError, match="batch"):
+            header(batch_size=0)
+
+    def test_rejects_bad_priority(self):
+        with pytest.raises(BitstreamError, match="priority"):
+            header(priority=0)
+
+
+class TestPartialBitstream:
+    def test_key_identity(self):
+        stream = PartialBitstream(header(), slot=3)
+        assert stream.key == ("app", "t0", 3)
+
+    def test_rejects_negative_slot(self):
+        with pytest.raises(BitstreamError, match="slot"):
+            PartialBitstream(header(), slot=-1)
+
+    def test_rejects_empty_size(self):
+        with pytest.raises(BitstreamError, match="size"):
+            PartialBitstream(header(), slot=0, size_bytes=0)
+
+
+class TestStore:
+    def test_one_bitstream_per_slot(self):
+        store = BitstreamStore(num_slots=4)
+        streams = store.register_task(header())
+        assert len(streams) == 4
+        assert store.count() == 4
+        assert store.count("app") == 4
+        assert store.count("other") == 0
+
+    def test_duplicate_registration_rejected(self):
+        store = BitstreamStore(num_slots=2)
+        store.register_task(header())
+        with pytest.raises(BitstreamError, match="already registered"):
+            store.register_task(header())
+
+    def test_register_all(self):
+        store = BitstreamStore(num_slots=3)
+        store.register_all([header("t0"), header("t1")])
+        assert store.count() == 6
+
+    def test_lookup_and_missing(self):
+        store = BitstreamStore(num_slots=2)
+        store.register_task(header())
+        assert store.lookup("app", "t0", 1).slot == 1
+        with pytest.raises(BitstreamError, match="out of range"):
+            store.lookup("app", "t0", 5)
+        with pytest.raises(BitstreamError, match="no bitstream"):
+            store.lookup("app", "other_task", 0)
+
+    def test_first_load_costs_then_cached(self):
+        store = BitstreamStore(num_slots=2)
+        store.register_task(header())
+        _, first_cost = store.load("app", "t0", 0)
+        assert first_cost > 0
+        _, second_cost = store.load("app", "t0", 0)
+        assert second_cost == 0.0
+        assert store.loads == 2
+        assert store.cache_hits == 1
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(BitstreamError, match="num_slots"):
+            BitstreamStore(0)
+
+
+class TestRelocatableStore:
+    def test_one_bitstream_per_task(self):
+        store = BitstreamStore(num_slots=8, relocatable=True)
+        streams = store.register_task(header())
+        assert len(streams) == 1
+        assert store.count() == 1
+
+    def test_relocated_lookup_serves_every_slot(self):
+        store = BitstreamStore(num_slots=4, relocatable=True)
+        store.register_task(header())
+        for slot in range(4):
+            assert store.lookup("app", "t0", slot).header.task_id == "t0"
+
+    def test_storage_reduction_factor_is_slot_count(self):
+        per_slot = BitstreamStore(num_slots=10)
+        relocated = BitstreamStore(num_slots=10, relocatable=True)
+        for h in (header("t0"), header("t1"), header("t2")):
+            per_slot.register_task(
+                BitstreamHeader(h.application, h.task_id,
+                                h.latency_estimate_ms, h.batch_size,
+                                h.priority)
+            )
+            relocated.register_task(h)
+        assert per_slot.count() == 10 * relocated.count()

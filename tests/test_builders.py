@@ -1,0 +1,105 @@
+"""Tests for task-graph builders (repro.taskgraph.builders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.builders import (
+    chain_graph,
+    diamond_graph,
+    layered_graph,
+    parallel_chains_graph,
+    single_task_graph,
+)
+
+
+class TestSingleTask:
+    def test_shape(self):
+        graph = single_task_graph("s", 5.0)
+        assert graph.num_tasks == 1
+        assert graph.num_edges == 0
+
+
+class TestChain:
+    def test_shape_and_latencies(self):
+        graph = chain_graph("c", [1.0, 2.0, 3.0])
+        assert graph.num_tasks == 3
+        assert graph.num_edges == 2
+        assert graph.total_latency_ms() == 6.0
+        assert graph.critical_path_ms() == 6.0
+        assert graph.max_width() == 1
+
+    def test_stage_increments(self):
+        graph = chain_graph("c", [1.0, 2.0])
+        stages = [graph.task(t).stage for t in graph.topological_order]
+        assert stages == [0, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TaskGraphError):
+            chain_graph("c", [])
+
+
+class TestDiamond:
+    def test_shape(self):
+        graph = diamond_graph("d", [1.0, 2.0, 3.0, 4.0])
+        assert graph.num_tasks == 4
+        assert graph.num_edges == 4
+        assert graph.max_width() == 2
+        assert graph.depth() == 3
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(TaskGraphError, match="4 latencies"):
+            diamond_graph("d", [1.0, 2.0])
+
+
+class TestLayered:
+    def test_dense_edges(self):
+        graph = layered_graph("l", [2, 3, 1], [1.0, 2.0, 3.0])
+        assert graph.num_tasks == 6
+        assert graph.num_edges == 2 * 3 + 3 * 1
+
+    def test_same_layer_same_stage_and_latency(self):
+        graph = layered_graph("l", [1, 3], [1.0, 7.0])
+        layer1 = [t for t in graph.topological_order
+                  if graph.task(t).stage == 1]
+        assert len(layer1) == 3
+        assert all(graph.task(t).latency_ms == 7.0 for t in layer1)
+
+    def test_width_matches_largest_layer(self):
+        graph = layered_graph("l", [1, 4, 2], [1.0, 1.0, 1.0])
+        assert graph.max_width() == 4
+        assert graph.depth() == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TaskGraphError, match="equal length"):
+            layered_graph("l", [1, 2], [1.0])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(TaskGraphError, match=">= 1"):
+            layered_graph("l", [1, 0], [1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TaskGraphError, match="at least one layer"):
+            layered_graph("l", [], [])
+
+
+class TestParallelChains:
+    def test_shape(self):
+        graph = parallel_chains_graph("p", 3, [1.0, 2.0])
+        # src + 3 chains x 2 + sink
+        assert graph.num_tasks == 8
+        # src->chain heads (3) + intra-chain (3) + chain tails->sink (3)
+        assert graph.num_edges == 9
+        assert graph.max_width() == 3
+
+    def test_single_chain(self):
+        graph = parallel_chains_graph("p", 1, [1.0])
+        assert graph.num_tasks == 3
+        assert graph.depth() == 3
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(TaskGraphError):
+            parallel_chains_graph("p", 0, [1.0])
+        with pytest.raises(TaskGraphError):
+            parallel_chains_graph("p", 2, [])

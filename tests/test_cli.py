@@ -1,0 +1,55 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_accepts_every_experiment(self):
+        parser = build_parser()
+        for name in ("table1", "table2", "table3", "fig5", "fig6", "fig7",
+                     "fig8", "fig9", "fig10", "fig11", "overhead", "all"):
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_scale_flags(self):
+        args = build_parser().parse_args(["fig5", "--sequences", "2",
+                                          "--events", "6"])
+        assert args.sequences == 2
+        assert args.events == 6
+
+
+class TestMain:
+    def test_table2_prints_and_exits_zero(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "all match paper: True" in out
+
+    def test_table1_prints(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Static" in capsys.readouterr().out
+
+    def test_fig5_small_run(self, capsys):
+        assert main(["fig5", "--sequences", "1", "--events", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "nimblock" in out
+        assert "stress" in out
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "table2"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert "Table 2" in proc.stdout

@@ -1,0 +1,106 @@
+"""Tests for the platform configuration (repro.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    DEFAULT_NUM_SLOTS,
+    DEFAULT_RECONFIG_MS,
+    DEFAULT_SCHEDULING_INTERVAL_MS,
+    PRIORITY_LEVELS,
+    SystemConfig,
+    ZCU106_CONFIG,
+)
+
+
+class TestDefaults:
+    def test_paper_platform_values(self):
+        assert ZCU106_CONFIG.num_slots == 10
+        assert ZCU106_CONFIG.reconfig_ms == 80.0
+        assert ZCU106_CONFIG.scheduling_interval_ms == 400.0
+
+    def test_priority_levels_are_1_3_9(self):
+        assert PRIORITY_LEVELS == (1, 3, 9)
+        assert ZCU106_CONFIG.priority_levels == (1, 3, 9)
+
+    def test_module_constants_back_defaults(self):
+        config = SystemConfig()
+        assert config.num_slots == DEFAULT_NUM_SLOTS
+        assert config.reconfig_ms == DEFAULT_RECONFIG_MS
+        assert config.scheduling_interval_ms == DEFAULT_SCHEDULING_INTERVAL_MS
+
+    def test_highest_and_lowest_priority(self):
+        assert ZCU106_CONFIG.highest_priority == 9
+        assert ZCU106_CONFIG.lowest_priority == 1
+
+
+class TestValidation:
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError, match="num_slots"):
+            SystemConfig(num_slots=0)
+
+    def test_rejects_negative_reconfig(self):
+        with pytest.raises(ValueError, match="reconfig_ms"):
+            SystemConfig(reconfig_ms=-1.0)
+
+    def test_rejects_zero_interval(self):
+        with pytest.raises(ValueError, match="scheduling_interval_ms"):
+            SystemConfig(scheduling_interval_ms=0.0)
+
+    def test_rejects_empty_priorities(self):
+        with pytest.raises(ValueError, match="priority_levels"):
+            SystemConfig(priority_levels=())
+
+    def test_rejects_unsorted_priorities(self):
+        with pytest.raises(ValueError, match="increasing"):
+            SystemConfig(priority_levels=(9, 3, 1))
+
+    def test_rejects_nonpositive_priorities(self):
+        with pytest.raises(ValueError, match="positive"):
+            SystemConfig(priority_levels=(0, 3, 9))
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError, match="token_alpha"):
+            SystemConfig(token_alpha=0.0)
+
+    def test_rejects_bad_saturation_threshold(self):
+        with pytest.raises(ValueError, match="saturation_threshold"):
+            SystemConfig(saturation_threshold=1.5)
+
+    def test_validate_priority_accepts_known(self):
+        assert ZCU106_CONFIG.validate_priority(3) == 3
+
+    def test_validate_priority_rejects_unknown(self):
+        with pytest.raises(ValueError, match="priority 5"):
+            ZCU106_CONFIG.validate_priority(5)
+
+
+class TestFloorPriority:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0.5, 0.0), (1.0, 1.0), (2.9, 1.0), (3.0, 3.0), (8.99, 3.0),
+         (9.0, 9.0), (100.0, 9.0)],
+    )
+    def test_floor_to_nearest_level(self, value, expected):
+        assert ZCU106_CONFIG.floor_priority(value) == expected
+
+    def test_floor_with_custom_levels(self):
+        config = SystemConfig(priority_levels=(2, 5))
+        assert config.floor_priority(4.9) == 2.0
+        assert config.floor_priority(5.0) == 5.0
+        assert config.floor_priority(1.0) == 0.0
+
+
+class TestWithSlots:
+    def test_with_slots_changes_only_slots(self):
+        derived = ZCU106_CONFIG.with_slots(4)
+        assert derived.num_slots == 4
+        assert derived.reconfig_ms == ZCU106_CONFIG.reconfig_ms
+        assert derived.priority_levels == ZCU106_CONFIG.priority_levels
+
+    def test_config_is_hashable_and_frozen(self):
+        config = SystemConfig()
+        with pytest.raises(AttributeError):
+            config.num_slots = 5  # type: ignore[misc]
+        assert hash(config) == hash(SystemConfig())

@@ -1,0 +1,135 @@
+"""Tests for slots and the configuration port (repro.overlay.device)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReconfigurationError, SlotStateError
+from repro.overlay.device import FPGADevice, Slot, SlotPhase
+from repro.sim.engine import SimulationEngine
+
+
+class TestSlotStateMachine:
+    def test_initially_empty_and_free(self):
+        slot = Slot(0)
+        assert slot.phase == SlotPhase.EMPTY
+        assert slot.is_free
+
+    def test_full_lifecycle(self):
+        slot = Slot(0)
+        slot.begin_reconfig()
+        assert slot.phase == SlotPhase.RECONFIGURING
+        assert not slot.is_free
+        slot.host("task")
+        assert slot.phase == SlotPhase.OCCUPIED
+        assert slot.occupant == "task"
+        slot.start_item()
+        assert slot.busy
+        slot.finish_item()
+        slot.clear()
+        assert slot.is_free
+
+    def test_host_requires_reconfiguring(self):
+        with pytest.raises(SlotStateError, match="cannot host"):
+            Slot(0).host("x")
+
+    def test_double_reconfig_rejected(self):
+        slot = Slot(0)
+        slot.begin_reconfig()
+        with pytest.raises(SlotStateError, match="already reconfiguring"):
+            slot.begin_reconfig()
+
+    def test_reconfig_while_busy_rejected(self):
+        slot = Slot(0)
+        slot.begin_reconfig()
+        slot.host("t")
+        slot.start_item()
+        with pytest.raises(SlotStateError, match="while running"):
+            slot.begin_reconfig()
+
+    def test_clear_requires_occupied_idle(self):
+        slot = Slot(0)
+        with pytest.raises(SlotStateError, match="cannot clear"):
+            slot.clear()
+        slot.begin_reconfig()
+        slot.host("t")
+        slot.start_item()
+        with pytest.raises(SlotStateError, match="while running"):
+            slot.clear()
+
+    def test_start_item_requires_occupied(self):
+        with pytest.raises(SlotStateError, match="cannot run items"):
+            Slot(0).start_item()
+
+    def test_double_start_rejected(self):
+        slot = Slot(0)
+        slot.begin_reconfig()
+        slot.host("t")
+        slot.start_item()
+        with pytest.raises(SlotStateError, match="already running"):
+            slot.start_item()
+
+    def test_finish_without_start_rejected(self):
+        with pytest.raises(SlotStateError, match="never started"):
+            Slot(0).finish_item()
+
+
+class TestReconfigurationPort:
+    def test_serializes_requests(self):
+        engine = SimulationEngine()
+        device = FPGADevice(engine, 2)
+        done = []
+        device.port.request(device.slot(0), 80.0, lambda now: done.append((0, now)))
+        device.port.request(device.slot(1), 80.0, lambda now: done.append((1, now)))
+        assert device.port.is_busy
+        assert device.port.queue_depth == 1
+        engine.run()
+        assert done == [(0, 80.0), (1, 160.0)]
+        assert device.port.total_reconfigs == 2
+        assert device.port.busy_ms == 160.0
+
+    def test_slot_enters_reconfiguring_immediately_even_if_queued(self):
+        engine = SimulationEngine()
+        device = FPGADevice(engine, 2)
+        device.port.request(device.slot(0), 80.0, lambda now: None)
+        device.port.request(device.slot(1), 80.0, lambda now: None)
+        assert device.slot(1).phase == SlotPhase.RECONFIGURING
+
+    def test_rejects_negative_duration(self):
+        engine = SimulationEngine()
+        device = FPGADevice(engine, 1)
+        with pytest.raises(ReconfigurationError, match="negative"):
+            device.port.request(device.slot(0), -1.0, lambda now: None)
+
+    def test_zero_duration_completes_immediately_on_run(self):
+        engine = SimulationEngine()
+        device = FPGADevice(engine, 1)
+        done = []
+        device.port.request(device.slot(0), 0.0, lambda now: done.append(now))
+        engine.run()
+        assert done == [0.0]
+
+
+class TestDevice:
+    def test_slot_access_and_bounds(self):
+        device = FPGADevice(SimulationEngine(), 3)
+        assert device.num_slots == 3
+        assert device.slot(2).index == 2
+        with pytest.raises(SlotStateError, match="out of range"):
+            device.slot(3)
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(SlotStateError, match="num_slots"):
+            FPGADevice(SimulationEngine(), 0)
+
+    def test_free_and_occupied_tracking(self):
+        engine = SimulationEngine()
+        device = FPGADevice(engine, 2)
+        assert len(device.free_slots()) == 2
+        assert device.utilization() == 0.0
+        device.port.request(device.slot(0), 10.0, lambda now: None)
+        assert len(device.free_slots()) == 1
+        assert device.utilization() == 0.5
+        engine.run()
+        device.slot(0).host("t")
+        assert device.occupied_slots() == [device.slot(0)]

@@ -1,0 +1,26 @@
+"""Keep the docstring examples honest: run them as doctests."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.overlay.floorplan
+import repro.sim.engine
+
+MODULES_WITH_EXAMPLES = [
+    repro,
+    repro.sim.engine,
+    repro.overlay.floorplan,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__} doctests failed"
+    assert results.attempted > 0, f"{module.__name__} has no examples"

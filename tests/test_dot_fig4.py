@@ -1,0 +1,60 @@
+"""Tests for DOT export and the Figure 4 experiment."""
+
+from __future__ import annotations
+
+from repro.apps.catalog import get_benchmark
+from repro.experiments import fig4_taskgraph
+from repro.taskgraph.builders import chain_graph, layered_graph
+from repro.taskgraph.dot import stage_summary, to_dot
+
+
+class TestDotExport:
+    def test_all_nodes_and_edges_present(self):
+        graph = chain_graph("c", [1.0, 2.0, 3.0])
+        dot = to_dot(graph)
+        assert dot.startswith('digraph "c"')
+        for task_id in graph.topological_order:
+            assert f'"{task_id}"' in dot
+        assert dot.count("->") == graph.num_edges
+        assert dot.rstrip().endswith("}")
+
+    def test_stage_colors_differ_between_layers(self):
+        graph = layered_graph("l", [1, 2], [1.0, 1.0])
+        dot = to_dot(graph)
+        assert "lightblue" in dot
+        assert "lightgoldenrod" in dot
+
+    def test_rankdir(self):
+        graph = chain_graph("c", [1.0])
+        assert "rankdir=LR" in to_dot(graph, rankdir="LR")
+
+    def test_alexnet_dot_shape(self):
+        graph = get_benchmark("alexnet").graph
+        dot = to_dot(graph)
+        assert dot.count("->") == 184
+        assert dot.count("[label=") == 38
+
+
+class TestStageSummary:
+    def test_alexnet_widths(self):
+        summary = stage_summary(get_benchmark("alexnet").graph)
+        widths = [s["width"] for s in summary]
+        assert widths == [1, 6, 6, 6, 6, 6, 4, 2, 1]
+
+    def test_chain_is_all_width_one(self):
+        summary = stage_summary(chain_graph("c", [1.0, 1.0, 1.0]))
+        assert all(s["width"] == 1 for s in summary)
+
+
+class TestFig4Experiment:
+    def test_matches_table2(self):
+        result = fig4_taskgraph.run()
+        assert result.num_tasks == 38
+        assert result.num_edges == 184
+        text = fig4_taskgraph.format_result(result)
+        assert "38 tasks, 184 edges" in text
+        assert "digraph" in text
+
+    def test_other_benchmark_selectable(self):
+        result = fig4_taskgraph.run(benchmark="of")
+        assert result.num_tasks == 9

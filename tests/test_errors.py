@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+from __future__ import annotations
+
+import inspect
+
+import repro.errors as errors
+from repro.errors import ReproError
+
+
+def _error_classes():
+    return [
+        obj for _, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == "repro.errors"
+    ]
+
+
+class TestHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for cls in _error_classes():
+            assert issubclass(cls, ReproError), cls
+
+    def test_repro_error_derives_from_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_expected_members_exist(self):
+        names = {cls.__name__ for cls in _error_classes()}
+        expected = {
+            "ReproError", "TaskGraphError", "PartitionError",
+            "FloorplanError", "BitstreamError", "ReconfigurationError",
+            "SlotStateError", "BufferError_", "SchedulerError",
+            "SimulationError", "WorkloadError", "ExperimentError",
+            "SolverError",
+        }
+        assert expected <= names
+
+    def test_single_except_catches_everything(self):
+        caught = 0
+        for cls in _error_classes():
+            try:
+                raise cls("boom")
+            except ReproError:
+                caught += 1
+        assert caught == len(_error_classes())
+
+    def test_errors_carry_messages(self):
+        for cls in _error_classes():
+            assert str(cls("detail 42")) == "detail 42"

@@ -1,0 +1,66 @@
+"""Tests for result export (repro.experiments.export)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.export import (
+    CSV_FIELDS,
+    export_csv,
+    export_json,
+    load_records,
+    result_to_record,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.taskgraph.builders import chain_graph
+from tests.conftest import request, run_workload, small_config
+
+
+@pytest.fixture
+def results():
+    graph = chain_graph("c", [50.0, 50.0])
+    _, res = run_workload(
+        make_scheduler("fcfs"),
+        [request(graph, batch_size=2),
+         request(graph, batch_size=1, arrival_ms=10.0)],
+        small_config(),
+    )
+    return res
+
+
+class TestRecords:
+    def test_record_has_all_csv_fields(self, results):
+        record = result_to_record(results[0])
+        assert set(record) == set(CSV_FIELDS)
+
+    def test_derived_metrics_consistent(self, results):
+        record = result_to_record(results[0])
+        assert record["response_ms"] == (
+            record["retire_ms"] - record["arrival_ms"]
+        )
+
+
+class TestRoundTrips:
+    def test_csv(self, results, tmp_path):
+        path = export_csv(results, tmp_path / "run.csv")
+        records = load_records(path)
+        assert len(records) == len(results)
+        assert records[0]["name"] == "c"
+        assert float(records[0]["response_ms"]) == results[0].response_ms
+
+    def test_json(self, results, tmp_path):
+        path = export_json(results, tmp_path / "run.json", label="demo")
+        records = load_records(path)
+        assert len(records) == len(results)
+        assert records[1]["app_id"] == 1
+
+    def test_validation(self, results, tmp_path):
+        with pytest.raises(ExperimentError, match="nothing"):
+            export_csv([], tmp_path / "x.csv")
+        with pytest.raises(ExperimentError, match="no export"):
+            load_records(tmp_path / "missing.csv")
+        weird = tmp_path / "run.txt"
+        weird.write_text("x")
+        with pytest.raises(ExperimentError, match="unknown export format"):
+            load_records(weird)

@@ -1,0 +1,116 @@
+"""Tests for the extension schedulers (EDF and DML-static)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.schedulers.dml_static import DMLStaticScheduler
+from repro.schedulers.edf import EDFScheduler
+from repro.schedulers.registry import EXTENSION_SCHEDULERS, make_scheduler
+from repro.sim.trace import TraceKind
+from repro.taskgraph.builders import chain_graph
+from tests.conftest import request, run_named, run_workload, small_config
+
+
+class TestRegistry:
+    def test_extension_names_registered(self):
+        for name in EXTENSION_SCHEDULERS:
+            assert make_scheduler(name).name == name
+
+
+class TestEDF:
+    def test_rejects_bad_slack(self):
+        with pytest.raises(SchedulerError, match="slack_factor"):
+            EDFScheduler(slack_factor=0.0)
+
+    def test_earliest_deadline_runs_first(self):
+        # Same arrival; the short app has the earlier internal deadline.
+        long_g = chain_graph("long", [500.0])
+        short_g = chain_graph("short", [50.0])
+        config = small_config(num_slots=1)
+        hv, _ = run_workload(
+            EDFScheduler(),
+            [
+                request(long_g, batch_size=5, arrival_ms=0.0),
+                request(short_g, batch_size=1, arrival_ms=0.0),
+            ],
+            config,
+        )
+        first = hv.trace.first(TraceKind.ITEM_START)
+        assert first.app_id == 1
+
+    def test_arrival_order_breaks_deadline_ties(self):
+        g = chain_graph("g", [100.0])
+        config = small_config(num_slots=1)
+        hv, results = run_workload(
+            EDFScheduler(),
+            [request(g, arrival_ms=0.0), request(g, arrival_ms=0.0)],
+            config,
+        )
+        assert results[0].retire_ms < results[1].retire_ms
+
+    def test_completes_mixed_workload(self):
+        g1 = chain_graph("g1", [50.0, 50.0])
+        g2 = chain_graph("g2", [200.0])
+        _, results = run_named(
+            "edf",
+            [request(g1, batch_size=3), request(g2, arrival_ms=20.0)],
+            small_config(num_slots=2),
+        )
+        assert len(results) == 2
+
+
+class TestDMLStatic:
+    def test_budget_fixed_at_goal_number(self):
+        graph = chain_graph("c", [100.0, 100.0, 100.0])
+        policy = DMLStaticScheduler()
+        hv, _ = run_workload(
+            policy, [request(graph, batch_size=6)],
+            small_config(num_slots=4),
+        )
+        used = {e.slot for e in hv.trace.of_kind(TraceKind.TASK_CONFIG_START)}
+        # The static budget (>= 2 for a batched chain) was exploited...
+        assert len(used) >= 2
+        # ...and never exceeded the task count.
+        assert len(used) <= 3
+
+    def test_pipelines_within_budget(self):
+        graph = chain_graph("c", [100.0, 100.0])
+        _, results = run_named(
+            "dml_static", [request(graph, batch_size=10)],
+            small_config(num_slots=2),
+        )
+        # Pipelined two-task chain: ~(batch + 1) x 100 + config, far below
+        # the bulk 2 x batch x 100.
+        assert results[0].response_ms < 80.0 + 2 * 10 * 100.0
+
+    def test_never_preempts(self):
+        hog = chain_graph("hog", [100.0, 100.0])
+        vip = chain_graph("vip", [100.0])
+        hv, _ = run_named(
+            "dml_static",
+            [
+                request(hog, batch_size=20, priority=1, arrival_ms=0.0),
+                request(vip, batch_size=1, priority=9, arrival_ms=500.0),
+            ],
+            small_config(num_slots=2),
+        )
+        assert hv.trace.of_kind(TraceKind.TASK_PREEMPTED) == []
+
+    def test_no_reallocation_under_contention(self):
+        # Two chain apps, two slots: static budgets are 2 each, but the
+        # first app claims both slots and is never rolled back; the second
+        # app only starts when the first finishes a task.
+        graph = chain_graph("c", [200.0, 200.0])
+        config = small_config(num_slots=2)
+        hv, results = run_named(
+            "dml_static",
+            [
+                request(graph, batch_size=10, arrival_ms=0.0),
+                request(graph, batch_size=1, arrival_ms=100.0),
+            ],
+            config,
+        )
+        assert results[1].first_start_ms >= results[0].first_start_ms
+        assert len(results) == 2

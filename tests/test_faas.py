@@ -1,0 +1,166 @@
+"""Tests for the FaaS gateway (repro.hypervisor.faas)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hypervisor.faas import FaaSGateway, FunctionSpec
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.schedulers.registry import make_scheduler
+from repro.taskgraph.builders import chain_graph
+from tests.conftest import small_config
+
+
+@pytest.fixture
+def gateway():
+    hypervisor = Hypervisor(
+        make_scheduler("nimblock"), config=small_config(num_slots=3)
+    )
+    return FaaSGateway(hypervisor)
+
+
+def spec(name="fn", slo=None, priority=3):
+    return FunctionSpec(
+        name=name,
+        graph=chain_graph(name, [50.0, 50.0]),
+        default_priority=priority,
+        slo_factor=slo,
+    )
+
+
+class TestRegistration:
+    def test_register_and_list(self, gateway):
+        gateway.register(spec("resize"))
+        gateway.register(spec("detect"))
+        assert gateway.functions() == ["detect", "resize"]
+
+    def test_duplicate_rejected(self, gateway):
+        gateway.register(spec("fn"))
+        with pytest.raises(WorkloadError, match="already registered"):
+            gateway.register(spec("fn"))
+
+    def test_register_benchmark(self, gateway):
+        gateway.register_benchmark("lenet", slo_factor=3.0)
+        assert gateway.functions() == ["lenet"]
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            FunctionSpec("f", chain_graph("f", [1.0]), default_priority=5)
+        with pytest.raises(WorkloadError):
+            FunctionSpec("f", chain_graph("f", [1.0]), default_batch=0)
+        with pytest.raises(WorkloadError):
+            FunctionSpec("f", chain_graph("f", [1.0]), slo_factor=0.0)
+
+
+class TestInvocation:
+    def test_unknown_function_rejected(self, gateway):
+        with pytest.raises(WorkloadError, match="unknown function"):
+            gateway.invoke("nope", at_ms=0.0)
+
+    def test_invocations_complete_with_latency(self, gateway):
+        gateway.register(spec("fn"))
+        first = gateway.invoke("fn", at_ms=0.0, batch_size=2)
+        second = gateway.invoke("fn", at_ms=100.0)
+        gateway.run()
+        outcomes = gateway.outcomes()
+        assert [o.invocation_id for o in outcomes] == [first, second]
+        assert all(o.latency_ms > 0 for o in outcomes)
+        assert outcomes[0].function == "fn"
+
+    def test_defaults_and_overrides(self, gateway):
+        gateway.register(spec("fn", priority=3))
+        gateway.invoke("fn", at_ms=0.0)
+        gateway.invoke("fn", at_ms=10.0, batch_size=4, priority=9)
+        gateway.run()
+        outcomes = gateway.outcomes()
+        assert outcomes[0].result.batch_size == 1
+        assert outcomes[0].result.priority == 3
+        assert outcomes[1].result.batch_size == 4
+        assert outcomes[1].result.priority == 9
+
+
+class TestAdmissionControl:
+    def _gateway(self, max_inflight):
+        hypervisor = Hypervisor(
+            make_scheduler("fcfs"), config=small_config(num_slots=2)
+        )
+        return FaaSGateway(
+            hypervisor, max_inflight_per_function=max_inflight
+        )
+
+    def test_burst_defers_beyond_window(self):
+        gateway = self._gateway(max_inflight=2)
+        gateway.register(spec("fn"))
+        ids = [gateway.invoke("fn", at_ms=float(i)) for i in range(5)]
+        assert ids[0] is not None and ids[1] is not None
+        assert ids[2] is None and ids[4] is None
+        assert gateway.deferred_total == 3
+
+    def test_deferred_invocations_eventually_run(self):
+        gateway = self._gateway(max_inflight=1)
+        gateway.register(spec("fn"))
+        for i in range(4):
+            gateway.invoke("fn", at_ms=float(i))
+        gateway.run()
+        outcomes = gateway.outcomes()
+        assert len(outcomes) == 4
+        assert all(o.latency_ms > 0 for o in outcomes)
+
+    def test_deferred_release_is_serialized(self):
+        gateway = self._gateway(max_inflight=1)
+        gateway.register(spec("fn"))
+        for i in range(3):
+            gateway.invoke("fn", at_ms=0.0)
+        gateway.run()
+        retires = sorted(
+            o.result.retire_ms for o in gateway.outcomes()
+        )
+        starts = sorted(
+            o.result.first_start_ms for o in gateway.outcomes()
+        )
+        # With a window of one, invocation k starts only after k-1 retired.
+        assert starts[1] >= retires[0]
+        assert starts[2] >= retires[1]
+
+    def test_window_validation(self):
+        hypervisor = Hypervisor(
+            make_scheduler("fcfs"), config=small_config()
+        )
+        with pytest.raises(WorkloadError, match="max_inflight"):
+            FaaSGateway(hypervisor, max_inflight_per_function=0)
+
+    def test_no_control_never_defers(self):
+        gateway = self._gateway(max_inflight=None)
+        gateway.register(spec("fn"))
+        ids = [gateway.invoke("fn", at_ms=0.0) for _ in range(5)]
+        assert all(i is not None for i in ids)
+        assert gateway.deferred_total == 0
+
+
+class TestSLO:
+    def test_no_slo_means_none(self, gateway):
+        gateway.register(spec("fn"))
+        gateway.invoke("fn", at_ms=0.0)
+        gateway.run()
+        assert gateway.outcomes()[0].met_slo is None
+        assert gateway.slo_compliance() == {}
+
+    def test_uncontended_invocation_meets_generous_slo(self, gateway):
+        gateway.register(spec("fn", slo=5.0))
+        gateway.invoke("fn", at_ms=0.0)
+        gateway.run()
+        assert gateway.outcomes()[0].met_slo is True
+        assert gateway.slo_compliance() == {"fn": 1.0}
+
+    def test_contention_breaks_tight_slo(self):
+        hypervisor = Hypervisor(
+            make_scheduler("fcfs"), config=small_config(num_slots=1)
+        )
+        gateway = FaaSGateway(hypervisor)
+        gateway.register(spec("fn", slo=1.0))
+        for i in range(4):
+            gateway.invoke("fn", at_ms=float(i))
+        gateway.run()
+        compliance = gateway.slo_compliance()["fn"]
+        assert compliance < 1.0

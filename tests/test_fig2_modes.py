@@ -1,0 +1,30 @@
+"""Tests for the Figure 2 sharing-modes demonstration."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_modes
+
+
+class TestFig2:
+    def test_modes_strictly_improve(self):
+        result = fig2_modes.run()
+        labels = [label for label, _, _ in fig2_modes.MODES]
+        makespans = [result.makespan(label) for label in labels]
+        assert makespans[0] > makespans[1] > makespans[2]
+
+    def test_timelines_render_all_modes(self):
+        result = fig2_modes.run()
+        text = fig2_modes.format_result(result)
+        assert "(a) temporal multiplexing" in text
+        assert "(b) task-parallel sharing" in text
+        assert "(c) fine-grained pipelined sharing" in text
+        assert "#" in text and "A" in text and "B" in text
+
+    def test_pipelined_mode_overlaps_applications(self):
+        result = fig2_modes.run()
+        pipelined = result.timelines["(c) fine-grained pipelined sharing"]
+        # Both applications appear in the pipelined timeline...
+        assert "A" in pipelined and "B" in pipelined
+        # ...and mode (a) serializes everything on one slot.
+        serialized = result.timelines["(a) temporal multiplexing"]
+        assert serialized.count("slot") == 1

@@ -1,0 +1,73 @@
+"""Tests for the overlay floorplanner (repro.overlay.floorplan)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.overlay.floorplan import Floorplan, SlotRegion
+from repro.overlay.resources import ResourceVector, slot_resource_vector
+
+
+def vec(**kwargs):
+    return ResourceVector.from_mapping(kwargs)
+
+
+class TestConstruction:
+    def test_zcu106_default_has_ten_uniform_slots(self):
+        plan = Floorplan.zcu106()
+        assert plan.num_slots == 10
+        assert plan.slot_resources == slot_resource_vector("min")
+
+    def test_rejects_no_slots(self):
+        with pytest.raises(FloorplanError, match="at least one slot"):
+            Floorplan(vec(DSP=10), vec(DSP=1), [])
+
+    def test_rejects_noncontiguous_indices(self):
+        slots = [SlotRegion(0, vec(DSP=1)), SlotRegion(2, vec(DSP=1))]
+        with pytest.raises(FloorplanError, match="indices"):
+            Floorplan(vec(DSP=10), vec(DSP=1), slots)
+
+    def test_rejects_nonuniform_slots(self):
+        slots = [SlotRegion(0, vec(DSP=1)), SlotRegion(1, vec(DSP=2))]
+        with pytest.raises(FloorplanError, match="uniform"):
+            Floorplan(vec(DSP=10), vec(DSP=1), slots)
+
+    def test_negative_slot_index_rejected(self):
+        with pytest.raises(FloorplanError, match="index"):
+            SlotRegion(-1, vec(DSP=1))
+
+
+class TestValidation:
+    def test_zcu106_plan_fits(self):
+        Floorplan.zcu106(num_slots=10).validate()
+
+    def test_overflowing_plan_rejected(self):
+        slots = [SlotRegion(i, vec(DSP=6)) for i in range(2)]
+        plan = Floorplan(vec(DSP=10), vec(DSP=0), slots)
+        with pytest.raises(FloorplanError, match="exceeds device"):
+            plan.validate()
+
+    def test_total_reconfigurable_scales(self):
+        plan = Floorplan.zcu106(num_slots=4)
+        per_slot = plan.slot_resources.as_dict()["DSP"]
+        assert plan.total_reconfigurable().as_dict()["DSP"] == 4 * per_slot
+
+
+class TestTaskFit:
+    def test_task_fits_slot(self):
+        plan = Floorplan.zcu106()
+        assert plan.task_fits_slot(vec(DSP=46, LUT=9000))
+        assert not plan.task_fits_slot(vec(LUT=999999))
+
+
+class TestReport:
+    def test_report_has_all_sections(self):
+        report = Floorplan.zcu106().utilization_report()
+        for key in ("static", "per_slot", "all_slots", "device",
+                    "device_utilization"):
+            assert key in report
+
+    def test_utilization_below_one(self):
+        report = Floorplan.zcu106().utilization_report()
+        assert all(0 < u <= 1.0 for u in report["device_utilization"].values())

@@ -1,0 +1,67 @@
+"""Golden regression pins: exact response times for a fixed workload.
+
+These values encode the precise execution semantics of every scheduler on
+one deterministic five-event workload (default ZCU106 platform). Any
+change to scheduling logic, timing accounting, dispatch overhead or
+readiness rules will shift them — if you changed semantics deliberately,
+regenerate the numbers and say so in the commit; if you didn't, you just
+caught a regression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.schedulers.registry import make_scheduler
+from repro.workload.generator import EventGenerator
+
+#: Responses (ms) per event, per scheduler, for the golden workload.
+GOLDEN_RESPONSES = {
+    "baseline": [22992.0, 23338.0, 41548.0, 42306.0, 42748.0],
+    "fcfs": [23726.0, 1000.0, 19090.0, 1256.0, 1130.0],
+    "prema": [41640.0, 19944.0, 19090.0, 1122.0, 19824.0],
+    "rr": [28588.0, 5916.0, 20332.0, 3126.0, 1052.0],
+    "nimblock": [12550.0, 8082.0, 6344.0, 654.0, 6526.0],
+    "nimblock_no_pipe": [41640.0, 19944.0, 19090.0, 1122.0, 19824.0],
+    "edf": [23726.0, 1000.0, 19090.0, 1256.0, 1130.0],
+    "dml_static": [6832.0, 756.0, 6836.0, 1752.0, 2650.0],
+}
+
+
+def golden_sequence():
+    """Five mixed events: of/5, imgc/3, of/4(hi), lenet/6(hi), imgc/5."""
+    return EventGenerator(
+        99, benchmarks=("lenet", "imgc", "3dr", "of")
+    ).sequence(
+        num_events=5, delay_range_ms=(200.0, 200.0), batch_range=(2, 6),
+        label="golden",
+    )
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(GOLDEN_RESPONSES))
+def test_golden_responses(scheduler_name):
+    hypervisor = Hypervisor(make_scheduler(scheduler_name))
+    for request in golden_sequence().to_requests():
+        hypervisor.submit(request)
+    hypervisor.run()
+    measured = [round(r.response_ms, 2) for r in hypervisor.results()]
+    assert measured == GOLDEN_RESPONSES[scheduler_name]
+
+
+def test_golden_relationships():
+    """Cross-scheduler facts the golden workload exhibits."""
+    runs = {}
+    for name in GOLDEN_RESPONSES:
+        runs[name] = GOLDEN_RESPONSES[name]
+    mean = lambda xs: sum(xs) / len(xs)
+    # Nimblock has the lowest mean response on this workload.
+    assert min(runs, key=lambda n: mean(runs[n])) in (
+        "nimblock", "dml_static"
+    )
+    # Without pipelining Nimblock degenerates to PREMA-like behaviour on
+    # this workload (same bulk readiness, token candidates).
+    assert runs["nimblock_no_pipe"] == runs["prema"]
+    # The high-priority LeNet event (index 3) is served fastest by
+    # Nimblock.
+    assert runs["nimblock"][3] == min(r[3] for r in runs.values())

@@ -1,0 +1,84 @@
+"""Tests for synthetic HLS reports (repro.apps.hls)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.catalog import BENCHMARK_NAMES, get_benchmark
+from repro.apps.hls import (
+    application_latency_estimate_ms,
+    estimates_fit_slot,
+    reports_for_benchmark,
+    synthesize_report,
+)
+from repro.errors import WorkloadError
+from repro.taskgraph.graph import TaskSpec
+
+
+class TestSynthesizeReport:
+    def test_exact_estimate_with_zero_error(self):
+        spec = TaskSpec("t", 123.0)
+        report = synthesize_report(spec, estimation_error=0.0)
+        assert report.latency_estimate_ms == 123.0
+
+    def test_bounded_error(self):
+        spec = TaskSpec("some_task", 100.0)
+        report = synthesize_report(spec, estimation_error=0.2)
+        assert 80.0 <= report.latency_estimate_ms <= 120.0
+
+    def test_deterministic_across_calls(self):
+        spec = TaskSpec("stable", 50.0)
+        first = synthesize_report(spec, estimation_error=0.3)
+        second = synthesize_report(spec, estimation_error=0.3)
+        assert first.latency_estimate_ms == second.latency_estimate_ms
+
+    def test_rejects_out_of_range_error(self):
+        with pytest.raises(WorkloadError, match="estimation_error"):
+            synthesize_report(TaskSpec("t", 1.0), estimation_error=1.0)
+
+    def test_interfaces_present(self):
+        report = synthesize_report(TaskSpec("t", 1.0))
+        assert report.control_interface == "axilite"
+        assert report.data_interface == "axi4"
+
+    def test_longer_tasks_report_denser_logic(self):
+        short = synthesize_report(TaskSpec("short", 10.0))
+        long_ = synthesize_report(TaskSpec("long", 5000.0))
+        assert sum(long_.resources.counts) > sum(short.resources.counts)
+
+
+class TestBenchmarkReports:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_one_report_per_task(self, name):
+        graph = get_benchmark(name).graph
+        reports = reports_for_benchmark(graph)
+        assert set(reports) == set(graph.topological_order)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_task_fits_one_slot(self, name):
+        graph = get_benchmark(name).graph
+        assert estimates_fit_slot(graph) == []
+
+
+class TestApplicationEstimate:
+    def test_scales_with_batch(self):
+        graph = get_benchmark("lenet").graph
+        one = application_latency_estimate_ms(graph, 1, 80.0)
+        five = application_latency_estimate_ms(graph, 5, 80.0)
+        assert five > one
+        # batch items scale the compute term, not the reconfig term.
+        compute = graph.total_latency_ms()
+        assert five - one == pytest.approx(4 * compute)
+
+    def test_counts_one_reconfig_per_task(self):
+        graph = get_benchmark("lenet").graph
+        estimate = application_latency_estimate_ms(graph, 1, 80.0)
+        assert estimate == pytest.approx(
+            graph.total_latency_ms() + 3 * 80.0
+        )
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(WorkloadError, match="batch"):
+            application_latency_estimate_ms(
+                get_benchmark("lenet").graph, 0, 80.0
+            )

@@ -1,0 +1,184 @@
+"""Hand-computed timing tests for the hypervisor execution model.
+
+These pin down the simulation semantics every experiment relies on:
+bulk vs pipelined batch flow, reconfiguration masking via prefetch, CAP
+serialization and the response/wait/execution accounting.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.no_sharing import NoSharingScheduler
+from repro.sim.trace import TraceKind
+from repro.taskgraph.builders import chain_graph
+from tests.conftest import request, run_named, run_workload, small_config
+
+
+class GreedyPipeline(NoSharingScheduler):
+    """Oldest app, pipelined items, prefetch configuration (test helper)."""
+
+    name = "greedy_pipeline_test"
+    pipelined = True
+
+
+class TestBulkChainTiming:
+    def test_chain2_batch2_two_slots_baseline(self, chain2):
+        hv, results = run_named("baseline", [request(chain2, batch_size=2)])
+        result = results[0]
+        # config t0 0-80; t0 items 80-180-280 (bulk); t1 prefetch-configured
+        # 80-160; t1 waits for the full t0 batch, runs 280-380-480.
+        assert result.first_start_ms == 80.0
+        assert result.retire_ms == 480.0
+        assert result.response_ms == 480.0
+        assert result.wait_ms == 80.0
+        assert result.run_busy_ms == 400.0
+        assert result.reconfig_busy_ms == 160.0
+        assert result.reconfig_count == 2
+
+    def test_reconfiguration_is_masked_by_prefetch(self, chain2):
+        hv, _ = run_named("baseline", [request(chain2, batch_size=2)])
+        config_dones = hv.trace.of_kind(TraceKind.TASK_CONFIG_DONE)
+        assert [e.time for e in config_dones] == [80.0, 160.0]
+
+    def test_single_task_app(self):
+        graph = chain_graph("one", [100.0])
+        _, results = run_named("baseline", [request(graph, batch_size=3)])
+        assert results[0].response_ms == 80.0 + 300.0
+
+
+class TestPipelinedChainTiming:
+    def test_chain2_batch2_two_slots_pipelined(self, chain2):
+        _, results = run_workload(
+            GreedyPipeline(), [request(chain2, batch_size=2)]
+        )
+        # t1 item b starts as soon as t0 finished item b: retire at 380.
+        assert results[0].retire_ms == 380.0
+
+    def test_pipelining_beats_bulk_for_long_batches(self, chain2):
+        batch = 10
+        _, bulk = run_named("baseline", [request(chain2, batch_size=batch)])
+        _, piped = run_workload(
+            GreedyPipeline(), [request(chain2, batch_size=batch)]
+        )
+        # bulk: 80 + 2 x 100 x batch; pipelined: ~100 x (batch + 1) + 80.
+        assert bulk[0].response_ms == 80.0 + 2 * 100.0 * batch
+        assert piped[0].response_ms == 80.0 + 100.0 * (batch + 1)
+
+    def test_pipeline_item_dependencies_in_trace(self, chain2):
+        hv, _ = run_workload(GreedyPipeline(), [request(chain2, batch_size=3)])
+        starts = {}
+        dones = {}
+        for event in hv.trace:
+            if event.kind == TraceKind.ITEM_START:
+                starts[(event.task_id, event.detail)] = event.time
+            elif event.kind == TraceKind.ITEM_DONE:
+                dones[(event.task_id, event.detail)] = event.time
+        for item in range(3):
+            assert starts[("chain2_t1", float(item))] >= dones[
+                ("chain2_t0", float(item))
+            ]
+
+
+class TestParallelBranches:
+    def test_diamond_branches_run_concurrently(self, diamond):
+        config = small_config(num_slots=4)
+        _, results = run_named(
+            "baseline", [request(diamond, batch_size=1)], config
+        )
+        # src cfg 0-80, runs 80-180; left cfg 80-160, right cfg 160-240;
+        # both branches run 180-280 and 240-340; sink waits for both,
+        # runs 340-440 (its config 240-320 is hidden).
+        assert results[0].response_ms == 440.0
+
+    def test_diamond_single_slot_serializes(self, diamond):
+        config = small_config(num_slots=1)
+        _, results = run_named(
+            "baseline", [request(diamond, batch_size=1)], config
+        )
+        # 4 x (80 reconfig + 100 run), strictly serial.
+        assert results[0].response_ms == 720.0
+
+
+class TestCapSerialization:
+    def test_one_reconfig_at_a_time(self, diamond):
+        config = small_config(num_slots=4)
+        hv, _ = run_named("baseline", [request(diamond, batch_size=1)], config)
+        intervals = []
+        pending = {}
+        for event in hv.trace:
+            if event.kind == TraceKind.TASK_CONFIG_START:
+                pending[event.task_id] = event.time
+            elif event.kind == TraceKind.TASK_CONFIG_DONE:
+                intervals.append((pending.pop(event.task_id), event.time))
+        intervals.sort()
+        for (_, end), (start, _) in zip(intervals, intervals[1:]):
+            assert start >= end
+
+
+class TestMultiApplication:
+    def test_baseline_serializes_apps(self):
+        g1 = chain_graph("g1", [100.0])
+        g2 = chain_graph("g2", [100.0])
+        _, results = run_named(
+            "baseline",
+            [request(g1, batch_size=1), request(g2, batch_size=1,
+                                                 arrival_ms=10.0)],
+        )
+        # app0: cfg 0-80, run 80-180; app1 starts only after app0 retires.
+        assert results[0].response_ms == 180.0
+        assert results[1].retire_ms == 180.0 + 80.0 + 100.0
+        assert results[1].response_ms == 360.0 - 10.0
+
+    def test_fcfs_orders_by_arrival(self):
+        g1 = chain_graph("g1", [100.0])
+        g2 = chain_graph("g2", [50.0])
+        config = small_config(num_slots=1)
+        _, results = run_named(
+            "fcfs",
+            [request(g1), request(g2, arrival_ms=10.0)],
+            config,
+        )
+        assert results[0].retire_ms == 180.0
+        assert results[1].retire_ms == 180.0 + 80.0 + 50.0
+
+    def test_fcfs_shares_free_slots(self):
+        g1 = chain_graph("g1", [100.0])
+        g2 = chain_graph("g2", [100.0])
+        _, results = run_named(
+            "fcfs", [request(g1), request(g2)], small_config(num_slots=2)
+        )
+        # app0 cfg 0-80 runs 80-180; app1 cfg 80-160 runs 160-260.
+        assert results[0].retire_ms == 180.0
+        assert results[1].retire_ms == 260.0
+
+
+class TestHypervisorBookkeeping:
+    def test_buffers_released_after_retire(self, chain2):
+        hv, _ = run_named("baseline", [request(chain2, batch_size=2)])
+        assert hv.buffers.live_buffers == 0
+        assert hv.buffers.used_bytes == 0
+        assert hv.buffers.peak_bytes > 0
+
+    def test_trace_records_lifecycle(self, chain2):
+        hv, _ = run_named("baseline", [request(chain2, batch_size=1)])
+        kinds = [e.kind for e in hv.trace]
+        assert TraceKind.APP_ARRIVED in kinds
+        assert TraceKind.APP_STARTED in kinds
+        assert TraceKind.APP_RETIRED in kinds
+        assert kinds.count(TraceKind.TASK_DONE) == 2
+
+    def test_results_ordered_by_app_id(self):
+        g = chain_graph("g", [10.0])
+        reqs = [request(g, arrival_ms=float(i)) for i in range(3)]
+        _, results = run_named("fcfs", reqs)
+        assert [r.app_id for r in results] == [0, 1, 2]
+
+    def test_determinism(self, chain3):
+        reqs = [
+            request(chain3, batch_size=3),
+            request(chain3, batch_size=2, arrival_ms=50.0),
+        ]
+        _, first = run_named("nimblock", reqs)
+        _, second = run_named("nimblock", reqs)
+        assert [(r.retire_ms, r.response_ms) for r in first] == [
+            (r.retire_ms, r.response_ms) for r in second
+        ]

@@ -1,0 +1,127 @@
+"""Integration tests asserting the paper's qualitative result shapes.
+
+These use reduced (but non-trivial) workloads and check the claims the
+reproduction must uphold: Nimblock wins on average response time, has the
+best tails, violates fewest tight deadlines, and the ablation ordering of
+§5.6 holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings, RunCache
+from repro.metrics.deadlines import violation_rate
+from repro.metrics.response import (
+    mean_reduction_factor,
+    tail_normalized_response,
+)
+from repro.workload.scenarios import (
+    STRESS,
+    fixed_batch_sequence,
+    scenario_sequence,
+)
+
+SETTINGS = ExperimentSettings(num_sequences=2, num_events=12)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return RunCache()
+
+
+@pytest.fixture(scope="module")
+def stress_runs(cache):
+    sequences = [
+        scenario_sequence(STRESS, seed, SETTINGS.num_events)
+        for seed in SETTINGS.seeds()
+    ]
+    return {
+        name: cache.combined(name, sequences)
+        for name in ("baseline", "fcfs", "prema", "rr", "nimblock")
+    }
+
+
+class TestHeadlineClaims:
+    def test_every_sharing_scheduler_beats_baseline_on_average(
+        self, stress_runs
+    ):
+        baseline = stress_runs["baseline"]
+        for name in ("fcfs", "prema", "rr", "nimblock"):
+            assert mean_reduction_factor(baseline, stress_runs[name]) > 1.0
+
+    def test_nimblock_has_best_average_reduction(self, stress_runs):
+        baseline = stress_runs["baseline"]
+        nimblock = mean_reduction_factor(baseline, stress_runs["nimblock"])
+        for name in ("fcfs", "prema", "rr"):
+            assert nimblock > mean_reduction_factor(
+                baseline, stress_runs[name]
+            )
+
+    def test_nimblock_beats_rr_on_tails(self, stress_runs):
+        baseline = stress_runs["baseline"]
+        nb95 = tail_normalized_response(baseline, stress_runs["nimblock"], 95)
+        rr95 = tail_normalized_response(baseline, stress_runs["rr"], 95)
+        assert nb95 <= rr95
+
+    def test_nimblock_fewest_tight_deadline_violations(self, stress_runs):
+        nb = violation_rate(stress_runs["nimblock"], 1.5, priority=None)
+        for name in ("baseline", "rr"):
+            assert nb <= violation_rate(
+                stress_runs[name], 1.5, priority=None
+            )
+
+
+class TestAblationOrdering:
+    @pytest.fixture(scope="class")
+    def ablation_runs(self, cache):
+        sequences = [
+            fixed_batch_sequence(10, seed, delay_ms=175.0,
+                                 num_events=SETTINGS.num_events)
+            for seed in SETTINGS.seeds()
+        ]
+        names = (
+            "nimblock", "nimblock_no_preempt", "nimblock_no_pipe",
+            "nimblock_no_preempt_no_pipe",
+        )
+        return {name: cache.combined(name, sequences) for name in names}
+
+    def _mean_response(self, results):
+        return sum(r.response_ms for r in results) / len(results)
+
+    def test_full_nimblock_is_best(self, ablation_runs):
+        # Preemption trades a little mean response for priority/deadline
+        # protection, so allow a small tolerance at this sample size.
+        full = self._mean_response(ablation_runs["nimblock"])
+        for name, results in ablation_runs.items():
+            assert full <= self._mean_response(results) * 1.05
+
+    def test_pipelining_matters_more_than_preemption(self, ablation_runs):
+        no_preempt = self._mean_response(ablation_runs["nimblock_no_preempt"])
+        no_pipe = self._mean_response(ablation_runs["nimblock_no_pipe"])
+        assert no_pipe >= no_preempt
+
+    def test_no_pipe_variants_overlap(self, ablation_runs):
+        no_pipe = self._mean_response(ablation_runs["nimblock_no_pipe"])
+        neither = self._mean_response(
+            ablation_runs["nimblock_no_preempt_no_pipe"]
+        )
+        assert neither == pytest.approx(no_pipe, rel=0.10)
+
+
+class TestCrossSchedulerConsistency:
+    def test_same_events_same_intrinsic_work(self, stress_runs):
+        """All five runs process identical stimuli."""
+        reference = stress_runs["baseline"]
+        for name, results in stress_runs.items():
+            assert [r.name for r in results] == [r.name for r in reference]
+            assert [r.run_busy_ms for r in results] == [
+                r.run_busy_ms for r in reference
+            ]
+
+    def test_single_slot_latency_is_scheduler_independent(self, stress_runs):
+        reference = stress_runs["baseline"]
+        for results in stress_runs.values():
+            assert [r.single_slot_latency_ms for r in results] == [
+                r.single_slot_latency_ms for r in reference
+            ]

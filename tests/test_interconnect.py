@@ -1,0 +1,99 @@
+"""Tests for interconnect models and their hypervisor integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.overlay.interconnect import (
+    NoC,
+    PSRouted,
+    ZeroCost,
+    make_interconnect,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.taskgraph.builders import chain_graph
+from tests.conftest import request, small_config
+
+
+class TestModels:
+    def test_zero_cost_is_always_free(self):
+        model = ZeroCost()
+        assert model.transfer_ms(10**9, same_slot=False) == 0.0
+        assert model.transfer_ms(0, same_slot=True) == 0.0
+
+    def test_ps_routed_charges_two_copies_plus_overhead(self):
+        model = PSRouted(bandwidth_bytes_per_ms=1000.0,
+                         software_overhead_ms=1.0)
+        assert model.transfer_ms(500, same_slot=False) == 1.0 + 1.0
+        assert model.transfer_ms(500, same_slot=True) == 1.0
+
+    def test_noc_single_traversal(self):
+        model = NoC(bandwidth_bytes_per_ms=1000.0, router_latency_ms=0.5,
+                    hops=2)
+        assert model.transfer_ms(1000, same_slot=False) == 1.0 + 1.0
+        assert model.transfer_ms(1000, same_slot=True) == 0.0
+
+    def test_noc_cheaper_than_ps_for_any_payload(self):
+        ps, noc = PSRouted(), NoC()
+        for payload in (1024, 256 * 1024, 8 * 1024**2):
+            assert noc.transfer_ms(payload, False) < ps.transfer_ms(
+                payload, False
+            )
+
+    def test_factory(self):
+        assert isinstance(make_interconnect("noc"), NoC)
+        assert isinstance(make_interconnect("ps_routed"), PSRouted)
+        assert isinstance(make_interconnect("zero_cost"), ZeroCost)
+        with pytest.raises(ReproError, match="unknown interconnect"):
+            make_interconnect("wormhole")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            PSRouted(bandwidth_bytes_per_ms=0.0)
+        with pytest.raises(ReproError):
+            NoC(hops=0)
+        with pytest.raises(ReproError):
+            PSRouted().transfer_ms(-1, False)
+
+
+class TestHypervisorIntegration:
+    def _run(self, interconnect, payload=1024 * 1024):
+        graph = chain_graph("c", [100.0, 100.0])
+        hypervisor = Hypervisor(
+            make_scheduler("baseline"),
+            config=small_config(),
+            interconnect=interconnect,
+            item_buffer_bytes=payload,
+        )
+        hypervisor.submit(request(graph, batch_size=2))
+        hypervisor.run()
+        return hypervisor.results()[0]
+
+    def test_zero_cost_matches_plain_run(self):
+        assert self._run(ZeroCost()).response_ms == 480.0
+
+    def test_ps_routed_charges_cross_slot_items(self):
+        model = PSRouted(bandwidth_bytes_per_ms=1024 * 1024,
+                         software_overhead_ms=1.0)
+        result = self._run(model)
+        # t1's two items each fetch 1 MiB from t0's slot: +2 x (1 + 2) ms.
+        assert result.response_ms == 480.0 + 2 * 3.0
+
+    def test_same_slot_transfer_free_on_noc(self):
+        graph = chain_graph("c", [100.0, 100.0])
+        hypervisor = Hypervisor(
+            make_scheduler("baseline"),
+            config=small_config(num_slots=1),
+            interconnect=NoC(),
+            item_buffer_bytes=1024,
+        )
+        hypervisor.submit(request(graph, batch_size=1))
+        hypervisor.run()
+        # One slot: consumer runs where the producer ran -> no charge.
+        assert hypervisor.results()[0].response_ms == (80 + 100) * 2
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(Exception):
+            Hypervisor(make_scheduler("fcfs"), item_buffer_bytes=0)

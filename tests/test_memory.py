@@ -1,0 +1,82 @@
+"""Tests for the data-buffer manager (repro.overlay.memory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.overlay.memory import BufferManager
+
+
+class TestPublishConsume:
+    def test_publish_tracks_usage(self):
+        manager = BufferManager(capacity_bytes=1000)
+        manager.publish_output(1, "t0", 0, 100, consumers=1)
+        assert manager.used_bytes == 100
+        assert manager.live_buffers == 1
+        assert manager.app_bytes(1) == 100
+
+    def test_consume_releases_at_zero_refs(self):
+        manager = BufferManager(capacity_bytes=1000)
+        manager.publish_output(1, "t0", 0, 100, consumers=2)
+        manager.consume(1, "t0", 0)
+        assert manager.live_buffers == 1
+        manager.consume(1, "t0", 0)
+        assert manager.live_buffers == 0
+        assert manager.used_bytes == 0
+
+    def test_sink_output_pinned_until_release(self):
+        manager = BufferManager(capacity_bytes=1000)
+        manager.publish_output(1, "sink", 0, 100, consumers=0)
+        assert manager.live_buffers == 1
+        freed = manager.release_app(1)
+        assert freed == 100
+        assert manager.live_buffers == 0
+
+    def test_duplicate_publish_rejected(self):
+        manager = BufferManager(capacity_bytes=1000)
+        manager.publish_output(1, "t0", 0, 100, consumers=1)
+        with pytest.raises(BufferError_, match="already published"):
+            manager.publish_output(1, "t0", 0, 100, consumers=1)
+
+    def test_consume_unknown_rejected(self):
+        with pytest.raises(BufferError_, match="no buffer"):
+            BufferManager(1000).consume(1, "t0", 0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(BufferError_, match="size"):
+            BufferManager(1000).publish_output(1, "t0", 0, 0, consumers=1)
+
+
+class TestCapacity:
+    def test_out_of_memory_rejected(self):
+        manager = BufferManager(capacity_bytes=150)
+        manager.publish_output(1, "t0", 0, 100, consumers=1)
+        with pytest.raises(BufferError_, match="out of buffer memory"):
+            manager.publish_output(1, "t0", 1, 100, consumers=1)
+
+    def test_peak_tracks_high_water_mark(self):
+        manager = BufferManager(capacity_bytes=1000)
+        manager.publish_output(1, "t0", 0, 300, consumers=1)
+        manager.consume(1, "t0", 0)
+        manager.publish_output(1, "t0", 1, 100, consumers=1)
+        assert manager.peak_bytes == 300
+        assert manager.used_bytes == 100
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(BufferError_, match="capacity"):
+            BufferManager(0)
+
+
+class TestReleaseApp:
+    def test_release_only_targets_one_app(self):
+        manager = BufferManager(capacity_bytes=1000)
+        manager.publish_output(1, "t0", 0, 100, consumers=0)
+        manager.publish_output(2, "t0", 0, 200, consumers=0)
+        manager.release_app(1)
+        assert manager.app_bytes(1) == 0
+        assert manager.app_bytes(2) == 200
+
+    def test_release_unknown_app_is_noop(self):
+        manager = BufferManager(capacity_bytes=1000)
+        assert manager.release_app(99) == 0

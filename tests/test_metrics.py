@@ -1,0 +1,181 @@
+"""Tests for the metrics layer (repro.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.breakdown import TimeBreakdown, breakdown_by_benchmark
+from repro.metrics.deadlines import (
+    DEFAULT_DS_VALUES,
+    deadline_curve,
+    first_point_below,
+    violation_rate,
+)
+from repro.metrics.response import (
+    ResponseStats,
+    match_results,
+    mean_reduction_factor,
+    normalized_responses,
+    per_event_mean_reduction,
+    percentile,
+    reduction_factors,
+    tail_normalized_response,
+)
+from tests.test_results import make_result
+
+
+def paired_results(base_responses, other_responses, **kwargs):
+    base = [
+        make_result(app_id=i, arrival_ms=0.0, first_start_ms=1.0,
+                    retire_ms=r, **kwargs)
+        for i, r in enumerate(base_responses)
+    ]
+    other = [
+        make_result(app_id=i, arrival_ms=0.0, first_start_ms=1.0,
+                    retire_ms=r, **kwargs)
+        for i, r in enumerate(other_responses)
+    ]
+    return base, other
+
+
+class TestMatching:
+    def test_mismatched_sizes_rejected(self):
+        base, other = paired_results([10.0, 20.0], [10.0])
+        with pytest.raises(ExperimentError, match="sizes differ"):
+            match_results(base, other)
+
+    def test_mismatched_events_rejected(self):
+        base, _ = paired_results([10.0], [10.0])
+        other = [make_result(name="other", retire_ms=5.0)]
+        with pytest.raises(ExperimentError, match="mismatch"):
+            match_results(base, other)
+
+
+class TestReductions:
+    def test_normalized_and_reduction_are_reciprocal(self):
+        base, other = paired_results([100.0, 200.0], [50.0, 100.0])
+        assert normalized_responses(base, other) == [0.5, 0.5]
+        assert reduction_factors(base, other) == [2.0, 2.0]
+
+    def test_mean_reduction_uses_average_responses(self):
+        base, other = paired_results([100.0, 300.0], [100.0, 100.0])
+        # mean(base)=200, mean(other)=100 -> 2.0 (not mean of [1, 3] = 2...).
+        assert mean_reduction_factor(base, other) == 2.0
+        base, other = paired_results([100.0, 300.0], [10.0, 300.0])
+        # mean ratio: 400/310; per-event mean: (10 + 1)/2 = 5.5.
+        assert mean_reduction_factor(base, other) == pytest.approx(400 / 310)
+        assert per_event_mean_reduction(base, other) == pytest.approx(5.5)
+
+
+class TestPercentile:
+    def test_endpoints_and_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            percentile([], 50)
+        with pytest.raises(ExperimentError):
+            percentile([1.0], 150)
+
+    def test_tail_normalized(self):
+        base, other = paired_results(
+            [100.0] * 10, [10.0] * 9 + [200.0]
+        )
+        assert tail_normalized_response(base, other, 100) == 2.0
+
+    def test_response_stats_bundle(self):
+        base, other = paired_results([100.0, 100.0], [50.0, 25.0])
+        stats = ResponseStats.compute("x", base, other)
+        assert stats.events == 2
+        assert stats.scheduler == "x"
+        assert stats.p99_normalized <= 0.5
+
+
+class TestDeadlines:
+    def test_sweep_covers_paper_range(self):
+        assert DEFAULT_DS_VALUES[0] == 1.0
+        assert DEFAULT_DS_VALUES[-1] == 20.0
+        assert DEFAULT_DS_VALUES[1] - DEFAULT_DS_VALUES[0] == 0.25
+        assert len(DEFAULT_DS_VALUES) == 77
+
+    def test_violation_rate(self):
+        results = [
+            make_result(arrival_ms=0.0, retire_ms=300.0,
+                        single_slot_latency_ms=100.0),
+            make_result(arrival_ms=0.0, retire_ms=150.0,
+                        single_slot_latency_ms=100.0),
+        ]
+        assert violation_rate(results, 2.0) == 0.5
+        assert violation_rate(results, 4.0) == 0.0
+
+    def test_priority_filter(self):
+        results = [
+            make_result(priority=9, arrival_ms=0.0, retire_ms=300.0,
+                        single_slot_latency_ms=100.0),
+            make_result(priority=1, arrival_ms=0.0, retire_ms=100.5,
+                        single_slot_latency_ms=100.0),
+        ]
+        assert violation_rate(results, 2.0, priority=9) == 1.0
+        with pytest.raises(ExperimentError, match="no applications"):
+            violation_rate(results, 2.0, priority=3)
+
+    def test_curve_monotone_and_error_point(self):
+        results = [
+            make_result(arrival_ms=0.0, retire_ms=float(r),
+                        single_slot_latency_ms=100.0)
+            for r in (150, 250, 350, 450)
+        ]
+        curve = deadline_curve("x", results, priority=None)
+        assert all(a >= b for a, b in zip(curve.rates, curve.rates[1:]))
+        assert curve.tightest_rate == 1.0
+        assert curve.error_point(0.10) == 4.5
+        assert first_point_below(curve, 0.5) == 2.5
+
+    def test_curve_rate_at_unswept_value_rejected(self):
+        results = [make_result()]
+        curve = deadline_curve("x", results, priority=None)
+        with pytest.raises(ExperimentError, match="sweep"):
+            curve.rate_at(1.33)
+
+    def test_error_point_never_reached(self):
+        results = [
+            make_result(retire_ms=1e9, single_slot_latency_ms=1.0)
+        ]
+        curve = deadline_curve("x", results, priority=None)
+        assert curve.error_point(0.10) is None
+
+
+class TestBreakdown:
+    def test_fractions_average_per_benchmark(self):
+        results = [
+            make_result(name="a", arrival_ms=0.0, first_start_ms=50.0,
+                        retire_ms=100.0, run_busy_ms=40.0,
+                        reconfig_busy_ms=10.0),
+            make_result(name="a", arrival_ms=0.0, first_start_ms=0.0,
+                        retire_ms=200.0, run_busy_ms=100.0,
+                        reconfig_busy_ms=20.0),
+        ]
+        breakdown = TimeBreakdown.from_results("a", results)
+        assert breakdown.samples == 2
+        assert breakdown.run_fraction == pytest.approx((0.4 + 0.5) / 2)
+        assert breakdown.wait_fraction == pytest.approx(0.25)
+
+    def test_grouping(self):
+        results = [
+            make_result(name="a"), make_result(name="b"),
+            make_result(name="a"),
+        ]
+        grouped = breakdown_by_benchmark(results)
+        assert set(grouped) == {"a", "b"}
+        assert grouped["a"].samples == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError, match="no results"):
+            TimeBreakdown.from_results("a", [])

@@ -1,0 +1,64 @@
+"""White-box tests: reallocation throttling in the Nimblock policy.
+
+The paper reallocates at scheduling intervals and candidate-pool changes
+(§4.2); these tests pin that the implementation does not reallocate on
+arbitrary decide() calls in between — the behaviour that prevents
+preemption thrash at large batch sizes.
+"""
+
+from __future__ import annotations
+
+from repro.core.nimblock import NimblockScheduler
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.taskgraph.builders import chain_graph
+from tests.conftest import request, small_config
+
+
+def _paused_system():
+    """Two pipelining apps mid-flight, policy attached, engine paused."""
+    policy = NimblockScheduler()
+    hv = Hypervisor(policy, config=small_config(num_slots=4))
+    graph = chain_graph("c", [500.0, 500.0])
+    hv.submit(request(graph, batch_size=10, arrival_ms=0.0))
+    hv.submit(request(graph, batch_size=10, arrival_ms=50.0))
+    hv.run(until=1200.0)
+    return policy, hv
+
+
+class TestReallocationThrottle:
+    def test_allocations_stable_between_events(self):
+        policy, hv = _paused_system()
+        snapshot = {
+            app.app_id: app.slots_allocated
+            for app in hv.pending.in_arrival_order()
+        }
+        assert snapshot, "apps should still be pending at t=1200"
+        # Repeated decide() calls without a notification must not move
+        # the allocation.
+        for _ in range(5):
+            policy.decide(hv._ctx)
+        after = {
+            app.app_id: app.slots_allocated
+            for app in hv.pending.in_arrival_order()
+        }
+        assert after == snapshot
+
+    def test_tick_marks_allocation_dirty(self):
+        policy, hv = _paused_system()
+        assert policy._alloc_dirty is False
+        policy.notify_tick(hv._ctx)
+        assert policy._alloc_dirty is True
+        policy.decide(hv._ctx)
+        assert policy._alloc_dirty is False
+
+    def test_candidate_pool_change_forces_reallocation(self):
+        policy, hv = _paused_system()
+        # Steal the second app's candidacy by inflating the first app's
+        # token beyond the 9-level threshold.
+        apps = hv.pending.in_arrival_order()
+        apps[0].token = 50.0
+        apps[1].token = 0.5
+        policy.decide(hv._ctx)
+        # The dropped candidate holds no allocation anymore.
+        assert apps[1].slots_allocated == 0
+        assert apps[0].slots_allocated >= 1

@@ -1,0 +1,102 @@
+"""Tests for resource vectors and Table 1 data (repro.overlay.resources)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.overlay.resources import (
+    RESOURCE_KINDS,
+    ResourceVector,
+    SLOT_UTILIZATION_RANGE,
+    STATIC_REGION_UTILIZATION,
+    ZCU106_RESOURCES,
+    slot_resource_vector,
+)
+
+
+class TestResourceVector:
+    def test_from_mapping_fills_missing_with_zero(self):
+        vector = ResourceVector.from_mapping({"DSP": 5})
+        assert vector.as_dict()["DSP"] == 5
+        assert vector.as_dict()["LUT"] == 0
+
+    def test_from_mapping_rejects_unknown_kind(self):
+        with pytest.raises(FloorplanError, match="unknown resource"):
+            ResourceVector.from_mapping({"BOGUS": 1})
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(FloorplanError, match="expected"):
+            ResourceVector((1, 2, 3))
+
+    def test_rejects_negative(self):
+        counts = [0] * len(RESOURCE_KINDS)
+        counts[0] = -1
+        with pytest.raises(FloorplanError, match="negative"):
+            ResourceVector(tuple(counts))
+
+    def test_addition(self):
+        a = ResourceVector.from_mapping({"DSP": 1, "LUT": 2})
+        b = ResourceVector.from_mapping({"DSP": 3})
+        assert (a + b).as_dict()["DSP"] == 4
+        assert (a + b).as_dict()["LUT"] == 2
+
+    def test_scaling(self):
+        a = ResourceVector.from_mapping({"DSP": 2})
+        assert a.scaled(3).as_dict()["DSP"] == 6
+        assert a.scaled(0) == ResourceVector.zero()
+
+    def test_scaling_rejects_negative_factor(self):
+        with pytest.raises(FloorplanError, match="factor"):
+            ResourceVector.zero().scaled(-1)
+
+    def test_fits_within(self):
+        small = ResourceVector.from_mapping({"DSP": 1})
+        big = ResourceVector.from_mapping({"DSP": 2, "LUT": 5})
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_utilization_handles_zero_capacity(self):
+        used = ResourceVector.from_mapping({"DSP": 1})
+        cap = ResourceVector.from_mapping({"DSP": 2})
+        util = used.utilization_of(cap)
+        assert util["DSP"] == 0.5
+        assert util["LUT"] == 0.0
+
+
+class TestTable1Data:
+    def test_kinds_match_table1_columns(self):
+        assert RESOURCE_KINDS == (
+            "DSP", "LUT", "FF", "Carry", "RAMB18", "RAMB36", "IOBuf",
+        )
+
+    def test_slot_range_values_from_paper(self):
+        assert SLOT_UTILIZATION_RANGE["DSP"] == (46, 92)
+        assert SLOT_UTILIZATION_RANGE["LUT"] == (9680, 12960)
+        assert SLOT_UTILIZATION_RANGE["RAMB36"] == (22, 23)
+
+    def test_static_region_values_from_paper(self):
+        static = STATIC_REGION_UTILIZATION.as_dict()
+        assert static["DSP"] == 1004
+        assert static["LUT"] == 122560
+        assert static["IOBuf"] == 24803
+
+    def test_slot_vector_min_max(self):
+        low = slot_resource_vector("min").as_dict()
+        high = slot_resource_vector("max").as_dict()
+        assert low["DSP"] == 46 and high["DSP"] == 92
+        assert all(low[k] <= high[k] for k in RESOURCE_KINDS)
+
+    def test_slot_vector_rejects_bad_selector(self):
+        with pytest.raises(FloorplanError, match="min.*max"):
+            slot_resource_vector("median")
+
+    def test_ten_min_slots_plus_static_fit_device(self):
+        total = STATIC_REGION_UTILIZATION + slot_resource_vector("min").scaled(10)
+        assert total.fits_within(ZCU106_RESOURCES)
+
+    def test_ten_max_slots_would_overflow(self):
+        # The Table 1 range cannot have all ten slots at the max end; the
+        # uniform-area slots differ in column mix on the real device.
+        total = STATIC_REGION_UTILIZATION + slot_resource_vector("max").scaled(10)
+        assert not total.fits_within(ZCU106_RESOURCES)

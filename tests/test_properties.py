@@ -1,0 +1,278 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Two families:
+
+* structural properties of randomly generated task graphs;
+* full-simulation invariants: for every scheduler and random workload, the
+  executed trace must respect slot exclusivity, CAP serialization, item
+  dependency order and conservation of work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.hypervisor.application import AppRequest
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.ilp.estimator import estimate_makespan_ms
+from repro.ilp.model import ScheduleProblem
+from repro.metrics.response import percentile
+from repro.schedulers.registry import make_scheduler
+from repro.sim.trace import TraceKind
+from repro.taskgraph.builders import (
+    chain_graph,
+    diamond_graph,
+    layered_graph,
+)
+from repro.taskgraph.graph import TaskGraph
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+latencies = st.floats(min_value=1.0, max_value=200.0, allow_nan=False)
+
+
+@st.composite
+def small_graphs(draw) -> TaskGraph:
+    """Chains, diamonds and small layered DAGs with random latencies."""
+    shape = draw(st.sampled_from(["chain", "diamond", "layered"]))
+    name = f"g{draw(st.integers(min_value=0, max_value=999))}"
+    if shape == "chain":
+        lats = draw(st.lists(latencies, min_size=1, max_size=4))
+        return chain_graph(name, lats)
+    if shape == "diamond":
+        lats = draw(st.lists(latencies, min_size=4, max_size=4))
+        return diamond_graph(name, lats)
+    widths = draw(st.lists(st.integers(1, 3), min_size=2, max_size=3))
+    lats = draw(
+        st.lists(latencies, min_size=len(widths), max_size=len(widths))
+    )
+    return layered_graph(name, widths, lats)
+
+
+@st.composite
+def workloads(draw) -> List[AppRequest]:
+    """1-4 applications with random batches, priorities and arrivals."""
+    count = draw(st.integers(min_value=1, max_value=4))
+    requests = []
+    arrival = 0.0
+    for index in range(count):
+        graph = draw(small_graphs())
+        arrival += draw(st.floats(min_value=0.0, max_value=500.0))
+        requests.append(
+            AppRequest(
+                name=f"{graph.name}_{index}",
+                graph=graph,
+                batch_size=draw(st.integers(min_value=1, max_value=4)),
+                priority=draw(st.sampled_from([1, 3, 9])),
+                arrival_ms=arrival,
+            )
+        )
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# Graph properties
+# ---------------------------------------------------------------------------
+
+
+class TestGraphProperties:
+    @given(small_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_topological_order_is_consistent(self, graph):
+        index = {t: i for i, t in enumerate(graph.topological_order)}
+        for src, dst in graph.edges:
+            assert index[src] < index[dst]
+
+    @given(small_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_critical_path_bounds(self, graph):
+        cp = graph.critical_path_ms()
+        total = graph.total_latency_ms()
+        longest_task = max(
+            graph.task(t).latency_ms for t in graph.topological_order
+        )
+        assert longest_task <= cp <= total + 1e-9
+
+    @given(small_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_width_times_depth_covers_tasks(self, graph):
+        assert graph.max_width() * graph.depth() >= graph.num_tasks
+
+
+# ---------------------------------------------------------------------------
+# Percentile properties
+# ---------------------------------------------------------------------------
+
+
+class TestPercentileProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                 max_size=50),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_percentile_within_range(self, values, pct):
+        result = percentile(values, pct)
+        assert min(values) <= result <= max(values)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2,
+                    max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_monotone_in_pct(self, values):
+        assert percentile(values, 25) <= percentile(values, 75)
+
+
+# ---------------------------------------------------------------------------
+# Simulation invariants
+# ---------------------------------------------------------------------------
+
+SCHEDULERS = ["baseline", "fcfs", "prema", "rr", "nimblock",
+              "nimblock_no_pipe"]
+
+
+def _check_invariants(hypervisor: Hypervisor, pipelined: bool) -> None:
+    trace = hypervisor.trace
+    # 1. CAP serialization: config intervals never overlap.
+    config_intervals = []
+    pending: Dict[Tuple, float] = {}
+    for event in trace:
+        key = (event.app_id, event.task_id, event.slot)
+        if event.kind == TraceKind.TASK_CONFIG_START:
+            pending[key] = event.time
+        elif event.kind == TraceKind.TASK_CONFIG_DONE:
+            config_intervals.append((pending.pop(key), event.time))
+    config_intervals.sort()
+    for (_, end), (start, _) in zip(config_intervals, config_intervals[1:]):
+        assert start >= end - 1e-9, "overlapping reconfigurations"
+
+    # 2. Slot exclusivity: item intervals on one slot never overlap.
+    slot_intervals: Dict[int, List[Tuple[float, float]]] = {}
+    open_items: Dict[Tuple, float] = {}
+    for event in trace:
+        key = (event.app_id, event.task_id, event.slot, event.detail)
+        if event.kind == TraceKind.ITEM_START:
+            open_items[key] = event.time
+        elif event.kind == TraceKind.ITEM_DONE:
+            start = open_items.pop(key)
+            slot_intervals.setdefault(event.slot, []).append(
+                (start, event.time)
+            )
+    assert not open_items, "items started but never finished"
+    for intervals in slot_intervals.values():
+        intervals.sort()
+        for (_, end), (start, _) in zip(intervals, intervals[1:]):
+            assert start >= end - 1e-9, "two items overlap on one slot"
+
+    # 3. Per-task item order and dependency order.
+    done_at: Dict[Tuple[int, str, int], float] = {}
+    started_at: Dict[Tuple[int, str, int], float] = {}
+    for event in trace:
+        if event.kind == TraceKind.ITEM_START:
+            started_at[(event.app_id, event.task_id, int(event.detail))] = (
+                event.time
+            )
+        elif event.kind == TraceKind.ITEM_DONE:
+            done_at[(event.app_id, event.task_id, int(event.detail))] = (
+                event.time
+            )
+    for app in hypervisor.apps.values():
+        batch = app.batch_size
+        for task_id in app.graph.topological_order:
+            for item in range(batch):
+                key = (app.app_id, task_id, item)
+                assert key in done_at, f"missing item {key}"
+                if item > 0:
+                    prev = (app.app_id, task_id, item - 1)
+                    assert started_at[key] >= done_at[prev] - 1e-9
+                for pred in app.graph.predecessors(task_id):
+                    pred_key = (app.app_id, pred, item)
+                    assert started_at[key] >= done_at[pred_key] - 1e-9, (
+                        "item ran before its input existed"
+                    )
+
+    # 4. Conservation: every (task, item) ran exactly once; run_busy
+    #    matches the ideal sum.
+    for result in hypervisor.results():
+        app = hypervisor.apps[result.app_id]
+        ideal = sum(
+            app.batch_size * app.graph.task(t).latency_ms
+            for t in app.graph.topological_order
+        )
+        assert result.run_busy_ms == pytest.approx(ideal)
+        # 5. Response bounded below by the pipelined critical path.
+        assert result.response_ms >= app.graph.critical_path_ms() - 1e-9
+
+    # 6. No leaked buffers.
+    assert hypervisor.buffers.live_buffers == 0
+
+
+@pytest.mark.parametrize("scheduler_name", SCHEDULERS)
+@given(requests=workloads())
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_simulation_invariants(scheduler_name, requests):
+    config = SystemConfig(num_slots=3)
+    policy = make_scheduler(scheduler_name)
+    hypervisor = Hypervisor(policy, config=config)
+    for request in requests:
+        hypervisor.submit(request)
+    hypervisor.run()
+    assert hypervisor.all_retired
+    _check_invariants(hypervisor, policy.pipelined)
+
+
+@given(
+    graph=small_graphs(),
+    batch=st.integers(min_value=1, max_value=4),
+    slots=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_estimator_monotone_in_slots(graph, batch, slots):
+    """More slots never hurt the estimated isolated latency by much.
+
+    The heuristic estimator is not guaranteed perfectly monotone, but it
+    must never be more than a whisker above the previous slot count's best
+    (it can always ignore the extra slot).
+    """
+    smaller = estimate_makespan_ms(
+        ScheduleProblem(graph, batch, slots, 80.0)
+    )
+    larger = estimate_makespan_ms(
+        ScheduleProblem(graph, batch, slots + 1, 80.0)
+    )
+    assert larger <= smaller * 1.10 + 1e-6
+
+
+@pytest.mark.parametrize("scheduler_name", ["baseline", "nimblock"])
+@given(requests=workloads())
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_utilization_shares_are_well_formed(scheduler_name, requests):
+    """Utilization shares stay in [0, 1] and sum to 1 on any workload."""
+    from repro.metrics.utilization import board_utilization
+
+    config = SystemConfig(num_slots=3)
+    hypervisor = Hypervisor(make_scheduler(scheduler_name), config=config)
+    for request in requests:
+        hypervisor.submit(request)
+    hypervisor.run()
+    report = board_utilization(hypervisor.trace, config.num_slots)
+    shares = (
+        report.compute_fraction, report.reconfig_fraction,
+        report.idle_resident_fraction, report.empty_fraction,
+    )
+    assert all(-1e-9 <= share <= 1.0 + 1e-9 for share in shares)
+    assert sum(shares) == pytest.approx(1.0)

@@ -1,0 +1,71 @@
+"""Tests for the pending queue (repro.hypervisor.queues)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.hypervisor.queues import PendingQueue
+from tests.test_application_state import make_app
+
+
+class TestMembership:
+    def test_add_and_contains(self):
+        queue = PendingQueue()
+        app = make_app(app_id=1)
+        queue.add(app)
+        assert 1 in queue
+        assert queue.get(1) is app
+        assert len(queue) == 1
+
+    def test_duplicate_add_rejected(self):
+        queue = PendingQueue()
+        queue.add(make_app(app_id=1))
+        with pytest.raises(SchedulerError, match="already pending"):
+            queue.add(make_app(app_id=1))
+
+    def test_remove_returns_app(self):
+        queue = PendingQueue()
+        app = make_app(app_id=1)
+        queue.add(app)
+        assert queue.remove(1) is app
+        assert 1 not in queue
+        assert queue.get(1) is None
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(SchedulerError, match="not pending"):
+            PendingQueue().remove(7)
+
+
+class TestOrdering:
+    def test_arrival_order(self):
+        queue = PendingQueue()
+        late = make_app(arrival=100.0, app_id=0)
+        early = make_app(arrival=5.0, app_id=1)
+        queue.add(late)
+        queue.add(early)
+        ordered = queue.in_arrival_order()
+        assert [a.app_id for a in ordered] == [1, 0]
+        assert queue.oldest() is early
+
+    def test_tie_breaks_by_app_id(self):
+        queue = PendingQueue()
+        second = make_app(arrival=5.0, app_id=2)
+        first = make_app(arrival=5.0, app_id=1)
+        queue.add(second)
+        queue.add(first)
+        assert [a.app_id for a in queue.in_arrival_order()] == [1, 2]
+
+    def test_oldest_of_empty_is_none(self):
+        assert PendingQueue().oldest() is None
+
+    def test_iteration_snapshot_is_safe(self):
+        queue = PendingQueue()
+        for i in range(3):
+            queue.add(make_app(app_id=i))
+        seen = []
+        for app in queue:
+            seen.append(app.app_id)
+            if app.app_id == 0:
+                queue.remove(2)
+        assert seen == [0, 1, 2]

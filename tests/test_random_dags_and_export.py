@@ -1,0 +1,114 @@
+"""Tests for random DAG generation and trace export."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError, TaskGraphError
+from repro.schedulers.registry import make_scheduler
+from repro.sim.trace_export import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+)
+from repro.taskgraph.random_dags import (
+    random_layered_dag,
+    random_series_parallel_dag,
+)
+from tests.conftest import request, run_workload, small_config
+
+
+class TestRandomLayered:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_valid_dag(self, seed):
+        graph = random_layered_dag(seed)
+        # Construction validates acyclicity; check connectivity per layer.
+        for task_id in graph.topological_order:
+            if graph.task(task_id).stage > 0:
+                assert graph.predecessors(task_id)
+
+    def test_seeded_determinism(self):
+        a = random_layered_dag(5)
+        b = random_layered_dag(5)
+        assert a.topological_order == b.topological_order
+        assert a.edges == b.edges
+
+    def test_validation(self):
+        with pytest.raises(TaskGraphError):
+            random_layered_dag(1, max_layers=0)
+        with pytest.raises(TaskGraphError):
+            random_layered_dag(1, latency_range_ms=(0.0, 1.0))
+        with pytest.raises(TaskGraphError):
+            random_layered_dag(1, edge_probability=1.5)
+
+
+class TestRandomSeriesParallel:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_valid(self, seed):
+        graph = random_series_parallel_dag(seed, depth=3)
+        assert graph.num_tasks >= 1
+        assert graph.depth() >= 1
+
+    def test_deterministic(self):
+        assert (
+            random_series_parallel_dag(9).edges
+            == random_series_parallel_dag(9).edges
+        )
+
+    def test_schedulable_end_to_end(self):
+        graph = random_series_parallel_dag(3, depth=3)
+        _, results = run_workload(
+            make_scheduler("nimblock"),
+            [request(graph, batch_size=2)],
+            small_config(num_slots=4),
+        )
+        assert results[0].response_ms > 0
+
+
+class TestTraceExport:
+    def _traced_run(self):
+        graph = random_layered_dag(11, max_layers=3, max_width=2)
+        hv, _ = run_workload(
+            make_scheduler("fcfs"), [request(graph, batch_size=2)],
+            small_config(),
+        )
+        return hv.trace
+
+    def test_round_trip_exact(self, tmp_path):
+        trace = self._traced_run()
+        path = save_trace(trace, tmp_path / "run.json", label="t")
+        rebuilt = load_trace(path)
+        assert len(rebuilt) == len(trace)
+        assert rebuilt.events == trace.events
+
+    def test_aggregates_survive_round_trip(self, tmp_path):
+        trace = self._traced_run()
+        rebuilt = load_trace(save_trace(trace, tmp_path / "r.json"))
+        assert rebuilt.run_busy_ms() == trace.run_busy_ms()
+        assert rebuilt.reconfig_busy_ms() == trace.reconfig_busy_ms()
+
+    def test_timeline_renders_from_loaded_trace(self, tmp_path):
+        from repro.sim.timeline import render_timeline
+
+        trace = self._traced_run()
+        rebuilt = load_trace(save_trace(trace, tmp_path / "r.json"))
+        art = render_timeline(rebuilt, num_slots=2)
+        assert "#" in art
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no trace file"):
+            load_trace(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{]")
+        with pytest.raises(ExperimentError, match="not valid JSON"):
+            load_trace(bad)
+        with pytest.raises(ExperimentError, match="unsupported"):
+            trace_from_dict({"format": 9, "events": []})
+        with pytest.raises(ExperimentError, match="bad trace event"):
+            trace_from_dict(
+                {"format": 1, "events": [{"kind": "nope", "time": 0.0}]}
+            )

@@ -1,0 +1,44 @@
+"""Tests for the paper-comparison report (repro.experiments.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.runner import ExperimentSettings, RunCache
+
+
+@pytest.fixture(scope="module")
+def findings():
+    # Small but statistically sufficient scale; one cache for everything.
+    settings = ExperimentSettings(num_sequences=2, num_events=12)
+    return report.generate_findings(RunCache(), settings)
+
+
+class TestFindings:
+    def test_covers_every_table_and_figure(self, findings):
+        experiments = {f.experiment for f in findings}
+        for expected in ("Table 1", "Table 2", "Table 3", "Fig 5", "Fig 6",
+                         "Fig 7", "Fig 8", "Fig 9", "Fig 10", "Fig 11"):
+            assert expected in experiments
+
+    def test_verdicts_are_valid(self, findings):
+        assert all(
+            f.verdict in ("HELD", "PARTIAL", "DIVERGED") for f in findings
+        )
+
+    def test_static_claims_held(self, findings):
+        static = [
+            f for f in findings if f.experiment in ("Table 1", "Table 2")
+        ]
+        assert all(f.verdict == "HELD" for f in static)
+
+    def test_majority_of_claims_held(self, findings):
+        held = sum(1 for f in findings if f.verdict == "HELD")
+        assert held >= 0.75 * len(findings)
+
+    def test_markdown_rendering(self, findings):
+        text = report.format_findings(findings)
+        assert text.startswith("| Experiment |")
+        assert "claims HELD" in text
+        assert len(text.splitlines()) >= len(findings) + 3

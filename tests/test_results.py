@@ -1,0 +1,80 @@
+"""Tests for result records (repro.hypervisor.results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.hypervisor.results import AppResult, single_slot_latency_ms
+from repro.taskgraph.builders import chain_graph, diamond_graph
+from tests.test_application_state import make_app
+
+
+def make_result(**overrides):
+    defaults = dict(
+        app_id=0, name="c", batch_size=2, priority=3,
+        arrival_ms=100.0, first_start_ms=180.0, retire_ms=500.0,
+        run_busy_ms=120.0, reconfig_busy_ms=160.0, reconfig_count=2,
+        preemption_count=0, single_slot_latency_ms=220.0,
+    )
+    defaults.update(overrides)
+    return AppResult(**defaults)
+
+
+class TestSingleSlotLatency:
+    def test_chain_formula(self):
+        graph = chain_graph("c", [10.0, 20.0])
+        # 2 tasks: 2 x (80 + 3 x latency)
+        assert single_slot_latency_ms(graph, 3, 80.0) == (
+            80 + 30 + 80 + 60
+        )
+
+    def test_diamond_serializes_on_one_slot(self):
+        graph = diamond_graph("d", [10.0, 10.0, 10.0, 10.0])
+        assert single_slot_latency_ms(graph, 1, 80.0) == 4 * 90.0
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ExperimentError, match="batch"):
+            single_slot_latency_ms(chain_graph("c", [1.0]), 0, 80.0)
+
+
+class TestDerivedMetrics:
+    def test_response_wait_execution(self):
+        result = make_result()
+        assert result.response_ms == 400.0
+        assert result.wait_ms == 80.0
+        assert result.execution_ms == 320.0
+
+    def test_throughput(self):
+        result = make_result()
+        assert result.throughput_items_per_s == pytest.approx(2 / 0.4)
+
+    def test_deadline_violation(self):
+        result = make_result()  # response 400, single-slot 220
+        assert result.violates_deadline(1.0)
+        assert not result.violates_deadline(2.0)
+
+    def test_deadline_rejects_bad_factor(self):
+        with pytest.raises(ExperimentError, match="scaling"):
+            make_result().violates_deadline(0.0)
+
+
+class TestFromApp:
+    def test_unretired_app_rejected(self):
+        app = make_app()
+        with pytest.raises(ExperimentError, match="not retired"):
+            AppResult.from_app(app, 80.0)
+
+    def test_retired_app_summarized(self):
+        app = make_app(batch=2)  # chain 10, 20
+        app.first_item_start_ms = 80.0
+        app.retire_ms = 300.0
+        for run in app.tasks.values():
+            run.items_done = 2
+            run.configure_count = 1
+        app.reconfig_busy_ms = 160.0
+        result = AppResult.from_app(app, 80.0)
+        assert result.response_ms == 300.0
+        assert result.run_busy_ms == 2 * 10 + 2 * 20
+        assert result.reconfig_count == 2
+        assert result.single_slot_latency_ms == (80 + 20) + (80 + 40)

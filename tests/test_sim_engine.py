@@ -1,0 +1,137 @@
+"""Tests for the discrete-event engine (repro.sim.engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_fires_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda now: fired.append(("b", now)))
+        engine.schedule_at(1.0, lambda now: fired.append(("a", now)))
+        engine.schedule_at(9.0, lambda now: fired.append(("c", now)))
+        engine.run()
+        assert fired == [("a", 1.0), ("b", 5.0), ("c", 9.0)]
+
+    def test_same_time_fires_in_priority_then_schedule_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(3.0, lambda now: fired.append("late"), priority=5)
+        engine.schedule_at(3.0, lambda now: fired.append("first"), priority=-1)
+        engine.schedule_at(3.0, lambda now: fired.append("second"), priority=-1)
+        engine.run()
+        assert fired == ["first", "second", "late"]
+
+    def test_schedule_after_is_relative(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(10.0, lambda now: engine.schedule_after(
+            5.0, lambda t: fired.append(t)))
+        engine.run()
+        assert fired == [15.0]
+
+    def test_rejects_past_times(self):
+        engine = SimulationEngine()
+        engine.schedule_at(10.0, lambda now: None)
+        engine.run()
+        with pytest.raises(SimulationError, match="before current time"):
+            engine.schedule_at(5.0, lambda now: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError, match="negative delay"):
+            SimulationEngine().schedule_after(-1.0, lambda now: None)
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda now: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        engine = SimulationEngine()
+        keep = engine.schedule_at(1.0, lambda now: None)
+        drop = engine.schedule_at(2.0, lambda now: None)
+        drop.cancel()
+        assert engine.pending == 1
+        assert keep.time == 1.0
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_horizon(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda now: fired.append(1))
+        engine.schedule_at(50.0, lambda now: fired.append(50))
+        engine.run(until=10.0)
+        assert fired == [1]
+        assert engine.now == 10.0
+        engine.run()
+        assert fired == [1, 50]
+
+    def test_run_until_inclusive(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(10.0, lambda now: fired.append(now))
+        engine.run(until=10.0)
+        assert fired == [10.0]
+
+    def test_max_events_budget(self):
+        engine = SimulationEngine()
+        fired = []
+        for i in range(5):
+            engine.schedule_at(float(i), lambda now: fired.append(now))
+        engine.run(max_events=3)
+        assert len(fired) == 3
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_processed_counts_events(self):
+        engine = SimulationEngine()
+        for i in range(4):
+            engine.schedule_at(float(i), lambda now: None)
+        engine.run()
+        assert engine.processed == 4
+
+    def test_reentrant_run_rejected(self):
+        engine = SimulationEngine()
+
+        def reenter(now):
+            engine.run()
+
+        engine.schedule_at(1.0, reenter)
+        with pytest.raises(SimulationError, match="already running"):
+            engine.run()
+
+    def test_drain_clears_pending(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda now: None)
+        engine.drain()
+        assert engine.pending == 0
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        def run_once():
+            engine = SimulationEngine()
+            log = []
+            for i in range(20):
+                engine.schedule_at(
+                    float(i % 7), lambda now, i=i: log.append((now, i))
+                )
+            engine.run()
+            return log
+
+        assert run_once() == run_once()

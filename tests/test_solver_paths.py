@@ -1,0 +1,64 @@
+"""Edge paths of the branch-and-bound solver and plot-free formatting."""
+
+from __future__ import annotations
+
+from repro.ilp.model import ScheduleProblem, evaluate_assignment
+from repro.ilp.solver import BranchAndBoundSolver
+from repro.taskgraph.builders import chain_graph, single_task_graph
+
+
+class TestSolverEdgePaths:
+    def test_single_task_hits_lower_bound_fallback(self):
+        # One task, one slot: the heuristic incumbent equals the lower
+        # bound, pruning eats the whole tree, and the solver must still
+        # return a valid assignment.
+        graph = single_task_graph("s", 100.0)
+        problem = ScheduleProblem(graph, 3, 1, 80.0)
+        result = BranchAndBoundSolver(problem).solve()
+        assert result.makespan_ms == 80.0 + 300.0
+        assert evaluate_assignment(problem, result.assignment) == (
+            result.makespan_ms
+        )
+
+    def test_symmetry_breaking_limits_leaves(self):
+        # Two identical tasks on three slots: symmetry breaking means only
+        # slot patterns (0,0) and (0,1) are leaves, never (0,2).
+        graph = chain_graph("c", [10.0, 10.0])
+        problem = ScheduleProblem(graph, 1, 3, 5.0)
+        result = BranchAndBoundSolver(problem).solve()
+        assert result.leaves_evaluated <= 2
+        assert set(result.assignment.values()) <= {0, 1}
+
+    def test_zero_reconfig_platform(self):
+        graph = chain_graph("c", [10.0, 10.0])
+        problem = ScheduleProblem(graph, 2, 2, 0.0)
+        result = BranchAndBoundSolver(problem).solve()
+        # Without reconfig cost the two-slot pipeline is optimal:
+        # items at 10,20 on t0; t1 finishes at 30.
+        assert result.makespan_ms == 30.0
+
+
+class TestPlotFreeFormatting:
+    def test_fig7_table_only(self):
+        from repro.experiments import fig7_deadlines
+        from repro.experiments.runner import ExperimentSettings, RunCache
+
+        result = fig7_deadlines.run(
+            cache=RunCache(),
+            settings=ExperimentSettings(num_sequences=1, num_events=6),
+        )
+        text = fig7_deadlines.format_result(result, plot=False)
+        assert "violation rate" in text
+        assert "|" not in text.splitlines()[2]  # no plot gutter
+
+    def test_fig5_table_only(self):
+        from repro.experiments import fig5_response
+        from repro.experiments.runner import ExperimentSettings, RunCache
+
+        result = fig5_response.run(
+            cache=RunCache(),
+            settings=ExperimentSettings(num_sequences=1, num_events=6),
+        )
+        text = fig5_response.format_result(result, plot=False)
+        assert "Figure 5" in text
+        assert "#" not in text

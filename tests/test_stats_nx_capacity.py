@@ -1,0 +1,127 @@
+"""Tests for bootstrap CIs, the networkx bridge and capacity planning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError, TaskGraphError
+from repro.metrics.stats import bootstrap_ci, reduction_ci
+from repro.taskgraph.builders import chain_graph, diamond_graph, layered_graph
+from repro.taskgraph.nx_bridge import (
+    cross_check_metrics,
+    from_networkx,
+    to_networkx,
+)
+
+
+class TestBootstrap:
+    def test_point_estimate_inside_interval(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0] * 4
+        point, low, high = bootstrap_ci(values, seed=1)
+        assert low <= point <= high
+        assert point == pytest.approx(3.0)
+
+    def test_tighter_with_more_data(self):
+        rng = np.random.default_rng(7)
+        small = list(rng.normal(10, 2, size=10))
+        big = list(rng.normal(10, 2, size=1000))
+        _, lo_s, hi_s = bootstrap_ci(small, seed=2)
+        _, lo_b, hi_b = bootstrap_ci(big, seed=2)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_seeded_determinism(self):
+        values = [1.0, 5.0, 9.0, 2.0]
+        assert bootstrap_ci(values, seed=3) == bootstrap_ci(values, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bootstrap_ci([])
+        with pytest.raises(ExperimentError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ExperimentError):
+            bootstrap_ci([1.0], resamples=2)
+
+    def test_reduction_ci_pairs(self):
+        base = [100.0, 200.0, 300.0, 400.0]
+        other = [50.0, 100.0, 150.0, 200.0]
+        point, low, high = reduction_ci(base, other, seed=4)
+        assert point == pytest.approx(2.0)
+        # Perfectly correlated pairs -> the ratio is exactly 2 always.
+        assert low == pytest.approx(2.0)
+        assert high == pytest.approx(2.0)
+
+    def test_reduction_ci_validation(self):
+        with pytest.raises(ExperimentError):
+            reduction_ci([1.0], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            reduction_ci([], [])
+
+
+class TestNetworkxBridge:
+    def test_round_trip(self):
+        graph = diamond_graph("d", [10.0, 20.0, 30.0, 40.0])
+        rebuilt = from_networkx(to_networkx(graph), name="d")
+        assert rebuilt.num_tasks == graph.num_tasks
+        assert set(rebuilt.edges) == set(graph.edges)
+        for task_id in graph.topological_order:
+            assert rebuilt.task(task_id).latency_ms == graph.task(
+                task_id
+            ).latency_ms
+
+    def test_missing_latency_rejected(self):
+        import networkx as nx
+
+        digraph = nx.DiGraph()
+        digraph.add_node("a")
+        with pytest.raises(TaskGraphError, match="latency_ms"):
+            from_networkx(digraph)
+
+    def test_cycle_rejected(self):
+        import networkx as nx
+
+        digraph = nx.DiGraph()
+        digraph.add_edge("a", "b")
+        digraph.add_edge("b", "a")
+        for node in digraph:
+            digraph.nodes[node]["latency_ms"] = 1.0
+        with pytest.raises(TaskGraphError, match="cycle"):
+            from_networkx(digraph)
+
+    def test_empty_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(TaskGraphError, match="empty"):
+            from_networkx(nx.DiGraph())
+
+    @pytest.mark.parametrize("graph", [
+        chain_graph("c", [5.0, 7.0, 11.0]),
+        diamond_graph("d", [1.0, 2.0, 3.0, 4.0]),
+        layered_graph("l", [1, 3, 2], [10.0, 20.0, 5.0]),
+    ], ids=["chain", "diamond", "layered"])
+    def test_cross_check_agrees_with_our_metrics(self, graph):
+        check = cross_check_metrics(graph)
+        assert check["num_nodes"] == graph.num_tasks
+        assert check["num_edges"] == graph.num_edges
+        assert check["depth"] == graph.depth()
+        assert check["critical_path_ms"] == pytest.approx(
+            graph.critical_path_ms()
+        )
+
+
+class TestCapacityPlanning:
+    def test_sweep_monotone_and_knee(self):
+        from repro.experiments import ext_capacity
+        from repro.experiments.runner import ExperimentSettings
+
+        result = ext_capacity.run(
+            settings=ExperimentSettings(num_sequences=1, num_events=8),
+            slot_counts=(2, 4, 8),
+        )
+        # More slots never hurt much.
+        assert result.response(8) <= result.response(2) * 1.05
+        knee = result.knee()
+        assert knee in (2, 4, 8)
+        text = ext_capacity.format_result(result)
+        assert "capacity planning" in text
+        assert "knee" in text

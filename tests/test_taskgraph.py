@@ -1,0 +1,132 @@
+"""Tests for the task-graph model (repro.taskgraph.graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.taskgraph.graph import TaskGraph, TaskSpec
+
+
+def make_graph() -> TaskGraph:
+    """src -> (a, b) -> sink plus an isolated task."""
+    tasks = [
+        TaskSpec("src", 10.0),
+        TaskSpec("a", 20.0),
+        TaskSpec("b", 30.0),
+        TaskSpec("sink", 5.0),
+        TaskSpec("lone", 7.0),
+    ]
+    edges = [("src", "a"), ("src", "b"), ("a", "sink"), ("b", "sink")]
+    return TaskGraph("g", tasks, edges)
+
+
+class TestTaskSpec:
+    def test_rejects_empty_id(self):
+        with pytest.raises(TaskGraphError, match="non-empty"):
+            TaskSpec("", 1.0)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(TaskGraphError, match="latency"):
+            TaskSpec("t", 0.0)
+
+    def test_stage_defaults_to_zero(self):
+        assert TaskSpec("t", 1.0).stage == 0
+
+
+class TestConstruction:
+    def test_counts(self):
+        graph = make_graph()
+        assert graph.num_tasks == 5
+        assert graph.num_edges == 4
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TaskGraphError, match="name"):
+            TaskGraph("", [TaskSpec("t", 1.0)], [])
+
+    def test_rejects_no_tasks(self):
+        with pytest.raises(TaskGraphError, match="at least one"):
+            TaskGraph("g", [], [])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(TaskGraphError, match="duplicate task"):
+            TaskGraph("g", [TaskSpec("t", 1.0), TaskSpec("t", 2.0)], [])
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(TaskGraphError, match="unknown task"):
+            TaskGraph("g", [TaskSpec("t", 1.0)], [("t", "missing")])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TaskGraphError, match="self loop"):
+            TaskGraph("g", [TaskSpec("t", 1.0)], [("t", "t")])
+
+    def test_rejects_duplicate_edge(self):
+        tasks = [TaskSpec("a", 1.0), TaskSpec("b", 1.0)]
+        with pytest.raises(TaskGraphError, match="duplicate edge"):
+            TaskGraph("g", tasks, [("a", "b"), ("a", "b")])
+
+    def test_rejects_cycle(self):
+        tasks = [TaskSpec("a", 1.0), TaskSpec("b", 1.0), TaskSpec("c", 1.0)]
+        edges = [("a", "b"), ("b", "c"), ("c", "a")]
+        with pytest.raises(TaskGraphError, match="cycle"):
+            TaskGraph("g", tasks, edges)
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        graph = make_graph()
+        order = graph.topological_order
+        assert order.index("src") < order.index("a") < order.index("sink")
+        assert order.index("src") < order.index("b") < order.index("sink")
+
+    def test_topo_index_matches_order(self):
+        graph = make_graph()
+        for index, task_id in enumerate(graph.topological_order):
+            assert graph.topo_index(task_id) == index
+
+    def test_predecessors_and_successors(self):
+        graph = make_graph()
+        assert set(graph.predecessors("sink")) == {"a", "b"}
+        assert set(graph.successors("src")) == {"a", "b"}
+        assert graph.predecessors("lone") == ()
+
+    def test_sources_and_sinks(self):
+        graph = make_graph()
+        assert set(graph.sources()) == {"src", "lone"}
+        assert set(graph.sinks()) == {"sink", "lone"}
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(TaskGraphError, match="unknown task"):
+            make_graph().task("missing")
+        with pytest.raises(TaskGraphError, match="unknown task"):
+            make_graph().predecessors("missing")
+
+
+class TestDerivedMetrics:
+    def test_total_latency(self):
+        assert make_graph().total_latency_ms() == 72.0
+
+    def test_critical_path(self):
+        # src -> b -> sink = 10 + 30 + 5
+        assert make_graph().critical_path_ms() == 45.0
+
+    def test_depth(self):
+        assert make_graph().depth() == 3
+
+    def test_max_width(self):
+        # level 1: src + lone; level 2: a + b -> width 2
+        assert make_graph().max_width() == 2
+
+    def test_ancestors(self):
+        graph = make_graph()
+        assert graph.ancestors("sink") == frozenset({"src", "a", "b"})
+        assert graph.ancestors("src") == frozenset()
+
+    def test_single_node_metrics(self):
+        graph = TaskGraph("one", [TaskSpec("t", 42.0)], [])
+        assert graph.critical_path_ms() == 42.0
+        assert graph.depth() == 1
+        assert graph.max_width() == 1
+
+    def test_repr_mentions_shape(self):
+        assert "tasks=5" in repr(make_graph())

@@ -1,0 +1,123 @@
+"""Tests for token accounting — Algorithm 1 (repro.core.tokens)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.tokens import TokenAccounting
+from tests.test_application_state import make_app
+
+
+@pytest.fixture
+def accounting():
+    # alpha pinned to 1 so the accumulation arithmetic is easy to read;
+    # the platform default is smaller (see SystemConfig.token_alpha).
+    return TokenAccounting(SystemConfig(token_alpha=1.0))
+
+
+class TestDegradation:
+    def test_fresh_app_has_unit_degradation(self, accounting):
+        app = make_app(arrival=100.0)
+        assert accounting.degradation(app, 100.0) == 1.0
+
+    def test_degradation_grows_with_waiting(self, accounting):
+        app = make_app(arrival=0.0)  # estimate 100 ms
+        assert accounting.degradation(app, 100.0) == 2.0
+        assert accounting.degradation(app, 300.0) == 4.0
+
+    def test_long_apps_degrade_slower(self, accounting):
+        short = make_app(arrival=0.0)
+        short.latency_estimate_ms = 10.0
+        long_ = make_app(arrival=0.0, app_id=1)
+        long_.latency_estimate_ms = 1000.0
+        assert accounting.degradation(short, 100.0) > accounting.degradation(
+            long_, 100.0
+        )
+
+
+class TestAccumulation:
+    def test_initial_token_is_priority(self):
+        assert make_app(priority=3).token == 3.0
+
+    def test_accumulate_adds_alpha_priority_degradation(self, accounting):
+        app = make_app(priority=3, arrival=0.0)
+        accounting.accumulate([app], now=0.0)
+        # Sole app: degradation_norm = 1 -> token += alpha x priority.
+        assert app.token == 3.0 + 3.0
+
+    def test_most_degraded_app_normalizes_to_one(self, accounting):
+        fresh = make_app(priority=1, arrival=100.0, app_id=0)
+        stale = make_app(priority=1, arrival=0.0, app_id=1)
+        accounting.accumulate([fresh, stale], now=100.0)
+        assert stale.token == pytest.approx(2.0)  # 1 + 1 x 1 x 1.0
+        assert 1.0 < fresh.token < 2.0
+
+    def test_priority_scales_accumulation(self, accounting):
+        low = make_app(priority=1, arrival=0.0, app_id=0)
+        high = make_app(priority=9, arrival=0.0, app_id=1)
+        accounting.accumulate([low, high], now=50.0)
+        assert (high.token - 9.0) == pytest.approx(9 * (low.token - 1.0))
+
+    def test_alpha_scales_accumulation(self):
+        fast = TokenAccounting(SystemConfig(token_alpha=2.0))
+        app = make_app(priority=1)
+        fast.accumulate([app], now=0.0)
+        assert app.token == 3.0
+
+    def test_empty_queue_is_noop(self, accounting):
+        accounting.accumulate([], now=10.0)
+
+
+class TestThresholdAndCandidates:
+    def test_threshold_floors_max_token(self, accounting):
+        a = make_app(app_id=0)
+        b = make_app(app_id=1)
+        a.token = 8.9
+        b.token = 2.0
+        assert accounting.threshold([a, b]) == 3.0
+
+    def test_threshold_of_empty_queue(self, accounting):
+        assert accounting.threshold([]) == 0.0
+
+    def test_candidates_meet_threshold_inclusively(self, accounting):
+        a = make_app(app_id=0)
+        b = make_app(app_id=1)
+        c = make_app(app_id=2)
+        a.token = 9.0
+        b.token = 9.5
+        c.token = 8.9
+        chosen = accounting.candidates([a, b, c])
+        assert {x.app_id for x in chosen} == {0, 1}
+
+    def test_fresh_equal_priority_apps_all_candidates(self, accounting):
+        apps = [make_app(priority=1, app_id=i) for i in range(3)]
+        assert len(accounting.candidates(apps)) == 3
+
+    def test_high_priority_arrival_excludes_low(self, accounting):
+        low = make_app(priority=1, app_id=0)
+        high = make_app(priority=9, app_id=1)
+        chosen = accounting.candidates([low, high])
+        assert [x.app_id for x in chosen] == [1]
+
+    def test_low_priority_eventually_joins(self, accounting):
+        low = make_app(priority=1, arrival=0.0, app_id=0)
+        high = make_app(priority=9, arrival=0.0, app_id=1)
+        for tick in range(1, 50):
+            accounting.accumulate([low, high], now=tick * 400.0)
+            if low in accounting.candidates([low, high]):
+                break
+        else:
+            pytest.fail("low-priority app never became a candidate")
+
+    def test_candidates_sorted_by_age(self, accounting):
+        young = make_app(arrival=100.0, app_id=0)
+        old = make_app(arrival=0.0, app_id=1)
+        young.token = old.token = 5.0
+        chosen = accounting.candidates([young, old])
+        assert [x.app_id for x in chosen] == [1, 0]
+
+    def test_snapshot(self, accounting):
+        a = make_app(app_id=3)
+        a.token = 4.5
+        assert accounting.snapshot([a]) == {3: 4.5}

@@ -1,0 +1,98 @@
+"""Tests for sequence JSON persistence (repro.workload.trace_io)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.scenarios import scenario_sequence, STANDARD
+from repro.workload.trace_io import (
+    load_sequence,
+    load_suite,
+    save_sequence,
+    save_suite,
+    sequence_from_dict,
+    sequence_to_dict,
+)
+
+
+@pytest.fixture
+def sequence():
+    return scenario_sequence(STANDARD, seed=7, num_events=6)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_events(self, sequence):
+        rebuilt = sequence_from_dict(sequence_to_dict(sequence))
+        assert rebuilt.events == sequence.events
+        assert rebuilt.label == sequence.label
+
+    def test_file_round_trip(self, sequence, tmp_path):
+        path = save_sequence(sequence, tmp_path / "seq.json")
+        assert path.exists()
+        rebuilt = load_sequence(path)
+        assert rebuilt.events == sequence.events
+
+    def test_suite_round_trip(self, tmp_path):
+        sequences = [
+            scenario_sequence(STANDARD, seed, num_events=4)
+            for seed in (1, 2, 3)
+        ]
+        paths = save_suite(sequences, tmp_path / "suite")
+        assert len(paths) == 3
+        rebuilt = load_suite(tmp_path / "suite")
+        assert [s.label for s in rebuilt] == sorted(
+            s.label for s in sequences
+        )
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="no sequence file"):
+            load_sequence(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(WorkloadError, match="not valid JSON"):
+            load_sequence(path)
+
+    def test_wrong_format_version(self, sequence, tmp_path):
+        payload = sequence_to_dict(sequence)
+        payload["format"] = 99
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(WorkloadError, match="unsupported sequence format"):
+            load_sequence(path)
+
+    def test_missing_event_field(self, sequence):
+        payload = sequence_to_dict(sequence)
+        del payload["events"][0]["priority"]
+        with pytest.raises(WorkloadError, match="missing field"):
+            sequence_from_dict(payload)
+
+    def test_empty_events_rejected(self):
+        with pytest.raises(WorkloadError, match="no events"):
+            sequence_from_dict({"format": 1, "events": []})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(WorkloadError, match="expected an object"):
+            sequence_from_dict([1, 2])  # type: ignore[arg-type]
+
+    def test_load_suite_requires_directory(self, tmp_path):
+        with pytest.raises(WorkloadError, match="not a directory"):
+            load_suite(tmp_path / "missing")
+
+
+class TestLoadedSequencesRun:
+    def test_loaded_sequence_drives_hypervisor(self, sequence, tmp_path):
+        from repro import Hypervisor, make_scheduler
+
+        rebuilt = load_sequence(save_sequence(sequence, tmp_path / "s.json"))
+        hypervisor = Hypervisor(make_scheduler("fcfs"))
+        for request in rebuilt.to_requests():
+            hypervisor.submit(request)
+        hypervisor.run()
+        assert hypervisor.all_retired

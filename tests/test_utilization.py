@@ -1,0 +1,59 @@
+"""Tests for utilization accounting (repro.metrics.utilization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.utilization import board_utilization
+from repro.schedulers.registry import make_scheduler
+from repro.sim.trace import Trace
+from repro.taskgraph.builders import chain_graph
+from tests.conftest import request, run_workload, small_config
+
+
+class TestBoardUtilization:
+    def _run(self, scheduler="baseline", slots=2, batch=2):
+        graph = chain_graph("c", [100.0, 100.0])
+        hv, _ = run_workload(
+            make_scheduler(scheduler), [request(graph, batch_size=batch)],
+            small_config(num_slots=slots),
+        )
+        return hv
+
+    def test_shares_sum_to_at_most_one(self):
+        hv = self._run()
+        report = board_utilization(hv.trace, 2)
+        total = (
+            report.compute_fraction + report.reconfig_fraction
+            + report.idle_resident_fraction + report.empty_fraction
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_hand_computed_shares(self):
+        # Baseline, chain2 batch2, 2 slots: window 0..480 (arrival to
+        # retire); compute = 400 ms; reconfig = 160; idle-resident: t1
+        # resident 160-280 = 120 ms. Denominator = 480 x 2 = 960.
+        hv = self._run()
+        report = board_utilization(hv.trace, 2)
+        assert report.window_ms == 480.0
+        assert report.compute_fraction == pytest.approx(400 / 960)
+        assert report.reconfig_fraction == pytest.approx(160 / 960)
+        assert report.idle_resident_fraction == pytest.approx(120 / 960)
+
+    def test_busy_fraction(self):
+        hv = self._run()
+        report = board_utilization(hv.trace, 2)
+        assert report.busy_fraction == pytest.approx(560 / 960)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            board_utilization(Trace(), 2)
+        hv = self._run()
+        with pytest.raises(ExperimentError):
+            board_utilization(hv.trace, 0)
+
+    def test_more_slots_dilute_utilization(self):
+        two = board_utilization(self._run(slots=2).trace, 2)
+        four = board_utilization(self._run(slots=4).trace, 4)
+        assert four.compute_fraction < two.compute_fraction

@@ -1,0 +1,101 @@
+"""Tests for ASCII plotting and board-timeline rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.ascii_plot import render_bars, render_curves
+from repro.sim.timeline import render_timeline
+from repro.taskgraph.builders import chain_graph
+from tests.conftest import request, run_named, small_config
+
+
+class TestCurves:
+    def test_renders_all_series_markers(self):
+        chart = render_curves(
+            [1.0, 2.0, 3.0],
+            {"nimblock": [1.0, 0.5, 0.0], "prema": [1.0, 1.0, 0.5]},
+        )
+        # Markers derive from series names: N=nimblock, P=prema.
+        assert "N=nimblock" in chart
+        assert "P=prema" in chart
+        body = "\n".join(chart.splitlines()[:-2])
+        assert "N" in body and "P" in body
+
+    def test_marker_collision_falls_back(self):
+        chart = render_curves(
+            [1.0, 2.0],
+            {"prema": [1.0, 0.5], "prio": [0.5, 1.0]},
+        )
+        assert "P=prema" in chart
+        assert "R=prio" in chart  # P taken -> next letter of the name
+
+    def test_y_axis_spans_zero_to_max(self):
+        chart = render_curves([0.0, 1.0], {"s": [0.0, 2.0]})
+        lines = chart.splitlines()
+        assert lines[0].strip().startswith("2.00")
+        assert any(line.strip().startswith("0.00") for line in lines)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            render_curves([], {"s": []})
+        with pytest.raises(ExperimentError):
+            render_curves([1.0], {})
+        with pytest.raises(ExperimentError):
+            render_curves([1.0, 2.0], {"s": [1.0]})
+        with pytest.raises(ExperimentError):
+            render_curves([1.0], {"s": [1.0]}, width=2)
+
+
+class TestBars:
+    def test_bars_scale_to_peak(self):
+        chart = render_bars(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_value_renders_empty_bar(self):
+        chart = render_bars(["z"], [0.0])
+        assert "#" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            render_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            render_bars([], [])
+        with pytest.raises(ExperimentError):
+            render_bars(["a"], [-1.0])
+
+
+class TestTimeline:
+    @pytest.fixture
+    def traced_run(self):
+        graph = chain_graph("c", [100.0, 100.0])
+        hv, _ = run_named(
+            "baseline", [request(graph, batch_size=2)], small_config()
+        )
+        return hv
+
+    def test_timeline_shows_reconfig_and_items(self, traced_run):
+        art = render_timeline(traced_run.trace, num_slots=2, width=60)
+        assert "#" in art          # reconfiguration
+        assert "A" in art          # app 0 items
+        assert "slot  0" in art and "slot  1" in art
+
+    def test_window_clipping(self, traced_run):
+        art = render_timeline(
+            traced_run.trace, num_slots=2, start_ms=0.0, end_ms=80.0,
+            width=40,
+        )
+        assert "A" not in art  # no items execute before the first config ends
+
+    def test_validation(self, traced_run):
+        with pytest.raises(ExperimentError):
+            render_timeline(traced_run.trace, num_slots=0)
+        with pytest.raises(ExperimentError):
+            render_timeline(traced_run.trace, num_slots=2, width=4)
+        with pytest.raises(ExperimentError):
+            render_timeline(
+                traced_run.trace, num_slots=2, start_ms=5.0, end_ms=5.0
+            )

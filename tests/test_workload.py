@@ -1,0 +1,143 @@
+"""Tests for workload generation (repro.workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.events import EventSequence, EventSpec
+from repro.workload.generator import (
+    EVENTS_PER_SEQUENCE,
+    MAX_BATCH_SIZE,
+    EventGenerator,
+)
+from repro.workload.scenarios import (
+    ABLATION_BATCH_SIZES,
+    REALTIME,
+    SCENARIOS,
+    STANDARD,
+    STRESS,
+    fixed_batch_sequence,
+    scenario_sequence,
+)
+
+
+class TestEventSpec:
+    def test_to_request_resolves_benchmark(self):
+        event = EventSpec("lenet", 5, 3, 100.0)
+        req = event.to_request()
+        assert req.name == "lenet"
+        assert req.graph.num_tasks == 3
+        assert req.batch_size == 5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            EventSpec("lenet", 0, 3, 0.0)
+        with pytest.raises(WorkloadError):
+            EventSpec("lenet", 1, 0, 0.0)
+        with pytest.raises(WorkloadError):
+            EventSpec("lenet", 1, 1, -5.0)
+
+
+class TestEventSequence:
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError, match="non-empty"):
+            EventSequence([])
+
+    def test_rejects_out_of_order(self):
+        events = [EventSpec("lenet", 1, 1, 10.0), EventSpec("imgc", 1, 1, 0.0)]
+        with pytest.raises(WorkloadError, match="arrival order"):
+            EventSequence(events)
+
+    def test_span_and_benchmarks(self):
+        events = [
+            EventSpec("lenet", 1, 1, 0.0),
+            EventSpec("imgc", 1, 1, 50.0),
+            EventSpec("lenet", 1, 1, 80.0),
+        ]
+        seq = EventSequence(events, label="x")
+        assert seq.span_ms == 80.0
+        assert seq.benchmarks_used() == ["lenet", "imgc"]
+        assert len(seq.to_requests()) == 3
+
+
+class TestGenerator:
+    def test_paper_defaults(self):
+        assert EVENTS_PER_SEQUENCE == 20
+        assert MAX_BATCH_SIZE == 30
+
+    def test_seeded_determinism(self):
+        a = EventGenerator(7).sequence()
+        b = EventGenerator(7).sequence()
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = EventGenerator(7).sequence()
+        b = EventGenerator(8).sequence()
+        assert a.events != b.events
+
+    def test_value_ranges(self):
+        seq = EventGenerator(3).sequence(num_events=50)
+        for event in seq:
+            assert 1 <= event.batch_size <= 30
+            assert event.priority in (1, 3, 9)
+
+    def test_delay_range_respected(self):
+        seq = EventGenerator(3).sequence(
+            num_events=20, delay_range_ms=(100.0, 200.0)
+        )
+        gaps = [
+            b.arrival_ms - a.arrival_ms
+            for a, b in zip(seq.events, seq.events[1:])
+        ]
+        assert all(100.0 <= gap <= 200.0 for gap in gaps)
+
+    def test_fixed_batch_override(self):
+        seq = EventGenerator(3).sequence(fixed_batch=5)
+        assert all(event.batch_size == 5 for event in seq)
+
+    def test_validation(self):
+        generator = EventGenerator(1)
+        with pytest.raises(WorkloadError):
+            generator.sequence(num_events=0)
+        with pytest.raises(WorkloadError):
+            generator.sequence(delay_range_ms=(200.0, 100.0))
+        with pytest.raises(WorkloadError):
+            generator.sequence(batch_range=(5, 2))
+        with pytest.raises(WorkloadError):
+            generator.sequence(fixed_batch=0)
+        with pytest.raises(WorkloadError):
+            EventGenerator(1, benchmarks=())
+
+
+class TestScenarios:
+    def test_paper_delay_ranges(self):
+        assert STANDARD.delay_range_ms == (1500.0, 2000.0)
+        assert STRESS.delay_range_ms == (150.0, 200.0)
+        assert REALTIME.delay_range_ms == (50.0, 50.0)
+        assert len(SCENARIOS) == 3
+
+    def test_scenario_sequence_labelled(self):
+        seq = scenario_sequence(STRESS, seed=5, num_events=4)
+        assert "stress" in seq.label
+        assert len(seq) == 4
+
+    def test_realtime_constant_gap(self):
+        seq = scenario_sequence(REALTIME, seed=5, num_events=10)
+        gaps = {
+            round(b.arrival_ms - a.arrival_ms, 6)
+            for a, b in zip(seq.events, seq.events[1:])
+        }
+        assert gaps == {50.0}
+
+    def test_fixed_batch_sequence_defaults_to_table3(self):
+        seq = fixed_batch_sequence(5, seed=1, num_events=6)
+        assert all(e.batch_size == 5 for e in seq)
+        gaps = {
+            b.arrival_ms - a.arrival_ms
+            for a, b in zip(seq.events, seq.events[1:])
+        }
+        assert gaps == {500.0}
+
+    def test_ablation_batches(self):
+        assert ABLATION_BATCH_SIZES == (1, 5, 10, 15, 20)
