@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce report examples clean
+.PHONY: install test bench chaos reproduce report examples clean
 
 install:
 	pip install -e . && pip install -e '.[test]'
@@ -13,6 +13,10 @@ test:
 # One regeneration pass over every table/figure bench (3 sequences).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fault-injection drill: every scheduler under the mixed chaos scenario.
+chaos:
+	$(PYTHON) -m repro.cli chaos --scenario mixed --fault-rate 0.05 --seed 1
 
 # Full paper-scale regeneration: 10 sequences x 20 events, all experiments.
 reproduce:

@@ -1,0 +1,77 @@
+"""Extension bench: scheduler resilience under fault injection.
+
+Sweeps the mixed chaos scenario's fault rate over every scheduler and
+regenerates the degradation curves plus the reliability table of
+``repro.experiments.ext_faults``.
+
+Shapes: the zero-rate column is exactly 1.00 for every scheduler (a
+disabled injector is byte-identical to the fault-free path), every
+scheduler retires its whole workload at every swept rate (the recovery
+machinery never wedges), and faults actually fire at the top rate.
+
+Also runnable standalone as a CI smoke test::
+
+    python benchmarks/bench_ext_faults.py --fast
+
+which runs a reduced sweep (two schedulers, two rates, one short
+sequence) in a few seconds and exits non-zero on any violated shape.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ext_faults
+from repro.experiments.runner import ExperimentSettings, RunCache
+
+
+def _check_shapes(result) -> None:
+    """The invariants any fault sweep must satisfy."""
+    zero = result.fault_rates[0]
+    top = result.fault_rates[-1]
+    for scheduler in result.schedulers:
+        if zero == 0.0:
+            assert result.degradation[(scheduler, zero)] == 1.0, (
+                f"{scheduler}: disabled injector must cost exactly nothing"
+            )
+            assert result.fault_counts[(scheduler, zero)] == 0
+            assert result.work_lost[(scheduler, zero)] == 0.0
+        if top > 0:
+            assert result.fault_counts[(scheduler, top)] > 0, (
+                f"{scheduler}: no faults fired at rate {top}"
+            )
+        for rate in result.fault_rates:
+            assert result.goodput[(scheduler, rate)] > 0
+
+
+def test_ext_fault_study(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: ext_faults.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    _check_shapes(result)
+
+    from conftest import emit
+
+    emit(ext_faults.format_result(result))
+
+
+def _fast_smoke() -> int:
+    """Reduced sweep for CI: seconds, not minutes."""
+    result = ext_faults.run(
+        cache=RunCache(),
+        settings=ExperimentSettings(num_sequences=1, num_events=6),
+        fault_rates=(0.0, 0.1),
+        schedulers=("fcfs", "nimblock"),
+    )
+    _check_shapes(result)
+    print(ext_faults.format_result(result))
+    print("\nfault-injection smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--fast" in sys.argv[1:]:
+        sys.exit(_fast_smoke())
+    print("usage: python benchmarks/bench_ext_faults.py --fast", file=sys.stderr)
+    sys.exit(2)

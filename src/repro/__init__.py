@@ -21,6 +21,7 @@ Quickstart
 
 from repro.config import PRIORITY_LEVELS, SystemConfig, ZCU106_CONFIG
 from repro.errors import ReproError
+from repro.faults import FaultConfig, FaultInjector, FaultStats, RecoveryPolicy
 from repro.apps import BENCHMARK_NAMES, BenchmarkApp, get_benchmark
 from repro.taskgraph import TaskGraph, TaskSpec
 from repro.hypervisor import (
@@ -35,6 +36,8 @@ from repro.sim import render_timeline
 from repro.schedulers import ALL_SCHEDULERS, SchedulerPolicy, make_scheduler
 from repro.core import NimblockScheduler
 from repro.workload import (
+    CHAOS_SCENARIOS,
+    ChaosScenario,
     EventGenerator,
     EventSequence,
     EventSpec,
@@ -42,6 +45,7 @@ from repro.workload import (
     SCENARIOS,
     STANDARD,
     STRESS,
+    chaos_scenario,
     fixed_batch_sequence,
     scenario_sequence,
 )
@@ -53,6 +57,10 @@ __all__ = [
     "SystemConfig",
     "ZCU106_CONFIG",
     "ReproError",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "RecoveryPolicy",
     "BENCHMARK_NAMES",
     "BenchmarkApp",
     "get_benchmark",
@@ -69,6 +77,8 @@ __all__ = [
     "SchedulerPolicy",
     "make_scheduler",
     "NimblockScheduler",
+    "CHAOS_SCENARIOS",
+    "ChaosScenario",
     "EventGenerator",
     "EventSequence",
     "EventSpec",
@@ -76,6 +86,7 @@ __all__ = [
     "SCENARIOS",
     "STANDARD",
     "STRESS",
+    "chaos_scenario",
     "fixed_batch_sequence",
     "scenario_sequence",
     "__version__",

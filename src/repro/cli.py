@@ -7,6 +7,7 @@ Examples
     nimblock-repro table2
     nimblock-repro fig5 --sequences 3 --events 12
     nimblock-repro all --sequences 2 --events 10
+    nimblock-repro chaos --scenario transient --fault-rate 0.05 --seed 1
 """
 
 from __future__ import annotations
@@ -15,10 +16,12 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
+from repro.errors import ReproError
 from repro.experiments import (
     ext_batching,
     ext_capacity,
     ext_estimates,
+    ext_faults,
     ext_hetero,
     ext_interconnect,
     ext_mixes,
@@ -42,6 +45,7 @@ from repro.experiments import (
     table3,
 )
 from repro.experiments.runner import ExperimentSettings, RunCache
+from repro.workload.scenarios import CHAOS_SCENARIOS, SCENARIOS
 
 
 def _needs_runs(module) -> bool:
@@ -62,6 +66,7 @@ _EXPERIMENTS: Dict[str, object] = {
     "fig10": fig10_alexnet,
     "fig11": fig11_throughput,
     "overhead": overhead,
+    "ext-faults": ext_faults,
     "ext-interconnect": ext_interconnect,
     "ext-scaleout": ext_scaleout,
     "ext-mixes": ext_mixes,
@@ -101,8 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate ('all' runs everything)",
+        choices=sorted(_EXPERIMENTS) + ["all", "chaos"],
+        help=(
+            "which table/figure to regenerate ('all' runs everything; "
+            "'chaos' runs a one-shot fault-injection drill)"
+        ),
     )
     parser.add_argument(
         "--sequences", type=int, default=None,
@@ -111,6 +119,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--events", type=int, default=None,
         help="events per sequence (paper: 20)",
+    )
+    chaos = parser.add_argument_group(
+        "chaos", "options for the 'chaos' fault-injection drill"
+    )
+    chaos.add_argument(
+        "--scenario", default="mixed",
+        choices=sorted(s.name for s in CHAOS_SCENARIOS),
+        help="which fault scenario to inject (default: mixed)",
+    )
+    chaos.add_argument(
+        "--fault-rate", type=float, default=0.05,
+        help="fault-rate knob; 0 disables injection entirely (default: 0.05)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=1,
+        help="workload and fault-stream seed (default: 1)",
+    )
+    chaos.add_argument(
+        "--workload", default="stress",
+        choices=sorted(s.name for s in SCENARIOS),
+        help="congestion scenario driving arrivals (default: stress)",
     )
     return parser
 
@@ -124,6 +153,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_sequences=args.sequences or settings.num_sequences,
             num_events=args.events or settings.num_events,
         )
+    if args.experiment == "chaos":
+        try:
+            print(ext_faults.chaos_report(
+                scenario_name=args.scenario,
+                fault_rate=args.fault_rate,
+                seed=args.seed,
+                num_events=args.events or settings.num_events,
+                workload_name=args.workload,
+            ))
+        except ReproError as error:
+            print(f"chaos: {error}", file=sys.stderr)
+            return 2
+        return 0
     cache = RunCache()
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -34,6 +34,21 @@ DEFAULT_DISPATCH_OVERHEAD_MS = 2.0
 #: Interval at which slot reallocation is triggered (paper: 400 ms).
 DEFAULT_SCHEDULING_INTERVAL_MS = 400.0
 
+# ---------------------------------------------------------------------------
+# Fault-injection calibration (repro.faults)
+# ---------------------------------------------------------------------------
+#: A chaos ``fault_rate`` of 1.0 means one transient fault per slot per
+#: ten seconds; the scenario weights in ``repro.workload.scenarios`` divide
+#: this base MTBF by ``fault_rate x weight``. The base is sized so that at
+#: the drill rates (0.02-0.1) even the longest benchmark item (deep
+#: reconstruction, ~66 s per batch item) usually survives a slot's MTBF —
+#: faults perturb runs without making forward progress improbable.
+FAULT_RATE_UNIT_MTBF_MS = 10_000.0
+
+#: Time to scrub/repair a slot after a transient (SEU-style) fault —
+#: roughly two partial reconfigurations: blank the region, re-write it.
+DEFAULT_FAULT_REPAIR_MS = 160.0
+
 
 @dataclass(frozen=True)
 class SystemConfig:

@@ -58,3 +58,11 @@ class ExperimentError(ReproError):
 
 class SolverError(ReproError):
     """The ILP-substitute schedule-length solver failed or timed out."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault model or injector was configured or driven inconsistently."""
+
+
+class RecoveryError(ReproError):
+    """A recovery policy could not restore the platform to a sane state."""

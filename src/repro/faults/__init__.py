@@ -1,0 +1,36 @@
+"""Fault injection and recovery for the virtualized FPGA (``repro.faults``).
+
+The fault-free simulator models a perfect ZCU106; this subsystem makes it
+survive an imperfect one. :class:`FaultConfig` describes transient slot
+faults, permanent slot failures, reconfiguration failures and ICAP jitter;
+:class:`FaultInjector` schedules them deterministically on the simulation
+event heap; :class:`RecoveryPolicy` tunes how the hypervisor retries,
+relocates and blacklists. Reliability metrics live in
+:mod:`repro.metrics.reliability`; chaos scenarios in
+:mod:`repro.workload.scenarios`.
+
+Quickstart
+----------
+>>> from repro import AppRequest, Hypervisor, get_benchmark, make_scheduler
+>>> from repro.faults import FaultConfig, FaultInjector
+>>> injector = FaultInjector(FaultConfig(seed=7, transient_mtbf_ms=5000.0))
+>>> hv = Hypervisor(make_scheduler("nimblock"), faults=injector)
+>>> of = get_benchmark("of")
+>>> _ = hv.submit(AppRequest(of.name, of.graph, batch_size=5, priority=9,
+...                          arrival_ms=0.0))
+>>> hv.run()
+>>> hv.all_retired
+True
+"""
+
+from repro.faults.injector import FAULT_EVENT_PRIORITY, FaultInjector
+from repro.faults.models import FaultConfig, FaultStats
+from repro.faults.recovery import RecoveryPolicy
+
+__all__ = [
+    "FAULT_EVENT_PRIORITY",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "RecoveryPolicy",
+]

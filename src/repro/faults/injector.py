@@ -1,0 +1,161 @@
+"""Deterministic fault injection driven by the simulation event heap.
+
+The injector owns *when* faults happen; the hypervisor owns *what* they do
+(eviction, rollback, tracing — see
+:meth:`repro.hypervisor.hypervisor.Hypervisor.inject_slot_fault`).
+
+Determinism contract
+--------------------
+Every random draw comes from a private stream seeded by
+``(config.seed, purpose, slot)``, and every injection is an ordinary event
+on the engine's ``(time, priority, sequence)`` heap. Two runs of the same
+workload with the same :class:`FaultConfig` therefore produce
+byte-identical traces — the same guarantee the fault-free simulator makes,
+extended to chaos runs (guarded by ``tests/test_faults.py``).
+
+Fault timelines are per slot and Poisson: inter-arrival times are
+exponential with the configured MTBF. A timeline stops rescheduling once
+the workload has fully retired (so the event heap always drains) and a
+permanent-fault timeline additionally stops once its slot is dead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.errors import FaultInjectionError
+from repro.faults.models import FaultConfig
+from repro.overlay.device import SlotHealth
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.hypervisor import Hypervisor
+
+#: Event priority for fault arrivals and repairs: after application
+#: arrivals (-5), before item completions (-2), so a fault lands on the
+#: state the slot was in "just before" anything else happens this instant.
+FAULT_EVENT_PRIORITY = -3
+
+
+class FaultInjector:
+    """Schedules slot faults, repairs, and per-reconfiguration outcomes."""
+
+    def __init__(self, config: Optional[FaultConfig] = None) -> None:
+        self.config = config or FaultConfig()
+        self._hv: Optional["Hypervisor"] = None
+        self._config_rng = random.Random(f"{self.config.seed}:config")
+        self._transient_rngs: List[random.Random] = []
+        self._permanent_rngs: List[random.Random] = []
+
+    @property
+    def attached(self) -> bool:
+        """True once wired to a hypervisor."""
+        return self._hv is not None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, hypervisor: "Hypervisor") -> None:
+        """Bind to one hypervisor and arm the per-slot fault timelines."""
+        if self._hv is not None:
+            raise FaultInjectionError(
+                "a FaultInjector drives exactly one hypervisor; "
+                "create a fresh injector per run"
+            )
+        self._hv = hypervisor
+        num_slots = hypervisor.device.num_slots
+        seed = self.config.seed
+        self._transient_rngs = [
+            random.Random(f"{seed}:transient:{i}") for i in range(num_slots)
+        ]
+        self._permanent_rngs = [
+            random.Random(f"{seed}:permanent:{i}") for i in range(num_slots)
+        ]
+        if self.config.transient_mtbf_ms > 0:
+            for index in range(num_slots):
+                self._arm_transient(index)
+        if self.config.permanent_mtbf_ms > 0:
+            for index in range(num_slots):
+                self._arm_permanent(index)
+
+    def _require_hv(self) -> "Hypervisor":
+        if self._hv is None:
+            raise FaultInjectionError("injector is not attached")
+        return self._hv
+
+    # ------------------------------------------------------------------
+    # Transient (SEU-style) slot faults
+    # ------------------------------------------------------------------
+    def _arm_transient(self, slot_index: int) -> None:
+        hv = self._require_hv()
+        delta = self._transient_rngs[slot_index].expovariate(
+            1.0 / self.config.transient_mtbf_ms
+        )
+        hv.engine.schedule_after(
+            delta,
+            lambda now, i=slot_index: self._on_transient(now, i),
+            priority=FAULT_EVENT_PRIORITY,
+        )
+
+    def _on_transient(self, now: float, slot_index: int) -> None:
+        hv = self._require_hv()
+        if hv.all_retired:
+            return  # workload drained; let the heap empty out
+        if hv.device.slot(slot_index).health is SlotHealth.DEAD:
+            return  # permanently failed; this timeline is over
+        injected = hv.inject_slot_fault(now, slot_index, permanent=False)
+        if injected:
+            hv.engine.schedule_after(
+                self.config.transient_repair_ms,
+                lambda done, i=slot_index: hv.repair_slot(done, i),
+                priority=FAULT_EVENT_PRIORITY,
+            )
+        self._arm_transient(slot_index)
+
+    # ------------------------------------------------------------------
+    # Permanent slot failures
+    # ------------------------------------------------------------------
+    def _arm_permanent(self, slot_index: int) -> None:
+        hv = self._require_hv()
+        delta = self._permanent_rngs[slot_index].expovariate(
+            1.0 / self.config.permanent_mtbf_ms
+        )
+        hv.engine.schedule_after(
+            delta,
+            lambda now, i=slot_index: self._on_permanent(now, i),
+            priority=FAULT_EVENT_PRIORITY,
+        )
+
+    def _on_permanent(self, now: float, slot_index: int) -> None:
+        hv = self._require_hv()
+        if hv.all_retired:
+            return
+        if hv.device.slot(slot_index).health is SlotHealth.DEAD:
+            return
+        injected = hv.inject_slot_fault(now, slot_index, permanent=True)
+        if not injected:
+            # Refused (last-healthy-slot guard); try again later so a
+            # repaired board can still degrade further.
+            self._arm_permanent(slot_index)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration outcomes
+    # ------------------------------------------------------------------
+    def draw_config_outcome(self, reconfig_ms: float) -> Tuple[bool, float]:
+        """(will_fail, jitter_ms) for one partial reconfiguration.
+
+        Draw order is the hypervisor's configuration order, which the
+        event heap makes deterministic. Modes that are disabled draw
+        nothing, so e.g. a jitter-only config perturbs durations without
+        consuming failure-stream entropy.
+        """
+        will_fail = False
+        jitter_ms = 0.0
+        if self.config.config_failure_prob > 0:
+            will_fail = (
+                self._config_rng.random() < self.config.config_failure_prob
+            )
+        if self.config.config_jitter_frac > 0:
+            frac = self.config.config_jitter_frac
+            jitter_ms = reconfig_ms * self._config_rng.uniform(-frac, frac)
+        return will_fail, jitter_ms

@@ -1,0 +1,110 @@
+"""Fault models for the virtualized FPGA (configuration + counters).
+
+Four failure modes, motivated by the reliability literature on partially
+reconfigurable fabrics (THEMIS's heterogeneous/failing tenants; task-based
+preemptive PR scheduling treating DPR as an unreliable, contended
+operation):
+
+* **transient slot faults** — SEU-style upsets arriving per slot as a
+  Poisson process (exponential inter-arrival, mean ``transient_mtbf_ms``);
+  the slot is unusable until a scrub lasting ``transient_repair_ms``
+  completes;
+* **permanent slot failures** — Poisson arrivals with mean
+  ``permanent_mtbf_ms``; the slot is blacklisted forever;
+* **reconfiguration failures** — each partial reconfiguration fails with
+  probability ``config_failure_prob`` (CRC error, ICAP abort); the wasted
+  CAP time is charged and the task rolls back to PENDING;
+* **ICAP latency jitter** — each reconfiguration's duration is perturbed
+  by ``uniform(-f, +f) x reconfig_ms`` with ``f = config_jitter_frac``.
+
+All values are in simulated milliseconds. A default-constructed
+:class:`FaultConfig` disables everything (``enabled`` is False), which the
+hypervisor treats as identical to running without an injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_FAULT_REPAIR_MS
+from repro.errors import FaultInjectionError
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Immutable description of which faults to inject, and how often.
+
+    A rate knob of ``0.0`` disables that failure mode entirely; a fully
+    zero config injects nothing and draws nothing that affects the run.
+    """
+
+    seed: int = 0
+    transient_mtbf_ms: float = 0.0
+    transient_repair_ms: float = DEFAULT_FAULT_REPAIR_MS
+    permanent_mtbf_ms: float = 0.0
+    config_failure_prob: float = 0.0
+    config_jitter_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.transient_mtbf_ms < 0:
+            raise FaultInjectionError(
+                f"transient_mtbf_ms must be >= 0, got {self.transient_mtbf_ms}"
+            )
+        if self.transient_repair_ms <= 0:
+            raise FaultInjectionError(
+                "transient_repair_ms must be > 0, got "
+                f"{self.transient_repair_ms}"
+            )
+        if self.permanent_mtbf_ms < 0:
+            raise FaultInjectionError(
+                f"permanent_mtbf_ms must be >= 0, got {self.permanent_mtbf_ms}"
+            )
+        if not 0 <= self.config_failure_prob < 1:
+            raise FaultInjectionError(
+                "config_failure_prob must be in [0, 1), got "
+                f"{self.config_failure_prob}"
+            )
+        if not 0 <= self.config_jitter_frac < 1:
+            raise FaultInjectionError(
+                "config_jitter_frac must be in [0, 1), got "
+                f"{self.config_jitter_frac}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True if any failure mode can actually fire."""
+        return (
+            self.transient_mtbf_ms > 0
+            or self.permanent_mtbf_ms > 0
+            or self.config_failure_prob > 0
+            or self.config_jitter_frac > 0
+        )
+
+
+@dataclass
+class FaultStats:
+    """Mutable counters the hypervisor accumulates during one run.
+
+    All zero after a fault-free run; ``work_lost_ms`` sums the partial
+    batch-item time destroyed by slot faults plus the CAP time wasted by
+    failed reconfigurations (batch-boundary rollback itself loses nothing —
+    completed items are retained, exactly the paper's preemption argument).
+    """
+
+    transient_faults: int = 0
+    permanent_faults: int = 0
+    config_failures: int = 0
+    repairs: int = 0
+    evictions: int = 0
+    relocations: int = 0
+    items_lost: int = 0
+    work_lost_ms: float = 0.0
+
+    @property
+    def total_faults(self) -> int:
+        """All injected faults of every kind."""
+        return (
+            self.transient_faults
+            + self.permanent_faults
+            + self.config_failures
+        )

@@ -1,0 +1,72 @@
+"""Recovery policies the hypervisor applies when faults strike.
+
+Three mechanisms, all built on primitives the paper already provides:
+
+* **retry with backoff** — a failed reconfiguration rolls the task back to
+  PENDING and schedules an extra scheduler pass after an exponentially
+  growing (capped) backoff; the policy then naturally re-issues the
+  configuration, preferring whichever healthy slot is free first;
+* **relocate to a healthy slot** — a task evicted by a slot fault is
+  detached with the batch-boundary rollback machinery
+  (:meth:`repro.hypervisor.application.TaskRun.detach`, the same primitive
+  Algorithm 2's preemption uses), so its ``items_done`` counter *is* its
+  checkpoint and it resumes on any other slot with zero recomputation of
+  completed items;
+* **slot blacklisting** — a permanent fault marks the slot DEAD; the
+  injector refuses to kill the last ``min_healthy_slots`` slots so the
+  workload always retains forward progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RecoveryError
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs for the hypervisor's fault-recovery behaviour.
+
+    ``backoff_ms(attempt)`` implements capped exponential backoff:
+    ``min(base x factor^(attempt-1), cap)``.
+
+    >>> RecoveryPolicy().backoff_ms(1)
+    5.0
+    >>> RecoveryPolicy(backoff_base_ms=4.0, backoff_factor=2.0).backoff_ms(3)
+    16.0
+    """
+
+    backoff_base_ms: float = 5.0
+    backoff_factor: float = 2.0
+    backoff_cap_ms: float = 200.0
+    min_healthy_slots: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backoff_base_ms <= 0:
+            raise RecoveryError(
+                f"backoff_base_ms must be > 0, got {self.backoff_base_ms}"
+            )
+        if self.backoff_factor < 1:
+            raise RecoveryError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_cap_ms < self.backoff_base_ms:
+            raise RecoveryError(
+                "backoff_cap_ms must be >= backoff_base_ms, got "
+                f"{self.backoff_cap_ms} < {self.backoff_base_ms}"
+            )
+        if self.min_healthy_slots < 1:
+            raise RecoveryError(
+                "min_healthy_slots must be >= 1, got "
+                f"{self.min_healthy_slots}"
+            )
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Delay before the ``attempt``-th retry (attempts count from 1)."""
+        if attempt < 1:
+            raise RecoveryError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.backoff_base_ms * self.backoff_factor ** (attempt - 1),
+            self.backoff_cap_ms,
+        )

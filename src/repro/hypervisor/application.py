@@ -63,6 +63,9 @@ class TaskRun:
     items_done: int = 0
     configure_count: int = 0
     preemption_count: int = 0
+    #: Slot a fault evicted this task from; cleared when the task is next
+    #: configured (a different slot then counts as a relocation).
+    relocated_from: Optional[int] = None
     #: Slot that produced each completed item (consumed by the optional
     #: inter-slot transfer model; index = batch item).
     producer_slots: List[int] = field(default_factory=list)

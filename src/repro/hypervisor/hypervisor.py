@@ -19,11 +19,17 @@ flags) are satisfied.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
+    from repro.sim.engine import Event
 
 from repro.apps.hls import application_latency_estimate_ms, reports_for_benchmark
 from repro.config import SystemConfig
 from repro.errors import SchedulerError
+from repro.faults.models import FaultStats
+from repro.faults.recovery import RecoveryPolicy
 from repro.hypervisor.application import (
     AppRequest,
     AppRun,
@@ -33,7 +39,7 @@ from repro.hypervisor.application import (
 from repro.hypervisor.queues import PendingQueue
 from repro.hypervisor.results import AppResult
 from repro.overlay.bitstream import BitstreamHeader, BitstreamStore
-from repro.overlay.device import FPGADevice, Slot, SlotPhase
+from repro.overlay.device import FPGADevice, Slot, SlotHealth, SlotPhase
 from repro.overlay.interconnect import InterconnectModel, ZeroCost
 from repro.overlay.memory import BufferManager
 from repro.schedulers.base import (
@@ -106,6 +112,10 @@ class SchedulerContext:
         slot = self._hv.device.slot(slot_index)
         return slot.phase == SlotPhase.OCCUPIED and not slot.busy
 
+    def healthy_slot_count(self) -> int:
+        """Slots not currently faulted or blacklisted."""
+        return len(self._hv.device.healthy_slots())
+
 
 class Hypervisor:
     """System manager running one scheduling policy over one workload."""
@@ -119,6 +129,8 @@ class Hypervisor:
         model_bitstream_loads: bool = False,
         interconnect: Optional["InterconnectModel"] = None,
         item_buffer_bytes: int = ITEM_BUFFER_BYTES,
+        faults: Optional["FaultInjector"] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         self.config = config or SystemConfig()
         self.engine = engine or SimulationEngine()
@@ -145,6 +157,17 @@ class Hypervisor:
         self.item_buffer_bytes = item_buffer_bytes
         self._retire_listeners: List = []
         self.scheduler_passes = 0
+        # Fault injection & recovery (repro.faults). With no injector the
+        # hook sites below are no-ops and the run is byte-identical to the
+        # pre-fault-subsystem simulator.
+        self.recovery = recovery or RecoveryPolicy()
+        self.fault_stats = FaultStats()
+        self._item_events: Dict[int, Tuple["Event", float]] = {}
+        self._corrupted_configs: set = set()
+        self._config_failures: Dict[Tuple[int, str], int] = {}
+        self.faults = faults
+        if faults is not None:
+            faults.attach(self)
 
     def add_retire_listener(self, callback) -> None:
         """Register ``callback(app_run, now)`` to fire on each retirement.
@@ -247,6 +270,7 @@ class Hypervisor:
         self._pass_pending = False
         self.scheduler_passes += 1
         guard = 0
+        configured = False
         while not self.device.port.is_busy:
             guard += 1
             if guard > 4 * self.config.num_slots + 4:
@@ -258,8 +282,49 @@ class Hypervisor:
                 break
             self._apply(action, now)
             if isinstance(action, ConfigureAction):
+                configured = True
                 break
         self._launch_ready_items(now)
+        if not configured:
+            self._break_fault_stall(now)
+
+    def _break_fault_stall(self, now: float) -> None:
+        """Un-wedge the board when faults strand runnable work.
+
+        A fault can evict a task whose prefetch-configured successors
+        occupy every remaining healthy slot: the successors idle-wait for
+        the evicted predecessor, which has no free healthy slot to return
+        to. Fault-free runs cannot reach this state (the slot complement
+        never shrinks), so the breaker only engages while some slot is
+        unhealthy. It detaches every idle resident at the batch boundary —
+        the paper's preemption primitive, so batch progress is retained —
+        and books a pass for the policy to re-place tasks in dependency
+        order on the freed slots.
+        """
+        if self.faults is None or not self.pending:
+            return
+        if self.device.port.is_busy:
+            return
+        slots = self.device.slots
+        if all(slot.health is SlotHealth.HEALTHY for slot in slots):
+            return
+        if any(slot.busy for slot in slots) or any(s.is_free for s in slots):
+            return
+        detached = False
+        for slot in slots:
+            if slot.phase != SlotPhase.OCCUPIED:
+                continue
+            app, task = slot.occupant  # type: ignore[misc]
+            task.detach()
+            slot.clear()
+            detached = True
+            self.trace.record(
+                now, TraceKind.TASK_PREEMPTED,
+                app_id=app.app_id, task_id=task.task_id, slot=slot.index,
+                detail=float(task.items_done),
+            )
+        if detached:
+            self._request_pass()
 
     def _apply(self, action: Action, now: float) -> None:
         if isinstance(action, ConfigureAction):
@@ -298,6 +363,12 @@ class Hypervisor:
         if self._model_bitstream_loads:
             _, load_ms = self.store.load(app.name, task.task_id, slot.index)
             duration += load_ms
+        will_fail = False
+        if self.faults is not None:
+            will_fail, jitter_ms = self.faults.draw_config_outcome(
+                self.config.reconfig_ms
+            )
+            duration += jitter_ms
         task.state = TaskRunState.CONFIGURING
         task.slot_index = slot.index
         task.configure_count += 1
@@ -307,9 +378,27 @@ class Hypervisor:
             app_id=app.app_id, task_id=task.task_id, slot=slot.index,
         )
 
-        def on_done(done_now: float, app=app, task=task, slot=slot) -> None:
+        def on_done(
+            done_now: float, app=app, task=task, slot=slot,
+            will_fail=will_fail, duration=duration,
+        ) -> None:
+            corrupted = slot.index in self._corrupted_configs
+            self._corrupted_configs.discard(slot.index)
+            if will_fail or corrupted or not slot.is_healthy:
+                self._on_config_failed(done_now, app, task, slot, duration)
+                return
             slot.host((app, task))
             task.state = TaskRunState.CONFIGURED
+            self._config_failures.pop((app.app_id, task.task_id), None)
+            if task.relocated_from is not None:
+                if task.relocated_from != slot.index:
+                    self.fault_stats.relocations += 1
+                    self.trace.record(
+                        done_now, TraceKind.TASK_RELOCATED,
+                        app_id=app.app_id, task_id=task.task_id,
+                        slot=slot.index, detail=float(task.relocated_from),
+                    )
+                task.relocated_from = None
             self.trace.record(
                 done_now, TraceKind.TASK_CONFIG_DONE,
                 app_id=app.app_id, task_id=task.task_id, slot=slot.index,
@@ -317,6 +406,36 @@ class Hypervisor:
             self._request_pass()
 
         self.device.port.request(slot, duration, on_done)
+
+    def _on_config_failed(
+        self, now: float, app: AppRun, task: TaskRun, slot: Slot,
+        duration: float,
+    ) -> None:
+        """A partial reconfiguration failed: roll back and retry with backoff.
+
+        The task returns to PENDING (its batch progress is untouched), the
+        slot returns to EMPTY, and a scheduler pass is booked after an
+        exponentially growing backoff so the policy re-issues the
+        configuration — on whichever healthy slot is free by then.
+        """
+        slot.abort_reconfig()
+        task.state = TaskRunState.PENDING
+        task.slot_index = None
+        self.fault_stats.config_failures += 1
+        self.fault_stats.work_lost_ms += duration
+        self.trace.record(
+            now, TraceKind.CONFIG_FAILED,
+            app_id=app.app_id, task_id=task.task_id, slot=slot.index,
+            detail=duration,
+        )
+        key = (app.app_id, task.task_id)
+        attempt = self._config_failures.get(key, 0) + 1
+        self._config_failures[key] = attempt
+        self.engine.schedule_after(
+            self.recovery.backoff_ms(attempt),
+            lambda _now: self._request_pass(),
+            priority=8,
+        )
 
     def _apply_preempt(self, action: PreemptAction, now: float) -> None:
         slot = self.device.slot(action.slot_index)
@@ -361,13 +480,16 @@ class Hypervisor:
             )
             duration = task.latency_ms + self._transfer_in_ms(app, task, item,
                                                               slot.index)
-            self.engine.schedule_after(
+            event = self.engine.schedule_after(
                 duration,
                 lambda done_now, a=app, t=task, s=slot: self._on_item_done(
                     done_now, a, t, s
                 ),
                 priority=-2,
             )
+            # Remember the in-flight completion so a slot fault can cancel
+            # it and account the partial item as lost work.
+            self._item_events[slot.index] = (event, now)
 
     def _transfer_in_ms(
         self, app: AppRun, task: TaskRun, item: int, slot_index: int
@@ -395,6 +517,7 @@ class Hypervisor:
     def _on_item_done(
         self, now: float, app: AppRun, task: TaskRun, slot: Slot
     ) -> None:
+        self._item_events.pop(slot.index, None)
         slot.finish_item()
         item = task.items_done
         task.items_done += 1
@@ -435,6 +558,81 @@ class Hypervisor:
         self.scheduler.notify_completion(self._ctx, app)
         for listener in self._retire_listeners:
             listener(app, now)
+
+    # ------------------------------------------------------------------
+    # Fault injection & recovery (repro.faults)
+    # ------------------------------------------------------------------
+    def inject_slot_fault(
+        self, now: float, slot_index: int, permanent: bool = False
+    ) -> bool:
+        """Apply a slot fault: evict, roll back, mark unhealthy, trace.
+
+        Returns False when the fault is refused (the slot is already dead,
+        or killing it permanently would drop the board below
+        ``recovery.min_healthy_slots``). An occupied slot's task is
+        detached with the batch-boundary rollback machinery — completed
+        items are its checkpoint, only the in-flight item (if any) is
+        lost — and the scheduler relocates it to a healthy slot on a
+        later pass.
+
+        Called by :class:`repro.faults.FaultInjector`; also usable
+        directly for scripted fault drills.
+        """
+        slot = self.device.slot(slot_index)
+        if slot.health is SlotHealth.DEAD:
+            return False
+        if permanent and (
+            len(self.device.healthy_slots())
+            <= self.recovery.min_healthy_slots
+        ):
+            return False
+        work_lost = 0.0
+        evicted: Optional[Tuple[AppRun, TaskRun]] = None
+        if slot.phase == SlotPhase.RECONFIGURING:
+            # The CAP is (or will be) writing this region; the write is
+            # doomed. The in-flight request fails when it completes.
+            self._corrupted_configs.add(slot.index)
+        elif slot.phase == SlotPhase.OCCUPIED:
+            app, task = slot.occupant  # type: ignore[misc]
+            evicted = (app, task)
+            if slot.busy:
+                pending = self._item_events.pop(slot.index, None)
+                if pending is not None:
+                    event, started = pending
+                    event.cancel()
+                    work_lost = now - started
+                self.fault_stats.items_lost += 1
+                slot.interrupt_item()
+            task.detach()  # batch-boundary rollback (core/preemption)
+            task.relocated_from = slot.index
+            slot.clear()
+            self.fault_stats.evictions += 1
+        if permanent:
+            slot.mark_dead()
+            self.fault_stats.permanent_faults += 1
+        else:
+            slot.mark_faulty()
+            self.fault_stats.transient_faults += 1
+        self.fault_stats.work_lost_ms += work_lost
+        self.trace.record(
+            now, TraceKind.SLOT_FAULT,
+            app_id=evicted[0].app_id if evicted else None,
+            task_id=evicted[1].task_id if evicted else None,
+            slot=slot_index, detail=work_lost,
+        )
+        self._request_pass()
+        return True
+
+    def repair_slot(self, now: float, slot_index: int) -> bool:
+        """Complete the scrub of a transiently faulted slot."""
+        slot = self.device.slot(slot_index)
+        if slot.health is not SlotHealth.FAULTY:
+            return False  # dead slots never repair; healthy need nothing
+        slot.repair()
+        self.fault_stats.repairs += 1
+        self.trace.record(now, TraceKind.SLOT_REPAIRED, slot=slot_index)
+        self._request_pass()
+        return True
 
     # ------------------------------------------------------------------
     # Running and results

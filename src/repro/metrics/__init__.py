@@ -27,6 +27,15 @@ from repro.metrics.deadlines import (
 )
 from repro.metrics.breakdown import TimeBreakdown, breakdown_by_benchmark
 from repro.metrics.fairness import jain_index, priority_speedups, sharing_fairness
+from repro.metrics.reliability import (
+    ReliabilityReport,
+    degradation_factor,
+    goodput_items_per_s,
+    mean_time_to_recovery_ms,
+    recovery_times_ms,
+    reliability_report,
+    work_lost_ms,
+)
 from repro.metrics.utilization import UtilizationReport, board_utilization
 
 __all__ = [
@@ -50,6 +59,13 @@ __all__ = [
     "jain_index",
     "priority_speedups",
     "sharing_fairness",
+    "ReliabilityReport",
+    "degradation_factor",
+    "goodput_items_per_s",
+    "mean_time_to_recovery_ms",
+    "recovery_times_ms",
+    "reliability_report",
+    "work_lost_ms",
     "UtilizationReport",
     "board_utilization",
 ]

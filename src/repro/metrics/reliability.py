@@ -1,0 +1,162 @@
+"""Reliability metrics computed from fault-injected runs (repro.faults).
+
+Everything derives from the trace (like every other metric in this
+package), so chaos runs remain post-processable without re-simulation:
+
+* **goodput** — completed (useful) batch items per second of trace span;
+  items killed mid-flight by a slot fault never emit ``ITEM_DONE`` and so
+  never count;
+* **MTTR** — mean time to recovery, averaged over every recovery edge:
+  ``SLOT_FAULT -> SLOT_REPAIRED`` on the same slot, and
+  ``CONFIG_FAILED -> TASK_CONFIG_DONE`` for the same (app, task);
+* **work lost** — partial item time destroyed by slot faults plus CAP
+  time wasted by failed reconfigurations (both carried in the events'
+  ``detail`` fields);
+* **degradation** — mean per-application response-time ratio of a faulty
+  run against the fault-free run of the same workload and scheduler,
+  the quantity the ``ext-faults`` study sweeps into per-scheduler curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.hypervisor.results import AppResult
+from repro.sim.trace import Trace, TraceKind
+
+
+def goodput_items_per_s(trace: Trace) -> float:
+    """Useful batch items completed per second over the trace span."""
+    items = len(trace.of_kind(TraceKind.ITEM_DONE))
+    if not len(trace):
+        return 0.0
+    span_ms = trace.events[-1].time - trace.events[0].time
+    if span_ms <= 0:
+        return 0.0
+    return items / (span_ms / 1000.0)
+
+
+def work_lost_ms(trace: Trace) -> float:
+    """Simulated milliseconds of work destroyed by faults.
+
+    Batch-boundary rollback retains completed items, so the only losses
+    are the in-flight item a slot fault kills (``SLOT_FAULT.detail``) and
+    the CAP time a failed reconfiguration wastes (``CONFIG_FAILED.detail``).
+    """
+    total = 0.0
+    for event in trace:
+        if event.kind in (TraceKind.SLOT_FAULT, TraceKind.CONFIG_FAILED):
+            total += event.detail or 0.0
+    return total
+
+
+def recovery_times_ms(trace: Trace) -> List[float]:
+    """Every observed recovery interval, in trace order.
+
+    A slot recovery runs from ``SLOT_FAULT`` to the next ``SLOT_REPAIRED``
+    on the same slot; a reconfiguration recovery runs from
+    ``CONFIG_FAILED`` to the task's next successful ``TASK_CONFIG_DONE``.
+    Faults still unrecovered when the trace ends contribute nothing.
+    """
+    times: List[float] = []
+    open_slot_faults: Dict[int, float] = {}
+    open_config_faults: Dict[Tuple[Optional[int], Optional[str]], float] = {}
+    for event in trace:
+        if event.kind == TraceKind.SLOT_FAULT and event.slot is not None:
+            open_slot_faults.setdefault(event.slot, event.time)
+        elif event.kind == TraceKind.SLOT_REPAIRED and event.slot is not None:
+            started = open_slot_faults.pop(event.slot, None)
+            if started is not None:
+                times.append(event.time - started)
+        elif event.kind == TraceKind.CONFIG_FAILED:
+            open_config_faults.setdefault(
+                (event.app_id, event.task_id), event.time
+            )
+        elif event.kind == TraceKind.TASK_CONFIG_DONE:
+            started = open_config_faults.pop(
+                (event.app_id, event.task_id), None
+            )
+            if started is not None:
+                times.append(event.time - started)
+    return times
+
+
+def mean_time_to_recovery_ms(trace: Trace) -> float:
+    """Mean recovery interval; NaN when nothing needed recovering."""
+    times = recovery_times_ms(trace)
+    if not times:
+        return float("nan")
+    return sum(times) / len(times)
+
+
+def degradation_factor(
+    fault_free: Sequence[AppResult], faulty: Sequence[AppResult]
+) -> float:
+    """Mean per-application response ratio: faulty over fault-free.
+
+    1.0 means faults cost nothing; 2.0 means responses doubled. Results
+    are matched by ``app_id``, so both runs must come from the same
+    stimuli (same sequences, same arrival order).
+    """
+    if not fault_free or not faulty:
+        raise ExperimentError("degradation_factor needs non-empty results")
+    base = {result.app_id: result for result in fault_free}
+    ratios: List[float] = []
+    for result in faulty:
+        reference = base.get(result.app_id)
+        if reference is None:
+            raise ExperimentError(
+                f"app {result.app_id} missing from the fault-free run; "
+                "degradation requires matched stimuli"
+            )
+        if reference.response_ms <= 0:
+            continue
+        ratios.append(result.response_ms / reference.response_ms)
+    if not ratios:
+        raise ExperimentError("no matched applications with positive response")
+    return sum(ratios) / len(ratios)
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Trace-level reliability summary of one (possibly chaotic) run."""
+
+    slot_faults: int
+    repairs: int
+    config_failures: int
+    relocations: int
+    work_lost_ms: float
+    mttr_ms: float
+    goodput_items_per_s: float
+
+    @property
+    def permanent_faults(self) -> int:
+        """Slot faults that never repaired (dead within this trace)."""
+        return self.slot_faults - self.repairs
+
+    def format(self) -> str:
+        """One-line human-readable summary."""
+        mttr = "n/a" if math.isnan(self.mttr_ms) else f"{self.mttr_ms:.1f}ms"
+        return (
+            f"faults={self.slot_faults} (perm={self.permanent_faults}) "
+            f"config_failures={self.config_failures} "
+            f"relocations={self.relocations} "
+            f"work_lost={self.work_lost_ms:.1f}ms mttr={mttr} "
+            f"goodput={self.goodput_items_per_s:.2f} items/s"
+        )
+
+
+def reliability_report(trace: Trace) -> ReliabilityReport:
+    """Compute the full reliability summary of one trace."""
+    return ReliabilityReport(
+        slot_faults=len(trace.of_kind(TraceKind.SLOT_FAULT)),
+        repairs=len(trace.of_kind(TraceKind.SLOT_REPAIRED)),
+        config_failures=len(trace.of_kind(TraceKind.CONFIG_FAILED)),
+        relocations=len(trace.of_kind(TraceKind.TASK_RELOCATED)),
+        work_lost_ms=work_lost_ms(trace),
+        mttr_ms=mean_time_to_recovery_ms(trace),
+        goodput_items_per_s=goodput_items_per_s(trace),
+    )

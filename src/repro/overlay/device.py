@@ -32,6 +32,20 @@ class SlotPhase(str, Enum):
     OCCUPIED = "occupied"
 
 
+class SlotHealth(str, Enum):
+    """Fault status of one reconfigurable slot (see ``repro.faults``).
+
+    * ``HEALTHY`` — fully usable (the only state in a fault-free run);
+    * ``FAULTY`` — hit by a transient (SEU-style) fault; unusable until the
+      scrub/repair completes, at which point it returns to ``HEALTHY``;
+    * ``DEAD`` — permanently failed or blacklisted; never usable again.
+    """
+
+    HEALTHY = "healthy"
+    FAULTY = "faulty"
+    DEAD = "dead"
+
+
 @dataclass
 class Slot:
     """One reconfigurable region at runtime.
@@ -46,6 +60,7 @@ class Slot:
     phase: SlotPhase = SlotPhase.EMPTY
     occupant: Optional[object] = None
     busy: bool = False
+    health: SlotHealth = SlotHealth.HEALTHY
 
     def host(self, occupant: object) -> None:
         """Complete a reconfiguration: the slot now hosts ``occupant``."""
@@ -97,10 +112,64 @@ class Slot:
             raise SlotStateError(f"slot {self.index} finished an item it never started")
         self.busy = False
 
+    def interrupt_item(self) -> None:
+        """Abort the in-flight batch item (a fault killed the slot logic).
+
+        The item's partial work is lost; the hypervisor cancels the
+        completion event and rolls the task back to its last batch
+        boundary before calling this.
+        """
+        if not self.busy:
+            raise SlotStateError(
+                f"slot {self.index} has no in-flight item to interrupt"
+            )
+        self.busy = False
+
+    def abort_reconfig(self) -> None:
+        """A partial reconfiguration failed; return the slot to EMPTY."""
+        if self.phase != SlotPhase.RECONFIGURING:
+            raise SlotStateError(
+                f"slot {self.index} cannot abort a reconfiguration from "
+                f"phase {self.phase}"
+            )
+        self.phase = SlotPhase.EMPTY
+        self.occupant = None
+
+    def mark_faulty(self) -> None:
+        """A transient fault hit the slot; unusable until repaired."""
+        if self.phase == SlotPhase.OCCUPIED:
+            raise SlotStateError(
+                f"slot {self.index} must be evicted before marking faulty"
+            )
+        if self.health is SlotHealth.DEAD:
+            raise SlotStateError(f"slot {self.index} is already dead")
+        self.health = SlotHealth.FAULTY
+
+    def mark_dead(self) -> None:
+        """Permanently fail (blacklist) the slot."""
+        if self.phase == SlotPhase.OCCUPIED:
+            raise SlotStateError(
+                f"slot {self.index} must be evicted before marking dead"
+            )
+        self.health = SlotHealth.DEAD
+
+    def repair(self) -> None:
+        """Complete the scrub of a transient fault; slot usable again."""
+        if self.health is not SlotHealth.FAULTY:
+            raise SlotStateError(
+                f"slot {self.index} cannot repair from health {self.health}"
+            )
+        self.health = SlotHealth.HEALTHY
+
+    @property
+    def is_healthy(self) -> bool:
+        """True unless a fault has (temporarily or permanently) hit the slot."""
+        return self.health is SlotHealth.HEALTHY
+
     @property
     def is_free(self) -> bool:
         """True if the slot can accept a new reconfiguration immediately."""
-        return self.phase == SlotPhase.EMPTY
+        return self.phase == SlotPhase.EMPTY and self.health is SlotHealth.HEALTHY
 
 
 @dataclass
@@ -201,6 +270,14 @@ class FPGADevice:
     def occupied_slots(self) -> List[Slot]:
         """Slots currently hosting a task."""
         return [slot for slot in self._slots if slot.phase == SlotPhase.OCCUPIED]
+
+    def healthy_slots(self) -> List[Slot]:
+        """Slots not currently faulted or blacklisted."""
+        return [slot for slot in self._slots if slot.is_healthy]
+
+    def dead_slots(self) -> List[Slot]:
+        """Permanently failed (blacklisted) slots."""
+        return [slot for slot in self._slots if slot.health is SlotHealth.DEAD]
 
     def utilization(self) -> float:
         """Fraction of slots occupied or reconfiguring."""

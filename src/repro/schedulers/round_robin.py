@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.hypervisor.application import TaskRunState
+from repro.overlay.device import SlotHealth
 from repro.schedulers.base import Action, ConfigureAction, SchedulerPolicy
 
 
@@ -65,9 +66,40 @@ class RoundRobinScheduler(SchedulerPolicy):
                 queues[target].append(entry)
                 queues[target].sort()
 
+    def _drain_dead_queues(self, ctx) -> None:
+        """Move entries queued on blacklisted slots to surviving queues.
+
+        The tasks-never-migrate weakness is deliberate for live slots, but
+        a permanently failed slot would strand its queue forever; under
+        fault injection its entries are re-dealt to the emptiest healthy
+        queues (in queue order, so the rebalance is deterministic).
+        """
+        queues = self._ensure_queues(ctx)
+        dead = [
+            slot.index for slot in ctx.device.slots
+            if slot.health is SlotHealth.DEAD and queues[slot.index]
+        ]
+        if not dead:
+            return
+        alive = [
+            slot.index for slot in ctx.device.slots
+            if slot.health is not SlotHealth.DEAD
+        ]
+        if not alive:  # unreachable under the min-healthy-slots guard
+            return
+        for index in dead:
+            stranded, queues[index] = queues[index], []
+            for entry in stranded:
+                target = min(
+                    alive, key=lambda i: (len(queues[i]), i)
+                )
+                queues[target].append(entry)
+                queues[target].sort()
+
     def decide(self, ctx) -> Optional[Action]:
         """Pop the head of a free slot's queue and configure it there."""
         self._issue_ready_tasks(ctx)
+        self._drain_dead_queues(ctx)
         queues = self._ensure_queues(ctx)
         best_slot: Optional[int] = None
         best_key: Optional[Tuple[int, int]] = None
@@ -88,4 +120,8 @@ class RoundRobinScheduler(SchedulerPolicy):
             # without preemption). Drop the stale entry and retry.
             self._issued.discard((entry.app_id, entry.task_id))
             return self.decide(ctx)
+        # Un-issue on configure: if a fault later rolls the task back to
+        # PENDING (eviction or failed reconfiguration), it becomes ready
+        # again and re-enters the queues instead of being stranded.
+        self._issued.discard((entry.app_id, entry.task_id))
         return ConfigureAction(entry.app_id, entry.task_id, best_slot)

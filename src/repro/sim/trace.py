@@ -27,6 +27,13 @@ class TraceKind(str, Enum):
     TASK_RESUMED = "task_resumed"
     DEADLINE_ASSIGNED = "deadline_assigned"
     SCHEDULER_PASS = "scheduler_pass"
+    # Fault-injection kinds (repro.faults). SLOT_FAULT carries the work
+    # lost to the in-flight item (ms) in ``detail``; CONFIG_FAILED carries
+    # the wasted reconfiguration time; TASK_RELOCATED carries the old slot.
+    SLOT_FAULT = "slot_fault"
+    SLOT_REPAIRED = "slot_repaired"
+    CONFIG_FAILED = "config_failed"
+    TASK_RELOCATED = "task_relocated"
 
 
 @dataclass(frozen=True)

@@ -16,11 +16,19 @@ from repro.workload.trace_io import (
 )
 from repro.workload.scenarios import (
     ABLATION_BATCH_SIZES,
+    CHAOS_SCENARIOS,
+    ChaosScenario,
+    JITTER_FAULTS,
+    MIXED_FAULTS,
+    PERMANENT_FAULTS,
     REALTIME,
+    RECONFIG_FAULTS,
     STANDARD,
     STRESS,
     Scenario,
     SCENARIOS,
+    TRANSIENT_FAULTS,
+    chaos_scenario,
     fixed_batch_sequence,
     scenario_sequence,
 )
@@ -30,11 +38,19 @@ __all__ = [
     "EventSpec",
     "EventGenerator",
     "ABLATION_BATCH_SIZES",
+    "CHAOS_SCENARIOS",
+    "ChaosScenario",
+    "JITTER_FAULTS",
+    "MIXED_FAULTS",
+    "PERMANENT_FAULTS",
     "REALTIME",
+    "RECONFIG_FAULTS",
     "STANDARD",
     "STRESS",
     "Scenario",
     "SCENARIOS",
+    "TRANSIENT_FAULTS",
+    "chaos_scenario",
     "fixed_batch_sequence",
     "scenario_sequence",
     "load_sequence",

@@ -1,4 +1,5 @@
-"""The paper's three congestion scenarios plus fixed-batch variants (§5.1).
+"""The paper's three congestion scenarios plus fixed-batch variants (§5.1),
+and the chaos scenarios of the fault-injection extension (repro.faults).
 
 * **standard** — moderate delay between arrivals (1500–2000 ms), the
   low-demand case where tasks can leverage additional resources;
@@ -7,7 +8,9 @@
   streaming input.
 
 Two fixed-batch workloads support Table 3 (batch 5, 500 ms delay) and the
-ablation study of §5.6 (stress delays, fixed batch per run).
+ablation study of §5.6 (stress delays, fixed batch per run). The chaos
+scenarios map one ``fault_rate`` knob onto a :class:`repro.faults.FaultConfig`
+per failure mode (transient / permanent / reconfig / jitter / mixed).
 """
 
 from __future__ import annotations
@@ -15,6 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.config import FAULT_RATE_UNIT_MTBF_MS
+from repro.errors import WorkloadError
+from repro.faults.models import FaultConfig
 from repro.workload.events import EventSequence
 from repro.workload.generator import EVENTS_PER_SEQUENCE, EventGenerator
 
@@ -82,3 +88,100 @@ def fixed_batch_sequence(
             f"batch{batch_size}-d{delay_ms:g}-n{num_events}-seed{seed}"
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# Chaos scenarios (fault injection, repro.faults)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One fault-injection scenario: weights per failure mode.
+
+    ``fault_config(rate, seed)`` maps a single dimensionless ``rate`` knob
+    (0 disables everything) onto a :class:`repro.faults.FaultConfig`:
+
+    * transient/permanent MTBF = ``FAULT_RATE_UNIT_MTBF_MS / (rate x w)``
+      (``rate`` = 1.0 with weight 1.0 means one fault per slot per ten
+      seconds);
+    * reconfiguration failure probability = ``min(0.9, rate x w)``;
+    * ICAP jitter fraction = ``min(0.9, rate x w)``.
+    """
+
+    name: str
+    description: str
+    transient_weight: float = 0.0
+    permanent_weight: float = 0.0
+    config_failure_weight: float = 0.0
+    jitter_weight: float = 0.0
+
+    def fault_config(self, fault_rate: float, seed: int = 0) -> FaultConfig:
+        """The scenario at strength ``fault_rate`` (>= 0; 0 disables)."""
+        if fault_rate < 0:
+            raise WorkloadError(f"fault_rate must be >= 0, got {fault_rate}")
+        if fault_rate == 0:
+            return FaultConfig(seed=seed)
+
+        def mtbf(weight: float) -> float:
+            if weight <= 0:
+                return 0.0
+            return FAULT_RATE_UNIT_MTBF_MS / (fault_rate * weight)
+
+        def prob(weight: float) -> float:
+            return min(0.9, fault_rate * weight)
+
+        return FaultConfig(
+            seed=seed,
+            transient_mtbf_ms=mtbf(self.transient_weight),
+            permanent_mtbf_ms=mtbf(self.permanent_weight),
+            config_failure_prob=prob(self.config_failure_weight),
+            config_jitter_frac=prob(self.jitter_weight),
+        )
+
+
+TRANSIENT_FAULTS = ChaosScenario(
+    "transient",
+    "SEU-style transient slot faults; slots scrub and return to service",
+    transient_weight=1.0,
+)
+PERMANENT_FAULTS = ChaosScenario(
+    "permanent",
+    "rare permanent slot failures; the board degrades and blacklists",
+    permanent_weight=0.1,
+)
+RECONFIG_FAULTS = ChaosScenario(
+    "reconfig",
+    "probabilistic DPR/ICAP reconfiguration failures with mild jitter",
+    config_failure_weight=1.0,
+    jitter_weight=2.0,
+)
+JITTER_FAULTS = ChaosScenario(
+    "jitter",
+    "ICAP stall/latency jitter only; nothing fails outright",
+    jitter_weight=8.0,
+)
+MIXED_FAULTS = ChaosScenario(
+    "mixed",
+    "everything at once at half strength: the full chaos drill",
+    transient_weight=0.5,
+    permanent_weight=0.05,
+    config_failure_weight=0.5,
+    jitter_weight=2.0,
+)
+
+#: All chaos scenarios, mildest-to-wildest.
+CHAOS_SCENARIOS: Tuple[ChaosScenario, ...] = (
+    JITTER_FAULTS,
+    RECONFIG_FAULTS,
+    TRANSIENT_FAULTS,
+    PERMANENT_FAULTS,
+    MIXED_FAULTS,
+)
+
+
+def chaos_scenario(name: str) -> ChaosScenario:
+    """Look up a chaos scenario by name."""
+    for scenario in CHAOS_SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    known = sorted(s.name for s in CHAOS_SCENARIOS)
+    raise WorkloadError(f"unknown chaos scenario {name!r}; known: {known}")
