@@ -1,8 +1,11 @@
 # Convenience targets for the Nimblock reproduction.
 
 PYTHON ?= python
+# Parallel sweep workers and persistent run cache for the heavy targets.
+JOBS ?= 4
+CACHE_DIR ?= .runcache
 
-.PHONY: install test bench chaos reproduce report examples clean
+.PHONY: install test bench sweep chaos reproduce report examples clean
 
 install:
 	pip install -e . && pip install -e '.[test]'
@@ -11,8 +14,15 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # One regeneration pass over every table/figure bench (3 sequences).
+# Fans cold simulations out over $(JOBS) workers and persists them under
+# $(CACHE_DIR); a second run performs zero new simulations.
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_JOBS=$(JOBS) REPRO_CACHE_DIR=$(CACHE_DIR) \
+		$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Time the serial/parallel/warm sweep modes; appends to BENCH_sweep.json.
+sweep:
+	$(PYTHON) benchmarks/bench_sweep.py --bench --jobs $(JOBS)
 
 # Fault-injection drill: every scheduler under the mixed chaos scenario.
 chaos:
@@ -20,15 +30,17 @@ chaos:
 
 # Full paper-scale regeneration: 10 sequences x 20 events, all experiments.
 reproduce:
-	REPRO_SEQUENCES=10 REPRO_EVENTS=20 $(PYTHON) -m repro.cli all
+	REPRO_SEQUENCES=10 REPRO_EVENTS=20 $(PYTHON) -m repro.cli all \
+		--jobs $(JOBS) --cache-dir $(CACHE_DIR)
 
 # Paper-vs-measured verdict table at paper scale.
 report:
-	REPRO_SEQUENCES=10 REPRO_EVENTS=20 $(PYTHON) -m repro.cli report
+	REPRO_SEQUENCES=10 REPRO_EVENTS=20 $(PYTHON) -m repro.cli report \
+		--jobs $(JOBS) --cache-dir $(CACHE_DIR)
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks
+	rm -rf .pytest_cache .hypothesis .benchmarks $(CACHE_DIR)
 	find . -name __pycache__ -type d -exec rm -rf {} +

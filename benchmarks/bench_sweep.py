@@ -1,0 +1,254 @@
+"""Sweep bench: the parallel experiment runner and its persistent cache.
+
+The "sweep" is the paper's core evaluation grid — every scheduler over
+every congestion scenario on the shared test sequences (the stimuli behind
+Figures 5-7). This bench measures the three execution modes of the
+harness and proves them interchangeable:
+
+* **serial cold** — the classic one-process run;
+* **parallel cold** — the same grid fanned out over worker processes via
+  ``RunCache.prewarm``; the emitted JSON must be byte-identical;
+* **disk warm** — a fresh process against a populated ``cache_dir``; it
+  must perform **zero** simulations.
+
+Standalone usage::
+
+    # deterministic sweep dump (CI diffs serial vs parallel output)
+    python benchmarks/bench_sweep.py --sequences 2 --events 8 --jobs 2 --out sweep.json
+
+    # timing run: records the cold/parallel/warm trajectory entry
+    python benchmarks/bench_sweep.py --bench [--fast] [--jobs N]
+
+``--bench`` appends one entry to ``BENCH_sweep.json`` (repo root) — the
+bench trajectory of the sweep harness over time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.runner import ExperimentSettings, RunCache
+from repro.schedulers.registry import ALL_SCHEDULERS
+from repro.workload.scenarios import SCENARIOS, scenario_sequence
+
+#: Default output of ``--bench`` mode: the sweep bench trajectory.
+DEFAULT_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def sweep_payload(
+    cache: RunCache,
+    settings: ExperimentSettings,
+    schedulers: Sequence[str] = ALL_SCHEDULERS,
+) -> Dict:
+    """Run the full scenario x scheduler grid; deterministic JSON payload.
+
+    Responses are reported per (scenario, scheduler, sequence label) in
+    event order, so any divergence between two runs — ordering, timing,
+    cache keying — shows up as a diff.
+    """
+    per_scenario = {
+        scenario.name: [
+            scenario_sequence(scenario, seed, settings.num_events)
+            for seed in settings.seeds()
+        ]
+        for scenario in SCENARIOS
+    }
+    cache.prewarm(
+        schedulers, [seq for seqs in per_scenario.values() for seq in seqs]
+    )
+    payload: Dict = {
+        "sweep": "scenarios x schedulers",
+        "schedulers": list(schedulers),
+        "num_sequences": settings.num_sequences,
+        "num_events": settings.num_events,
+        "base_seed": settings.base_seed,
+        "responses_ms": {},
+        "mean_response_ms": {},
+    }
+    for name, sequences in per_scenario.items():
+        payload["responses_ms"][name] = {}
+        for scheduler in schedulers:
+            per_label = {
+                sequence.label: [
+                    result.response_ms
+                    for result in cache.results(scheduler, sequence)
+                ]
+                for sequence in sequences
+            }
+            payload["responses_ms"][name][scheduler] = per_label
+            flat = [r for rs in per_label.values() for r in rs]
+            payload["mean_response_ms"][f"{name}/{scheduler}"] = (
+                sum(flat) / len(flat)
+            )
+    return payload
+
+
+def render_payload(payload: Dict) -> str:
+    """Canonical JSON text (byte-identical across identical sweeps)."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# -- pytest-benchmark entry point -------------------------------------------
+def test_sweep_regeneration(benchmark, cache, settings):
+    payload = benchmark.pedantic(
+        lambda: sweep_payload(cache, settings), rounds=1, iterations=1
+    )
+    assert set(payload["responses_ms"]) == {s.name for s in SCENARIOS}
+    for scheduler in ALL_SCHEDULERS:
+        for scenario in payload["responses_ms"].values():
+            assert len(scenario[scheduler]) == settings.num_sequences
+
+    from conftest import emit
+
+    means = payload["mean_response_ms"]
+    emit(
+        "Sweep bench: mean response (ms) per scenario/scheduler\n"
+        + "\n".join(f"{key}: {means[key]:.1f}" for key in sorted(means))
+    )
+
+
+# -- standalone modes -------------------------------------------------------
+def _timed_sweep(
+    settings: ExperimentSettings,
+    jobs: int,
+    cache_dir: Optional[str] = None,
+) -> tuple:
+    cache = RunCache(cache_dir=cache_dir, jobs=jobs)
+    start = time.perf_counter()
+    payload = sweep_payload(cache, settings)
+    return time.perf_counter() - start, payload, cache
+
+
+def _bench(settings: ExperimentSettings, jobs: int, out: Path) -> int:
+    print(
+        f"sweep bench: {settings.num_sequences} sequences x "
+        f"{settings.num_events} events, {len(SCENARIOS)} scenarios x "
+        f"{len(ALL_SCHEDULERS)} schedulers, jobs={jobs}"
+    )
+    serial_s, serial_payload, serial_cache = _timed_sweep(settings, jobs=1)
+    print(f"serial cold:   {serial_s:8.2f}s "
+          f"({serial_cache.simulations} simulations)")
+    parallel_s, parallel_payload, parallel_cache = _timed_sweep(
+        settings, jobs=jobs
+    )
+    print(f"parallel cold: {parallel_s:8.2f}s "
+          f"({parallel_cache.simulations} simulations)")
+    identical = render_payload(serial_payload) == render_payload(
+        parallel_payload
+    )
+    assert identical, "parallel sweep diverged from serial sweep"
+
+    with tempfile.TemporaryDirectory(prefix="runcache-") as cache_dir:
+        _timed_sweep(settings, jobs=jobs, cache_dir=cache_dir)
+        warm_s, warm_payload, warm_cache = _timed_sweep(
+            settings, jobs=jobs, cache_dir=cache_dir
+        )
+    assert warm_cache.simulations == 0, (
+        f"warm rerun re-simulated {warm_cache.simulations} runs"
+    )
+    assert render_payload(warm_payload) == render_payload(serial_payload)
+    print(f"disk warm:     {warm_s:8.2f}s (0 simulations, "
+          f"{warm_cache.disk_hits} disk hits)")
+
+    entry = {
+        "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "scale": {
+            "scenarios": len(SCENARIOS),
+            "schedulers": len(ALL_SCHEDULERS),
+            "sequences": settings.num_sequences,
+            "events": settings.num_events,
+        },
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_cold_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_s, 3),
+        "warm_disk_s": round(warm_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "warm_speedup": round(serial_s / warm_s, 1),
+        "warm_simulations": warm_cache.simulations,
+        "parallel_matches_serial": identical,
+    }
+    if out.exists():
+        trajectory = json.loads(out.read_text(encoding="utf-8"))
+    else:
+        trajectory = {"bench": "sweep", "unit": "seconds", "history": []}
+    trajectory["history"].append(entry)
+    out.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"\nrecorded trajectory entry -> {out}")
+    print(f"parallel speedup {entry['parallel_speedup']}x, "
+          f"warm-cache speedup {entry['warm_speedup']}x")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sweep bench: parallel runner + persistent run cache."
+    )
+    parser.add_argument("--sequences", type=int, default=3)
+    parser.add_argument("--events", type=int, default=12)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent run cache for --out sweeps",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the deterministic sweep JSON here and exit",
+    )
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="time serial/parallel/warm modes and append to BENCH_sweep.json",
+    )
+    parser.add_argument(
+        "--bench-out", default=str(DEFAULT_BENCH_PATH),
+        help="trajectory file for --bench (default: repo-root BENCH_sweep.json)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="reduced scale (2 sequences x 8 events) for CI",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.parallel import effective_jobs
+
+    jobs = effective_jobs(args.jobs)
+    if args.fast:
+        settings = ExperimentSettings(num_sequences=2, num_events=8)
+    else:
+        settings = ExperimentSettings(
+            num_sequences=args.sequences, num_events=args.events
+        )
+    if args.bench:
+        return _bench(settings, jobs=max(jobs, 2), out=Path(args.bench_out))
+    if args.out:
+        cache = RunCache(cache_dir=args.cache_dir, jobs=jobs)
+        payload = sweep_payload(cache, settings)
+        Path(args.out).write_text(
+            render_payload(payload), encoding="utf-8"
+        )
+        print(
+            f"{args.out}: {cache.simulations} simulations, "
+            f"{cache.disk_hits} disk hits, jobs={jobs}"
+        )
+        return 0
+    parser.error("choose a mode: --out FILE or --bench")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

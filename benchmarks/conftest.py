@@ -24,6 +24,10 @@ from repro.experiments.runner import ExperimentSettings, RunCache
 BENCH_SEQUENCES = int(os.environ.get("REPRO_SEQUENCES", "3"))
 #: Bench-default events per sequence (paper: 20).
 BENCH_EVENTS = int(os.environ.get("REPRO_EVENTS", "20"))
+#: Parallel sweep workers (0/unset = serial; results are identical).
+BENCH_JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+#: Persistent run cache directory (unset = memory-only).
+BENCH_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
 
 
 @pytest.fixture(scope="session")
@@ -36,8 +40,13 @@ def settings() -> ExperimentSettings:
 
 @pytest.fixture(scope="session")
 def cache() -> RunCache:
-    """One simulation cache shared by all benches in the session."""
-    return RunCache()
+    """One simulation cache shared by all benches in the session.
+
+    ``REPRO_JOBS=N`` fans cold simulations out over N worker processes;
+    ``REPRO_CACHE_DIR=...`` persists completed runs so a second bench
+    session performs zero new simulations for unchanged stimuli.
+    """
+    return RunCache(cache_dir=BENCH_CACHE_DIR, jobs=BENCH_JOBS)
 
 
 def emit(text: str) -> None:

@@ -7,12 +7,14 @@ Examples
     nimblock-repro table2
     nimblock-repro fig5 --sequences 3 --events 12
     nimblock-repro all --sequences 2 --events 10
+    nimblock-repro report --jobs 4 --cache-dir .runcache
     nimblock-repro chaos --scenario transient --fault-rate 0.05 --seed 1
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -120,6 +122,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", type=int, default=None,
         help="events per sequence (paper: 20)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes for the parallel sweep executor "
+            "(default: REPRO_JOBS or 1; results are identical at any "
+            "worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR") or None,
+        help=(
+            "persistent on-disk run cache; repeated invocations reuse "
+            "completed simulations (default: REPRO_CACHE_DIR, else "
+            "memory-only)"
+        ),
+    )
     chaos = parser.add_argument_group(
         "chaos", "options for the 'chaos' fault-injection drill"
     )
@@ -166,11 +184,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"chaos: {error}", file=sys.stderr)
             return 2
         return 0
-    cache = RunCache()
+    cache = RunCache(cache_dir=args.cache_dir, jobs=args.jobs)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(_run_one(name, cache, settings))
         print()
+    if args.cache_dir:
+        print(
+            f"run cache: {cache.simulations} simulations, "
+            f"{cache.disk_hits} disk hits, {cache.memory_hits} memory hits "
+            f"({args.cache_dir})",
+            file=sys.stderr,
+        )
     return 0
 
 

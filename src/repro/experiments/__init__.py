@@ -9,6 +9,7 @@ paper derives from the same test sequences — share simulations.
 
 from repro.experiments.runner import ExperimentSettings, RunCache, run_sequence
 from repro.experiments import (
+    parallel,
     ext_batching,
     ext_capacity,
     ext_estimates,
@@ -39,6 +40,7 @@ __all__ = [
     "ExperimentSettings",
     "RunCache",
     "run_sequence",
+    "parallel",
     "ext_batching",
     "ext_capacity",
     "ext_estimates",

@@ -19,8 +19,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
 from repro.experiments.runner import ExperimentSettings, format_table
-from repro.hypervisor.hypervisor import Hypervisor
-from repro.schedulers.registry import make_scheduler
 from repro.workload.scenarios import STRESS, scenario_sequence
 
 #: Slot counts swept (the paper's platform is 10).
@@ -63,25 +61,31 @@ def run(
     settings: Optional[ExperimentSettings] = None,
     scheduler: str = "nimblock",
     slot_counts: Sequence[int] = DEFAULT_SLOT_COUNTS,
+    jobs: Optional[int] = None,
 ) -> CapacityResult:
     """Sweep the overlay slot count for one workload."""
+    from repro.experiments import parallel
+
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STRESS, seed, settings.num_events)
         for seed in settings.seeds()
     ]
+    # One task per (slot count, sequence) cell; each cell carries its own
+    # platform config, reconstructed worker-side.
+    tasks = [
+        (scheduler, sequence, SystemConfig(num_slots=slots))
+        for slots in slot_counts
+        for sequence in sequences
+    ]
+    runs = iter(
+        parallel.map_runs(tasks, jobs=parallel.resolve_jobs(jobs, cache))
+    )
     means: Dict[int, float] = {}
     for slots in slot_counts:
-        config = SystemConfig(num_slots=slots)
         responses: List[float] = []
-        for sequence in sequences:
-            hypervisor = Hypervisor(make_scheduler(scheduler), config=config)
-            for request in sequence.to_requests():
-                hypervisor.submit(request)
-            hypervisor.run()
-            responses.extend(
-                result.response_ms for result in hypervisor.results()
-            )
+        for _sequence in sequences:
+            responses.extend(result.response_ms for result in next(runs))
         means[slots] = sum(responses) / len(responses)
     return CapacityResult(
         scheduler=scheduler,

@@ -24,7 +24,6 @@ from repro.config import SystemConfig
 from repro.experiments.runner import (
     ExperimentSettings,
     format_table,
-    run_sequence,
 )
 from repro.metrics.response import mean_reduction_factor
 from repro.workload.scenarios import STRESS, scenario_sequence
@@ -60,23 +59,36 @@ def run(
     settings: Optional[ExperimentSettings] = None,
     error_levels: Sequence[float] = ERROR_LEVELS,
     schedulers: Sequence[str] = STUDIED,
+    jobs: Optional[int] = None,
 ) -> EstimateSensitivityResult:
     """Sweep estimation error for each studied scheduler."""
+    from repro.experiments import parallel
+
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STRESS, seed, settings.num_events)
         for seed in settings.seeds()
     ]
-    reductions: Dict[Tuple[float, str], float] = {}
+    # Flat task list in the exact aggregation order: per error level, the
+    # baseline runs first, then each studied scheduler.
+    tasks = []
     for error in error_levels:
         config = SystemConfig(hls_estimation_error=error)
+        for name in ("baseline", *schedulers):
+            for sequence in sequences:
+                tasks.append((name, sequence, config))
+    runs = iter(
+        parallel.map_runs(tasks, jobs=parallel.resolve_jobs(jobs, cache))
+    )
+    reductions: Dict[Tuple[float, str], float] = {}
+    for error in error_levels:
         baseline: List = []
-        for sequence in sequences:
-            baseline.extend(run_sequence("baseline", sequence, config))
+        for _sequence in sequences:
+            baseline.extend(next(runs))
         for scheduler in schedulers:
             results: List = []
-            for sequence in sequences:
-                results.extend(run_sequence(scheduler, sequence, config))
+            for _sequence in sequences:
+                results.extend(next(runs))
             reductions[(error, scheduler)] = mean_reduction_factor(
                 baseline, results
             )

@@ -111,8 +111,18 @@ def run(
     workload: Scenario = STRESS,
     fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
     schedulers: Sequence[str] = ALL_SCHEDULERS,
+    jobs: Optional[int] = None,
 ) -> FaultStudyResult:
-    """Sweep fault rates over all schedulers under one chaos scenario."""
+    """Sweep fault rates over all schedulers under one chaos scenario.
+
+    The (scheduler, rate, sequence) grid fans out over ``jobs`` worker
+    processes (see :mod:`repro.experiments.parallel`); each worker rebuilds
+    its injector from the picklable :class:`FaultConfig`, so the seeded
+    fault RNG streams — and therefore every aggregate — are identical to a
+    serial run.
+    """
+    from repro.experiments import parallel
+
     settings = settings or ExperimentSettings.from_env()
     config = cache.config if cache is not None else SystemConfig()
     rates = tuple(fault_rates)
@@ -128,6 +138,20 @@ def run(
         for seed in settings.seeds()
     ]
     seeds = settings.seeds()
+    tasks = [
+        (
+            scheduler,
+            sequence,
+            scenario.fault_config(rate, seed=seeds[index]),
+            config,
+        )
+        for scheduler in schedulers
+        for rate in rates
+        for index, sequence in enumerate(sequences)
+    ]
+    cells = iter(
+        parallel.chaos_cells(tasks, jobs=parallel.resolve_jobs(jobs, cache))
+    )
     for scheduler in schedulers:
         reference: List[List[AppResult]] = []
         for rate in rates:
@@ -136,11 +160,9 @@ def run(
             recoveries: List[float] = []
             lost = 0.0
             faults = 0
-            for index, sequence in enumerate(sequences):
-                fault_config = scenario.fault_config(rate, seed=seeds[index])
-                results, trace, stats = run_chaos_sequence(
-                    scheduler, sequence, fault_config, config=config
-                )
+            for index in range(len(sequences)):
+                cell = next(cells)
+                results = list(cell.results)
                 if len(reference) <= index:
                     # First (lowest) rate doubles as this scheduler's
                     # fault-free-or-mildest reference for the curves.
@@ -148,10 +170,10 @@ def run(
                 ratios.append(
                     degradation_factor(reference[index], results)
                 )
-                goodputs.append(goodput_items_per_s(trace))
-                recoveries.extend(recovery_times_ms(trace))
-                lost += work_lost_ms(trace)
-                faults += stats.total_faults
+                goodputs.append(cell.goodput_items_per_s)
+                recoveries.extend(cell.recovery_times_ms)
+                lost += cell.work_lost_ms
+                faults += cell.total_faults
             key = (scheduler, rate)
             degradation[key] = sum(ratios) / len(ratios)
             goodput[key] = sum(goodputs) / len(goodputs)

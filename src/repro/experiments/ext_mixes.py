@@ -63,12 +63,20 @@ def run(
     """Run every mix under the baseline plus each compared scheduler."""
     cache = cache or RunCache()
     settings = settings or ExperimentSettings.from_env()
-    reductions: Dict[Tuple[str, str], float] = {}
-    for mix in mixes:
-        sequences = [
+    per_mix = {
+        mix: [
             mix_sequence(mix, seed, settings.num_events)
             for seed in settings.seeds()
         ]
+        for mix in mixes
+    }
+    cache.prewarm(
+        ("baseline", *schedulers),
+        [seq for seqs in per_mix.values() for seq in seqs],
+    )
+    reductions: Dict[Tuple[str, str], float] = {}
+    for mix in mixes:
+        sequences = per_mix[mix]
         baseline = cache.combined("baseline", sequences)
         for scheduler in schedulers:
             results = cache.combined(scheduler, sequences)

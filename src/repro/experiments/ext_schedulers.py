@@ -68,13 +68,21 @@ def run(
     cache = cache or RunCache()
     settings = settings or ExperimentSettings.from_env()
     priorities = (1, 3, 9)
-    reductions: Dict[Tuple[str, str], float] = {}
-    tight: Dict[Tuple[str, str, int], float] = {}
-    for scenario in scenarios:
-        sequences = [
+    per_scenario = {
+        scenario.name: [
             scenario_sequence(scenario, seed, settings.num_events)
             for seed in settings.seeds()
         ]
+        for scenario in scenarios
+    }
+    cache.prewarm(
+        ("baseline", *schedulers),
+        [seq for seqs in per_scenario.values() for seq in seqs],
+    )
+    reductions: Dict[Tuple[str, str], float] = {}
+    tight: Dict[Tuple[str, str, int], float] = {}
+    for scenario in scenarios:
+        sequences = per_scenario[scenario.name]
         baseline = cache.combined("baseline", sequences)
         for scheduler in schedulers:
             results = cache.combined(scheduler, sequences)

@@ -87,15 +87,22 @@ def run(
     """Replicate the stress experiment over disjoint seed blocks."""
     cache = cache or RunCache()
     settings = settings or ExperimentSettings.from_env()
-    per_block = max(1, settings.num_sequences // 2)
-    reductions: Dict[Tuple[int, str], float] = {}
+    per_block_count = max(1, settings.num_sequences // 2)
+    per_block = {}
     for block in range(blocks):
         # Disjoint seeds: shift each block well past the default range.
         base = BASE_SEED + 1000 * (block + 1)
-        sequences = [
+        per_block[block] = [
             scenario_sequence(STRESS, base + i, settings.num_events)
-            for i in range(per_block)
+            for i in range(per_block_count)
         ]
+    cache.prewarm(
+        ("baseline", *schedulers),
+        [seq for seqs in per_block.values() for seq in seqs],
+    )
+    reductions: Dict[Tuple[int, str], float] = {}
+    for block in range(blocks):
+        sequences = per_block[block]
         baseline = cache.combined("baseline", sequences)
         for scheduler in schedulers:
             results = cache.combined(scheduler, sequences)
@@ -104,7 +111,7 @@ def run(
             )
     return SeedStudyResult(
         blocks=blocks,
-        sequences_per_block=per_block,
+        sequences_per_block=per_block_count,
         schedulers=tuple(schedulers),
         reductions=reductions,
     )

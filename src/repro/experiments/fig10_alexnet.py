@@ -49,10 +49,17 @@ def run(
     """Collect AlexNet responses from the ablation runs."""
     cache = cache or RunCache()
     settings = settings or ExperimentSettings.from_env()
+    per_batch = {
+        batch_size: _ablation_sequences(settings, batch_size)
+        for batch_size in batch_sizes
+    }
+    cache.prewarm(
+        variants, [seq for seqs in per_batch.values() for seq in seqs]
+    )
     response: Dict[Tuple[int, str], float] = {}
     samples: Dict[int, int] = {}
     for batch_size in batch_sizes:
-        sequences = _ablation_sequences(settings, batch_size)
+        sequences = per_batch[batch_size]
         for variant in variants:
             results = [
                 r for r in cache.combined(variant, sequences)

@@ -45,9 +45,16 @@ def run(
     """Compute AlexNet throughput from the ablation runs."""
     cache = cache or RunCache()
     settings = settings or ExperimentSettings.from_env()
+    per_batch = {
+        batch_size: _ablation_sequences(settings, batch_size)
+        for batch_size in batch_sizes
+    }
+    cache.prewarm(
+        variants, [seq for seqs in per_batch.values() for seq in seqs]
+    )
     throughput: Dict[Tuple[int, str], float] = {}
     for batch_size in batch_sizes:
-        sequences = _ablation_sequences(settings, batch_size)
+        sequences = per_batch[batch_size]
         for variant in variants:
             results = [
                 r for r in cache.combined(variant, sequences)

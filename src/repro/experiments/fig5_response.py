@@ -52,12 +52,20 @@ def run(
     """Execute (or reuse) all runs and compute the Figure 5 matrix."""
     cache = cache or RunCache()
     settings = settings or ExperimentSettings.from_env()
-    reductions: Dict[Tuple[str, str], float] = {}
-    for scenario in scenarios:
-        sequences = [
+    per_scenario = {
+        scenario.name: [
             scenario_sequence(scenario, seed, settings.num_events)
             for seed in settings.seeds()
         ]
+        for scenario in scenarios
+    }
+    cache.prewarm(
+        ("baseline", *schedulers),
+        [seq for seqs in per_scenario.values() for seq in seqs],
+    )
+    reductions: Dict[Tuple[str, str], float] = {}
+    for scenario in scenarios:
+        sequences = per_scenario[scenario.name]
         baseline = cache.combined("baseline", sequences)
         for scheduler in schedulers:
             results = cache.combined(scheduler, sequences)

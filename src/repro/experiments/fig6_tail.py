@@ -53,12 +53,20 @@ def run(
     """Compute the Figure 6 tail matrix (reusing Figure 5's runs)."""
     cache = cache or RunCache()
     settings = settings or ExperimentSettings.from_env()
-    tails: Dict[Tuple[str, float, str], float] = {}
-    for scenario in scenarios:
-        sequences = [
+    per_scenario = {
+        scenario.name: [
             scenario_sequence(scenario, seed, settings.num_events)
             for seed in settings.seeds()
         ]
+        for scenario in scenarios
+    }
+    cache.prewarm(
+        ("baseline", *schedulers),
+        [seq for seqs in per_scenario.values() for seq in seqs],
+    )
+    tails: Dict[Tuple[str, float, str], float] = {}
+    for scenario in scenarios:
+        sequences = per_scenario[scenario.name]
         baseline = cache.combined("baseline", sequences)
         for scheduler in schedulers:
             results = cache.combined(scheduler, sequences)

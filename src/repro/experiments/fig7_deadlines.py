@@ -71,12 +71,19 @@ def run(
     """Sweep deadline scaling factors over the scenario runs."""
     cache = cache or RunCache()
     settings = settings or ExperimentSettings.from_env()
-    curves: Dict[Tuple[str, str], DeadlineCurve] = {}
-    for scenario in scenarios:
-        sequences = [
+    per_scenario = {
+        scenario.name: [
             scenario_sequence(scenario, seed, settings.num_events)
             for seed in settings.seeds()
         ]
+        for scenario in scenarios
+    }
+    cache.prewarm(
+        schedulers, [seq for seqs in per_scenario.values() for seq in seqs]
+    )
+    curves: Dict[Tuple[str, str], DeadlineCurve] = {}
+    for scenario in scenarios:
+        sequences = per_scenario[scenario.name]
         for scheduler in schedulers:
             results = cache.combined(scheduler, sequences)
             curves[(scenario.name, scheduler)] = deadline_curve(

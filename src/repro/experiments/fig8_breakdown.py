@@ -46,6 +46,7 @@ def run(
         scenario_sequence(STANDARD, seed, settings.num_events)
         for seed in settings.seeds()
     ]
+    cache.prewarm((scheduler,), sequences)
     results = cache.combined(scheduler, sequences)
     return Fig8Result(
         scheduler=scheduler, breakdowns=breakdown_by_benchmark(results)

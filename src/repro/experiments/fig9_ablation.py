@@ -74,9 +74,17 @@ def run(
     """Run the ablation grid: fixed batches x Nimblock variants."""
     cache = cache or RunCache()
     settings = settings or ExperimentSettings.from_env()
+    per_batch = {
+        batch_size: _ablation_sequences(settings, batch_size)
+        for batch_size in batch_sizes
+    }
+    cache.prewarm(
+        ("nimblock", *variants),
+        [seq for seqs in per_batch.values() for seq in seqs],
+    )
     relative: Dict[Tuple[int, str], float] = {}
     for batch_size in batch_sizes:
-        sequences = _ablation_sequences(settings, batch_size)
+        sequences = per_batch[batch_size]
         full = cache.combined("nimblock", sequences)
         for variant in variants:
             results = cache.combined(variant, sequences)

@@ -1,0 +1,153 @@
+"""Parallel sweep executor: fan simulation runs out over worker processes.
+
+The simulation engine is single-threaded and fully deterministic, so a
+(scheduler, sequence, config) run is a pure function of its inputs — the
+ideal unit for process-level fan-out. This module provides the shared
+machinery behind :meth:`RunCache.prewarm` and the jobs-aware experiment
+modules:
+
+* :func:`map_runs` — fan plain ``run_sequence`` tasks out, results in
+  task order;
+* :func:`chaos_cells` — the fault-injection equivalent: each worker runs
+  one chaos simulation and reduces its trace to the reliability scalars
+  the studies aggregate (traces themselves never cross the process
+  boundary);
+* :func:`fanout` — the generic deterministic scatter/gather both build on.
+
+Determinism contract: workers are stateless, tasks are partitioned into
+contiguous chunks that are a pure function of (task count, worker count),
+and results are gathered in task order — so for identical inputs the
+returned lists are identical whatever ``jobs`` is, including ``jobs=1``
+(which short-circuits to in-process execution through the *same* worker
+function, keeping one code path for serial and parallel aggregation).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.config import SystemConfig
+from repro.errors import ExperimentError
+from repro.experiments.runner import _env_int, run_sequence
+from repro.faults.models import FaultConfig
+from repro.hypervisor.results import AppResult
+from repro.workload.events import EventSequence
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+#: A plain simulation task: (scheduler name, stimulus, platform config).
+RunTask = Tuple[str, EventSequence, Optional[SystemConfig]]
+
+#: A chaos task: (scheduler, stimulus, fault config, platform config).
+ChaosTask = Tuple[
+    str, EventSequence, Optional[FaultConfig], Optional[SystemConfig]
+]
+
+
+def effective_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit value, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        return _env_int("REPRO_JOBS", 1)
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def resolve_jobs(jobs: Optional[int], cache=None) -> int:
+    """Like :func:`effective_jobs`, but falling back to ``cache.jobs``."""
+    if jobs is not None:
+        return effective_jobs(jobs)
+    if cache is not None and getattr(cache, "jobs", None) is not None:
+        return effective_jobs(cache.jobs)
+    return effective_jobs(None)
+
+
+def _simulate(task: RunTask) -> List[AppResult]:
+    """Worker: one plain simulation run (top-level for pickling)."""
+    scheduler_name, sequence, config = task
+    return run_sequence(scheduler_name, sequence, config)
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One chaos run reduced to what the fault studies aggregate."""
+
+    results: Tuple[AppResult, ...]
+    goodput_items_per_s: float
+    recovery_times_ms: Tuple[float, ...]
+    work_lost_ms: float
+    total_faults: int
+
+
+def _simulate_chaos(task: ChaosTask) -> ChaosCell:
+    """Worker: one fault-injected run plus its trace-derived scalars.
+
+    The seeded fault RNG streams live in the injector, which is built
+    inside the worker from the (picklable) ``FaultConfig`` — identical
+    reconstruction to the serial path, hence identical draws.
+    """
+    from repro.experiments.ext_faults import run_chaos_sequence
+    from repro.metrics.reliability import (
+        goodput_items_per_s,
+        recovery_times_ms,
+        work_lost_ms,
+    )
+
+    scheduler_name, sequence, fault_config, config = task
+    results, trace, stats = run_chaos_sequence(
+        scheduler_name, sequence, fault_config, config=config
+    )
+    return ChaosCell(
+        results=tuple(results),
+        goodput_items_per_s=goodput_items_per_s(trace),
+        recovery_times_ms=tuple(recovery_times_ms(trace)),
+        work_lost_ms=work_lost_ms(trace),
+        total_faults=stats.total_faults,
+    )
+
+
+def _chunksize(num_tasks: int, workers: int) -> int:
+    """Contiguous, deterministic partition: ceil(n / workers) per worker."""
+    return max(1, -(-num_tasks // workers))
+
+
+def fanout(
+    worker: Callable[[_Task], _Result],
+    tasks: Sequence[_Task],
+    jobs: Optional[int] = None,
+) -> List[_Result]:
+    """Run ``worker`` over ``tasks``, returning results in task order.
+
+    ``jobs <= 1`` (or a single task) executes in-process; otherwise a
+    :class:`ProcessPoolExecutor` scatters contiguous chunks. Exceptions
+    raised in workers (e.g. :class:`ExperimentError` for a scheduler that
+    fails to retire its workload) propagate to the caller.
+    """
+    tasks = list(tasks)
+    jobs = effective_jobs(jobs)
+    if jobs == 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(
+            pool.map(
+                worker, tasks, chunksize=_chunksize(len(tasks), workers)
+            )
+        )
+
+
+def map_runs(
+    tasks: Sequence[RunTask], jobs: Optional[int] = None
+) -> List[List[AppResult]]:
+    """Fan plain simulation tasks out; one result list per task, in order."""
+    return fanout(_simulate, tasks, jobs=jobs)
+
+
+def chaos_cells(
+    tasks: Sequence[ChaosTask], jobs: Optional[int] = None
+) -> List[ChaosCell]:
+    """Fan fault-injected simulation tasks out, in task order."""
+    return fanout(_simulate_chaos, tasks, jobs=jobs)

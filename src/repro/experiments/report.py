@@ -10,6 +10,13 @@ claim, the value measured by this reproduction, and a verdict:
 Absolute factors are expected to differ (the substrate is a simulator
 without the board's data-movement and control overheads); shapes are the
 reproduction contract.
+
+Every simulation-derived line of the report is deterministic — identical
+across reruns, worker counts (``--jobs``) and cache states. The one
+exception is the §1/§6 scheduler-overhead row, which is a *live*
+wall-clock microbenchmark of the host (see
+:mod:`repro.experiments.overhead`); its evidence numbers vary run to run
+while its verdict stays stable.
 """
 
 from __future__ import annotations
@@ -329,6 +336,38 @@ def _check_overhead() -> List[Finding]:
     ]
 
 
+def _prewarm_shared_runs(
+    cache: RunCache, settings: ExperimentSettings
+) -> None:
+    """Fan the report's shared stimuli out in one batch.
+
+    Figures 5-8 reuse the scenario sequences and Table 3 its fixed-batch
+    workload; prewarming them together gives the parallel executor the
+    widest fan-out, after which the per-figure prewarms are pure lookups.
+    """
+    from repro.experiments.table3 import TABLE3_BATCH, TABLE3_DELAY_MS
+    from repro.schedulers.registry import ALL_SCHEDULERS
+    from repro.workload.scenarios import (
+        SCENARIOS,
+        fixed_batch_sequence,
+        scenario_sequence,
+    )
+
+    sequences = [
+        scenario_sequence(scenario, seed, settings.num_events)
+        for scenario in SCENARIOS
+        for seed in settings.seeds()
+    ]
+    sequences.extend(
+        fixed_batch_sequence(
+            TABLE3_BATCH, seed,
+            delay_ms=TABLE3_DELAY_MS, num_events=settings.num_events,
+        )
+        for seed in settings.seeds()
+    )
+    cache.prewarm(ALL_SCHEDULERS, sequences)
+
+
 def generate_findings(
     cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
@@ -336,6 +375,7 @@ def generate_findings(
     """Run every experiment and compare against the paper's claims."""
     cache = cache or RunCache()
     settings = settings or ExperimentSettings.from_env()
+    _prewarm_shared_runs(cache, settings)
     findings: List[Finding] = []
     findings.extend(_check_table1())
     findings.extend(_check_table2())

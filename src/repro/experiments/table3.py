@@ -71,6 +71,7 @@ def run(
         )
         for seed in settings.seeds()
     ]
+    cache.prewarm(("baseline", *schedulers), sequences)
 
     baseline = cache.combined("baseline", sequences)
     seen = {result.name for result in baseline}

@@ -68,6 +68,38 @@ class TestRunner:
         with pytest.raises(ExperimentError, match=">= 1"):
             ExperimentSettings.from_env()
 
+    def test_base_seed_env_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BASE_SEED", "12345")
+        monkeypatch.setenv("REPRO_SEQUENCES", "3")
+        settings = ExperimentSettings.from_env()
+        assert settings.base_seed == 12345
+        assert settings.seeds() == [12345, 12346, 12347]
+
+    def test_base_seed_defaults_without_env(self, monkeypatch):
+        from repro.experiments.runner import BASE_SEED
+
+        monkeypatch.delenv("REPRO_BASE_SEED", raising=False)
+        settings = ExperimentSettings.from_env()
+        assert settings.base_seed == BASE_SEED
+        assert settings.seeds()[0] == BASE_SEED
+
+    def test_base_seed_env_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BASE_SEED", "not-a-seed")
+        with pytest.raises(ExperimentError, match="REPRO_BASE_SEED.*integer"):
+            ExperimentSettings.from_env()
+        monkeypatch.setenv("REPRO_BASE_SEED", "0")
+        with pytest.raises(ExperimentError, match="REPRO_BASE_SEED.*>= 1"):
+            ExperimentSettings.from_env()
+
+    def test_base_seed_changes_stimuli(self):
+        default = ExperimentSettings(num_sequences=1, num_events=5)
+        shifted = ExperimentSettings(
+            num_sequences=1, num_events=5, base_seed=default.base_seed + 100
+        )
+        seq_a = scenario_sequence(STRESS, default.seeds()[0], 5)
+        seq_b = scenario_sequence(STRESS, shifted.seeds()[0], 5)
+        assert list(seq_a) != list(seq_b)
+
     def test_format_table_aligns(self):
         text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
         lines = text.splitlines()
