@@ -5,7 +5,7 @@ PYTHON ?= python
 JOBS ?= 4
 CACHE_DIR ?= .runcache
 
-.PHONY: install test bench sweep chaos reproduce report examples clean
+.PHONY: install test bench sweep chaos trace stats reproduce report examples clean
 
 install:
 	pip install -e . && pip install -e '.[test]'
@@ -27,6 +27,15 @@ sweep:
 # Fault-injection drill: every scheduler under the mixed chaos scenario.
 chaos:
 	$(PYTHON) -m repro.cli chaos --scenario mixed --fault-rate 0.05 --seed 1
+
+# Perfetto-loadable Chrome trace of a faulty stress run -> trace.json.
+trace:
+	$(PYTHON) -m repro.cli trace --format chrome --fault-rate 0.05 \
+		--seed 1 --output trace.json
+
+# Prometheus-style metrics for the stress scenario, fanned out.
+stats:
+	$(PYTHON) -m repro.cli stats --sequences 4 --jobs $(JOBS)
 
 # Full paper-scale regeneration: 10 sequences x 20 events, all experiments.
 reproduce:

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Observability bench: what instrumentation costs, and that "off" is free.
+
+Two claims are pinned here:
+
+* **Disabled is free.** A hypervisor built without an observer executes
+  zero observability code: the only additions to the hot path are
+  ``if observer is not None`` guards, and no ``repro.observe`` module is
+  even imported (checked in a subprocess). The disabled-path wall time
+  must stay within ``GUARD_THRESHOLD`` of the enabled path from below —
+  i.e. turning instrumentation *on* is the only thing that may cost.
+* **Enabled is cheap.** Live hooks are a token reading per scheduler pass
+  plus an integer bump per engine event; the post-run trace fold happens
+  once. The enabled/disabled gap is reported so regressions show up in
+  the recorded trajectory.
+
+Standalone usage::
+
+    python benchmarks/bench_observe.py --bench [--fast]   # record timings
+    python benchmarks/bench_observe.py --guard [--fast]   # CI overhead guard
+
+``--bench`` appends one entry to ``BENCH_observe.json`` (repo root).
+``--guard`` exits non-zero if the structural check fails or the disabled
+path is not within ``GUARD_THRESHOLD`` of the enabled path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.observe.instrument import Instrumentation
+from repro.schedulers.registry import make_scheduler
+from repro.workload.scenarios import STRESS, scenario_sequence
+
+#: Default output of ``--bench`` mode.
+DEFAULT_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_observe.json"
+
+#: The disabled path must cost at most this fraction of the enabled path
+#: (1.05 = within 5%; in practice it is strictly cheaper).
+GUARD_THRESHOLD = 1.05
+
+#: Subprocess probe: a plain run must not import any observe module.
+_STRUCTURAL_PROBE = """
+import sys
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.schedulers.registry import make_scheduler
+from repro.workload.scenarios import STRESS, scenario_sequence
+hv = Hypervisor(make_scheduler('nimblock'))
+for r in scenario_sequence(STRESS, 1, 6).to_requests():
+    hv.submit(r)
+hv.run()
+bad = sorted(m for m in sys.modules if 'observe' in m)
+if bad:
+    raise SystemExit('observe modules loaded on a plain run: %s' % bad)
+"""
+
+
+def run_workload(seeds, num_events: int, observe: bool) -> float:
+    """Wall time of one serial stress sweep, observed or not."""
+    started = time.perf_counter()
+    for seed in seeds:
+        observer = Instrumentation() if observe else None
+        hypervisor = Hypervisor(
+            make_scheduler("nimblock"), observer=observer
+        )
+        for request in scenario_sequence(
+            STRESS, seed, num_events
+        ).to_requests():
+            hypervisor.submit(request)
+        hypervisor.run()
+        if observer is not None:
+            observer.finalize(hypervisor)
+    return time.perf_counter() - started
+
+
+def measure(fast: bool) -> Dict[str, float]:
+    """Interleaved disabled/enabled medians (interleaving absorbs drift)."""
+    seeds = (1, 2) if fast else (1, 2, 3, 4)
+    num_events = 8 if fast else 16
+    repetitions = 3 if fast else 5
+    run_workload(seeds, num_events, observe=False)  # warm caches/JIT-alikes
+    disabled: List[float] = []
+    enabled: List[float] = []
+    for _ in range(repetitions):
+        disabled.append(run_workload(seeds, num_events, observe=False))
+        enabled.append(run_workload(seeds, num_events, observe=True))
+    disabled_s = statistics.median(disabled)
+    enabled_s = statistics.median(enabled)
+    return {
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "enabled_overhead_pct": 100.0 * (enabled_s / disabled_s - 1.0),
+    }
+
+
+def structural_check() -> None:
+    """A plain run must not load repro.observe (raises on failure)."""
+    subprocess.run(
+        [sys.executable, "-c", _STRUCTURAL_PROBE],
+        check=True,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", action="store_true",
+                        help="record a timing entry to BENCH_observe.json")
+    parser.add_argument("--guard", action="store_true",
+                        help="CI mode: fail on structural or overhead drift")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced scale for CI")
+    parser.add_argument("--out", type=Path, default=DEFAULT_BENCH_PATH)
+    args = parser.parse_args(argv)
+
+    structural_check()
+    print("structural check: plain runs import no observe module")
+
+    timings = measure(args.fast)
+    print(
+        f"disabled {timings['disabled_s'] * 1e3:8.1f} ms   "
+        f"enabled {timings['enabled_s'] * 1e3:8.1f} ms   "
+        f"instrumentation overhead {timings['enabled_overhead_pct']:+.1f}%"
+    )
+
+    if args.guard:
+        ratio = timings["disabled_s"] / timings["enabled_s"]
+        if ratio > GUARD_THRESHOLD:
+            print(
+                f"GUARD FAILED: disabled path at {ratio:.3f}x of enabled "
+                f"(limit {GUARD_THRESHOLD}) — the no-observer path is "
+                "doing observability work",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"overhead guard OK (disabled/enabled = {ratio:.3f})")
+
+    if args.bench:
+        entry = {
+            "timestamp": datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
+            "fast": args.fast,
+            **{k: round(v, 6) for k, v in timings.items()},
+        }
+        history = []
+        if args.out.exists():
+            history = json.loads(args.out.read_text())
+        history.append(entry)
+        args.out.write_text(json.dumps(history, indent=2) + "\n")
+        print(f"recorded -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

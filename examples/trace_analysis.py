@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Post-mortem of one run: timeline art, utilization, exports.
+"""Post-mortem of one run: timeline art, utilization, spans, exports.
 
-Runs a small shared workload under Nimblock, then demonstrates the
-analysis tooling: the slot-occupancy timeline (Figure 2-style), the
-board-utilization breakdown, a deadline check, and CSV/JSON/trace exports
+Runs a small shared workload under Nimblock with instrumentation
+attached, then demonstrates the analysis tooling: the slot-occupancy
+timeline (Figure 2-style), the board-utilization breakdown, a deadline
+check, the observability layer (spans, metrics, a Perfetto-loadable
+Chrome trace — see docs/observability.md), and CSV/JSON/trace exports
 for external tools.
 
 Run:
@@ -19,6 +21,9 @@ from pathlib import Path
 from repro import AppRequest, Hypervisor, get_benchmark, make_scheduler
 from repro.experiments.export import export_csv, export_json
 from repro.metrics.utilization import board_utilization
+from repro.observe import Instrumentation, build_spans
+from repro.observe.exporters import save_chrome_trace
+from repro.observe.spans import config_port_busy_ms, spans_by_category
 from repro.sim.timeline import render_timeline
 from repro.sim.trace_export import save_trace
 
@@ -29,7 +34,8 @@ def main() -> None:
     )
     out_dir.mkdir(parents=True, exist_ok=True)
 
-    hypervisor = Hypervisor(make_scheduler("nimblock"))
+    observer = Instrumentation()
+    hypervisor = Hypervisor(make_scheduler("nimblock"), observer=observer)
     for name, batch, priority, arrival in [
         ("lenet", 6, 3, 0.0),
         ("imgc", 8, 9, 150.0),
@@ -41,6 +47,7 @@ def main() -> None:
                        priority=priority, arrival_ms=arrival)
         )
     hypervisor.run()
+    observer.finalize(hypervisor)
 
     print("slot occupancy (first 3 seconds):")
     print(render_timeline(hypervisor.trace, num_slots=10,
@@ -66,14 +73,35 @@ def main() -> None:
             f"{result.preemption_count} preemptions)"
         )
 
+    spans = build_spans(hypervisor.trace)
+    by_category = spans_by_category(spans)
+    print(
+        f"\nspans: {len(spans)} total — "
+        + ", ".join(f"{len(group)} {cat}"
+                    for cat, group in sorted(by_category.items()))
+    )
+    print(f"config port held for {config_port_busy_ms(spans):.0f} ms "
+          "(the serialized-DPR bottleneck, span-level)")
+    snapshot = observer.snapshot()
+    counters = snapshot["counters"]
+    print(
+        f"metrics: {int(counters['nimblock_apps_retired_total']['value'])} "
+        f"apps retired, {int(counters['nimblock_dpr_total']['value'])} "
+        f"reconfigs, "
+        f"{int(counters['nimblock_preemptions_total']['value'])} preemptions"
+    )
+
     csv_path = export_csv(results, out_dir / "results.csv")
     json_path = export_json(results, out_dir / "results.json", label="demo")
     trace_path = save_trace(hypervisor.trace, out_dir / "trace.json",
                             label="demo")
+    chrome_path = save_chrome_trace(hypervisor.trace,
+                                    out_dir / "perfetto.json")
     print(
         f"\nexported: {csv_path.name}, {json_path.name}, "
-        f"{trace_path.name} -> {out_dir}"
+        f"{trace_path.name}, {chrome_path.name} -> {out_dir}"
     )
+    print("load perfetto.json at https://ui.perfetto.dev for the timeline")
 
 
 if __name__ == "__main__":

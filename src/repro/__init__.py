@@ -19,8 +19,9 @@ Quickstart
 >>> results = hv.results()
 """
 
+from repro.version import __version__
 from repro.config import PRIORITY_LEVELS, SystemConfig, ZCU106_CONFIG
-from repro.errors import ReproError
+from repro.errors import ExperimentError, ReproError
 from repro.faults import FaultConfig, FaultInjector, FaultStats, RecoveryPolicy
 from repro.apps import BENCHMARK_NAMES, BenchmarkApp, get_benchmark
 from repro.taskgraph import TaskGraph, TaskSpec
@@ -49,8 +50,44 @@ from repro.workload import (
     fixed_batch_sequence,
     scenario_sequence,
 )
+# Experiment-harness and observability entry points resolve lazily (PEP
+# 562): simulating through the core never pays for — or even imports —
+# the observe/experiments layers unless they are actually used. The
+# zero-overhead structural test in tests/test_observe.py pins this down.
+_LAZY_EXPORTS = {
+    "ExperimentSettings": "repro.experiments.runner",
+    "RunCache": "repro.experiments.runner",
+    "uniform_args": "repro.experiments.runner",
+    "Experiment": "repro.experiments.registry",
+    "ExperimentResult": "repro.experiments.registry",
+    "experiment_names": "repro.experiments.registry",
+    "get_experiment": "repro.experiments.registry",
+    "run_experiment": "repro.experiments.registry",
+    "SimulationRun": "repro.facade",
+    "simulate": "repro.facade",
+    "Instrumentation": "repro.observe",
+    "Span": "repro.observe",
+    "build_spans": "repro.observe",
+    "collect_metrics": "repro.observe",
+    "observed_run": "repro.observe",
+    "snapshot_run": "repro.observe",
+}
 
-__version__ = "1.0.0"
+
+def __getattr__(name: str):
+    module_path = _LAZY_EXPORTS.get(name)
+    if module_path is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_path), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
 
 __all__ = [
     "PRIORITY_LEVELS",
@@ -89,5 +126,22 @@ __all__ = [
     "chaos_scenario",
     "fixed_batch_sequence",
     "scenario_sequence",
+    "ExperimentError",
+    "ExperimentSettings",
+    "RunCache",
+    "uniform_args",
+    "Experiment",
+    "ExperimentResult",
+    "experiment_names",
+    "get_experiment",
+    "run_experiment",
+    "SimulationRun",
+    "simulate",
+    "Instrumentation",
+    "Span",
+    "build_spans",
+    "collect_metrics",
+    "observed_run",
+    "snapshot_run",
     "__version__",
 ]

@@ -9,6 +9,11 @@ Examples
     nimblock-repro all --sequences 2 --events 10
     nimblock-repro report --jobs 4 --cache-dir .runcache
     nimblock-repro chaos --scenario transient --fault-rate 0.05 --seed 1
+    nimblock-repro trace --format chrome --output run.json
+    nimblock-repro stats --fault-rate 0.02 --jobs 4
+
+Exit codes: 0 on success, 1 when an experiment fails
+(:class:`~repro.errors.ReproError`), 2 on usage errors (argparse).
 """
 
 from __future__ import annotations
@@ -16,84 +21,21 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.errors import ReproError
-from repro.experiments import (
-    ext_batching,
-    ext_capacity,
-    ext_estimates,
-    ext_faults,
-    ext_hetero,
-    ext_interconnect,
-    ext_mixes,
-    ext_scaleout,
-    ext_schedulers,
-    ext_seeds,
-    ext_utilization,
-    fig2_modes,
-    fig4_taskgraph,
-    fig5_response,
-    fig6_tail,
-    fig7_deadlines,
-    fig8_breakdown,
-    fig9_ablation,
-    fig10_alexnet,
-    fig11_throughput,
-    overhead,
-    report,
-    table1,
-    table2,
-    table3,
-)
+from repro.experiments.registry import experiment_names, get_experiment
 from repro.experiments.runner import ExperimentSettings, RunCache
+from repro.version import __version__
 from repro.workload.scenarios import CHAOS_SCENARIOS, SCENARIOS
 
+#: Exit codes of :func:`main` (argparse itself exits 2 on bad usage).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
 
-def _needs_runs(module) -> bool:
-    return module not in (table1, table2, overhead)
-
-
-_EXPERIMENTS: Dict[str, object] = {
-    "fig2": fig2_modes,
-    "fig4": fig4_taskgraph,
-    "table1": table1,
-    "table2": table2,
-    "table3": table3,
-    "fig5": fig5_response,
-    "fig6": fig6_tail,
-    "fig7": fig7_deadlines,
-    "fig8": fig8_breakdown,
-    "fig9": fig9_ablation,
-    "fig10": fig10_alexnet,
-    "fig11": fig11_throughput,
-    "overhead": overhead,
-    "ext-faults": ext_faults,
-    "ext-interconnect": ext_interconnect,
-    "ext-scaleout": ext_scaleout,
-    "ext-mixes": ext_mixes,
-    "ext-estimates": ext_estimates,
-    "ext-schedulers": ext_schedulers,
-    "ext-batching": ext_batching,
-    "ext-hetero": ext_hetero,
-    "ext-utilization": ext_utilization,
-    "ext-seeds": ext_seeds,
-    "ext-capacity": ext_capacity,
-    "report": report,
-}
-
-
-def _run_one(
-    name: str,
-    cache: RunCache,
-    settings: ExperimentSettings,
-) -> str:
-    module = _EXPERIMENTS[name]
-    if _needs_runs(module):
-        result = module.run(cache=cache, settings=settings)
-    else:
-        result = module.run()
-    return module.format_result(result)
+#: Non-experiment actions accepted in the positional slot.
+ACTIONS = ("all", "chaos", "stats", "trace")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,11 +49,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
+    )
+    parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "chaos"],
+        choices=sorted(experiment_names()) + list(ACTIONS),
         help=(
             "which table/figure to regenerate ('all' runs everything; "
-            "'chaos' runs a one-shot fault-injection drill)"
+            "'chaos' runs a one-shot fault-injection drill; 'trace' "
+            "exports one observed run as Chrome/Perfetto or JSONL; "
+            "'stats' emits Prometheus-format metrics for a sweep)"
         ),
     )
     parser.add_argument(
@@ -138,28 +85,141 @@ def build_parser() -> argparse.ArgumentParser:
             "memory-only)"
         ),
     )
-    chaos = parser.add_argument_group(
-        "chaos", "options for the 'chaos' fault-injection drill"
+    workload = parser.add_argument_group(
+        "workload", "options for the 'chaos', 'trace' and 'stats' actions"
     )
-    chaos.add_argument(
+    workload.add_argument(
         "--scenario", default="mixed",
         choices=sorted(s.name for s in CHAOS_SCENARIOS),
         help="which fault scenario to inject (default: mixed)",
     )
-    chaos.add_argument(
-        "--fault-rate", type=float, default=0.05,
-        help="fault-rate knob; 0 disables injection entirely (default: 0.05)",
+    workload.add_argument(
+        "--fault-rate", type=float, default=None,
+        help=(
+            "fault-rate knob; 0 disables injection entirely "
+            "(default: 0.05 for 'chaos', 0 for 'trace'/'stats')"
+        ),
     )
-    chaos.add_argument(
+    workload.add_argument(
         "--seed", type=int, default=1,
         help="workload and fault-stream seed (default: 1)",
     )
-    chaos.add_argument(
+    workload.add_argument(
         "--workload", default="stress",
         choices=sorted(s.name for s in SCENARIOS),
         help="congestion scenario driving arrivals (default: stress)",
     )
+    workload.add_argument(
+        "--scheduler", default="nimblock",
+        help="scheduler observed by 'trace' and 'stats' (default: nimblock)",
+    )
+    observe = parser.add_argument_group(
+        "observe", "options for the 'trace' action"
+    )
+    observe.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help=(
+            "'trace' output format: Chrome/Perfetto trace_event JSON "
+            "or one raw event per line (default: chrome)"
+        ),
+    )
+    observe.add_argument(
+        "--output", default=None,
+        help="write 'trace' output to this file instead of stdout",
+    )
     return parser
+
+
+def _workload_scenario(name: str):
+    """The congestion scenario driving arrivals, by CLI name."""
+    return next(s for s in SCENARIOS if s.name == name)
+
+
+def _fault_config(args: argparse.Namespace, default_rate: float):
+    """Resolve --scenario/--fault-rate/--seed into a FaultConfig or None."""
+    from repro.workload.scenarios import chaos_scenario
+
+    rate = args.fault_rate if args.fault_rate is not None else default_rate
+    if rate <= 0.0:
+        return None
+    return chaos_scenario(args.scenario).fault_config(rate, seed=args.seed)
+
+
+def _run_chaos(args: argparse.Namespace, settings: ExperimentSettings) -> int:
+    """The one-shot fault-injection drill (``chaos``)."""
+    from repro.experiments import ext_faults
+
+    rate = args.fault_rate if args.fault_rate is not None else 0.05
+    print(ext_faults.chaos_report(
+        scenario_name=args.scenario,
+        fault_rate=rate,
+        seed=args.seed,
+        num_events=args.events or settings.num_events,
+        workload_name=args.workload,
+    ))
+    return EXIT_OK
+
+
+def _run_trace(args: argparse.Namespace, settings: ExperimentSettings) -> int:
+    """Export one observed run (``trace``) as Chrome JSON or JSONL."""
+    import json
+
+    from repro.observe.aggregate import observed_run
+    from repro.observe.exporters import (
+        trace_to_chrome,
+        trace_to_jsonl,
+        validate_chrome_trace,
+    )
+    from repro.observe.spans import expected_span_count
+    from repro.workload.scenarios import scenario_sequence
+
+    sequence = scenario_sequence(
+        _workload_scenario(args.workload), args.seed, settings.num_events
+    )
+    hypervisor, _ = observed_run(
+        args.scheduler, sequence, _fault_config(args, default_rate=0.0)
+    )
+    if args.format == "chrome":
+        payload = trace_to_chrome(
+            hypervisor.trace,
+            label=args.scheduler,
+            num_slots=hypervisor.config.num_slots,
+        )
+        spans = validate_chrome_trace(payload)
+        assert spans == expected_span_count(hypervisor.trace)
+        text = json.dumps(payload, sort_keys=True) + "\n"
+        note = f"chrome trace: {spans} spans"
+    else:
+        text = trace_to_jsonl(hypervisor.trace)
+        note = f"jsonl trace: {len(hypervisor.trace)} events"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{note} -> {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+        print(note, file=sys.stderr)
+    return EXIT_OK
+
+
+def _run_stats(args: argparse.Namespace, settings: ExperimentSettings) -> int:
+    """Emit merged Prometheus metrics for a small sweep (``stats``)."""
+    from repro.observe.aggregate import collect_metrics
+    from repro.observe.exporters import snapshot_to_prometheus
+    from repro.workload.scenarios import scenario_sequence
+
+    scenario = _workload_scenario(args.workload)
+    sequences = [
+        scenario_sequence(scenario, seed, settings.num_events)
+        for seed in settings.seeds()
+    ]
+    merged = collect_metrics(
+        [args.scheduler], sequences,
+        fault_config=_fault_config(args, default_rate=0.0),
+        jobs=args.jobs,
+    )
+    sys.stdout.write(snapshot_to_prometheus(merged))
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -171,24 +231,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_sequences=args.sequences or settings.num_sequences,
             num_events=args.events or settings.num_events,
         )
-    if args.experiment == "chaos":
-        try:
-            print(ext_faults.chaos_report(
-                scenario_name=args.scenario,
-                fault_rate=args.fault_rate,
-                seed=args.seed,
-                num_events=args.events or settings.num_events,
-                workload_name=args.workload,
-            ))
-        except ReproError as error:
-            print(f"chaos: {error}", file=sys.stderr)
-            return 2
-        return 0
-    cache = RunCache(cache_dir=args.cache_dir, jobs=args.jobs)
-    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(_run_one(name, cache, settings))
-        print()
+    try:
+        if args.experiment == "chaos":
+            return _run_chaos(args, settings)
+        if args.experiment == "trace":
+            return _run_trace(args, settings)
+        if args.experiment == "stats":
+            return _run_stats(args, settings)
+        cache = RunCache(cache_dir=args.cache_dir, jobs=args.jobs)
+        names = (
+            sorted(experiment_names())
+            if args.experiment == "all"
+            else [args.experiment]
+        )
+        for name in names:
+            result = get_experiment(name).run(
+                settings, cache=cache, jobs=args.jobs
+            )
+            print(result.text)
+            print()
+    except ReproError as error:
+        print(f"{args.experiment}: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `nimblock-repro fig5 | head`);
+        # detach stdout so interpreter shutdown doesn't re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
     if args.cache_dir:
         print(
             f"run cache: {cache.simulations} simulations, "
@@ -196,7 +266,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({args.cache_dir})",
             file=sys.stderr,
         )
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -7,7 +7,20 @@ platform) within a harness instance so Figures 5, 6 and 7 — which the
 paper derives from the same test sequences — share simulations.
 """
 
-from repro.experiments.runner import ExperimentSettings, RunCache, run_sequence
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.runner import (
+    ExperimentSettings,
+    RunCache,
+    run_sequence,
+    uniform_args,
+)
 from repro.experiments import (
     parallel,
     ext_batching,
@@ -37,9 +50,16 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "Experiment",
+    "ExperimentResult",
     "ExperimentSettings",
     "RunCache",
+    "all_experiments",
+    "experiment_names",
+    "get_experiment",
+    "run_experiment",
     "run_sequence",
+    "uniform_args",
     "parallel",
     "ext_batching",
     "ext_capacity",

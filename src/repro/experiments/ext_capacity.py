@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
-from repro.experiments.runner import ExperimentSettings, format_table
+from repro.experiments.runner import ExperimentSettings, format_table, uniform_args
 from repro.workload.scenarios import STRESS, scenario_sequence
 
 #: Slot counts swept (the paper's platform is 10).
@@ -57,15 +57,17 @@ class CapacityResult:
 
 
 def run(
-    cache=None,  # per-slot-count configs cannot share the default cache
     settings: Optional[ExperimentSettings] = None,
+    cache=None,  # per-slot-count configs cannot share the default cache
+    *,
+    jobs: Optional[int] = None,
     scheduler: str = "nimblock",
     slot_counts: Sequence[int] = DEFAULT_SLOT_COUNTS,
-    jobs: Optional[int] = None,
 ) -> CapacityResult:
     """Sweep the overlay slot count for one workload."""
     from repro.experiments import parallel
 
+    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STRESS, seed, settings.num_events)

@@ -24,6 +24,7 @@ from repro.config import SystemConfig
 from repro.experiments.runner import (
     ExperimentSettings,
     format_table,
+    uniform_args,
 )
 from repro.metrics.response import mean_reduction_factor
 from repro.workload.scenarios import STRESS, scenario_sequence
@@ -55,15 +56,17 @@ class EstimateSensitivityResult:
 
 
 def run(
-    cache=None,  # accepted for harness uniformity; config varies per cell
     settings: Optional[ExperimentSettings] = None,
+    cache=None,  # accepted for harness uniformity; config varies per cell
+    *,
+    jobs: Optional[int] = None,
     error_levels: Sequence[float] = ERROR_LEVELS,
     schedulers: Sequence[str] = STUDIED,
-    jobs: Optional[int] = None,
 ) -> EstimateSensitivityResult:
     """Sweep estimation error for each studied scheduler."""
     from repro.experiments import parallel
 
+    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STRESS, seed, settings.num_events)

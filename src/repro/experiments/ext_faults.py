@@ -24,6 +24,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultConfig, FaultStats
@@ -105,13 +106,14 @@ class FaultStudyResult:
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     scenario: ChaosScenario = MIXED_FAULTS,
     workload: Scenario = STRESS,
     fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
     schedulers: Sequence[str] = ALL_SCHEDULERS,
-    jobs: Optional[int] = None,
 ) -> FaultStudyResult:
     """Sweep fault rates over all schedulers under one chaos scenario.
 
@@ -123,6 +125,7 @@ def run(
     """
     from repro.experiments import parallel
 
+    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     config = cache.config if cache is not None else SystemConfig()
     rates = tuple(fault_rates)

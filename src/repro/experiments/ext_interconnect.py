@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.runner import (
     ExperimentSettings,
     format_table,
+    uniform_args,
 )
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.overlay.interconnect import make_interconnect
@@ -54,11 +55,14 @@ STUDY_PAYLOAD_BYTES = 8 * 1024 * 1024
 
 
 def run(
-    cache=None,  # accepted for harness uniformity; runs are not cacheable
     settings: Optional[ExperimentSettings] = None,
+    cache=None,  # accepted for harness uniformity; runs are not cacheable
+    *,
+    jobs=None,
     scheduler: str = "nimblock",
 ) -> InterconnectResult:
     """Run the same stimuli under each interconnect model."""
+    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         EventGenerator(seed, benchmarks=STUDY_BENCHMARKS).sequence(

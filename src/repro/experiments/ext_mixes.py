@@ -23,6 +23,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.metrics.response import mean_reduction_factor
 from repro.workload.mixes import mix_sequence
@@ -55,13 +56,16 @@ class MixResult:
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     mixes: Sequence[str] = MIX_NAMES,
     schedulers: Sequence[str] = COMPARED,
 ) -> MixResult:
     """Run every mix under the baseline plus each compared scheduler."""
-    cache = cache or RunCache()
+    settings, cache = uniform_args(settings, cache)
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
     per_mix = {
         mix: [
@@ -73,6 +77,7 @@ def run(
     cache.prewarm(
         ("baseline", *schedulers),
         [seq for seqs in per_mix.values() for seq in seqs],
+        jobs=jobs,
     )
     reductions: Dict[Tuple[str, str], float] = {}
     for mix in mixes:

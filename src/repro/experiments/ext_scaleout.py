@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.runner import ExperimentSettings, format_table
+from repro.experiments.runner import ExperimentSettings, format_table, uniform_args
 from repro.hypervisor.cluster import DISPATCH_POLICIES, FPGACluster
 from repro.workload.scenarios import STRESS, scenario_sequence
 
@@ -43,12 +43,15 @@ class ScaleOutResult:
 
 
 def run(
-    cache=None,  # accepted for harness uniformity
     settings: Optional[ExperimentSettings] = None,
+    cache=None,  # accepted for harness uniformity
+    *,
+    jobs=None,
     scheduler: str = "nimblock",
     fleet_sizes: Tuple[int, ...] = FLEET_SIZES,
 ) -> ScaleOutResult:
     """Sweep fleet sizes and dispatch policies on one arrival stream."""
+    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STRESS, seed, settings.num_events)

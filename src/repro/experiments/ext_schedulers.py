@@ -24,6 +24,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.metrics.deadlines import violation_rate
 from repro.metrics.response import mean_reduction_factor
@@ -59,13 +60,16 @@ class SchedulerStudyResult:
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     scenarios: Sequence[Scenario] = SCENARIOS,
     schedulers: Sequence[str] = COMPARED,
 ) -> SchedulerStudyResult:
     """Run the extended scheduler set over all three scenarios."""
-    cache = cache or RunCache()
+    settings, cache = uniform_args(settings, cache)
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
     priorities = (1, 3, 9)
     per_scenario = {
@@ -78,6 +82,7 @@ def run(
     cache.prewarm(
         ("baseline", *schedulers),
         [seq for seqs in per_scenario.values() for seq in seqs],
+        jobs=jobs,
     )
     reductions: Dict[Tuple[str, str], float] = {}
     tight: Dict[Tuple[str, str, int], float] = {}

@@ -23,6 +23,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.metrics.response import mean_reduction_factor
 from repro.workload.scenarios import STRESS, scenario_sequence
@@ -79,13 +80,16 @@ class SeedStudyResult:
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     blocks: int = DEFAULT_BLOCKS,
     schedulers: Tuple[str, ...] = STUDIED,
 ) -> SeedStudyResult:
     """Replicate the stress experiment over disjoint seed blocks."""
-    cache = cache or RunCache()
+    settings, cache = uniform_args(settings, cache)
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
     per_block_count = max(1, settings.num_sequences // 2)
     per_block = {}
@@ -99,6 +103,7 @@ def run(
     cache.prewarm(
         ("baseline", *schedulers),
         [seq for seqs in per_block.values() for seq in seqs],
+        jobs=jobs,
     )
     reductions: Dict[Tuple[int, str], float] = {}
     for block in range(blocks):

@@ -19,6 +19,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.workload.scenarios import ABLATION_BATCH_SIZES
 
@@ -41,20 +42,25 @@ class Fig10Result:
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     batch_sizes: Sequence[int] = ABLATION_BATCH_SIZES,
     variants: Sequence[str] = ABLATION_NAMES,
 ) -> Fig10Result:
     """Collect AlexNet responses from the ablation runs."""
-    cache = cache or RunCache()
+    settings, cache = uniform_args(settings, cache)
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
     per_batch = {
         batch_size: _ablation_sequences(settings, batch_size)
         for batch_size in batch_sizes
     }
     cache.prewarm(
-        variants, [seq for seqs in per_batch.values() for seq in seqs]
+        variants,
+        [seq for seqs in per_batch.values() for seq in seqs],
+        jobs=jobs,
     )
     response: Dict[Tuple[int, str], float] = {}
     samples: Dict[int, int] = {}

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.experiments.runner import uniform_args
 from repro.config import SystemConfig
 from repro.hypervisor.application import AppRequest
 from repro.hypervisor.hypervisor import Hypervisor
@@ -53,8 +54,13 @@ def _demo_requests() -> List[AppRequest]:
     ]
 
 
-def run(cache=None, settings=None) -> Fig2Result:
-    """Execute the demo workload under each sharing mode."""
+def run(settings=None, cache=None, *, jobs=None) -> Fig2Result:
+    """Execute the demo workload under each sharing mode.
+
+    Uniform experiment signature; the fixed two-app demo ignores
+    ``settings``, ``cache`` and ``jobs``.
+    """
+    settings, cache = uniform_args(settings, cache)
     makespans: Dict[str, float] = {}
     timelines: Dict[str, str] = {}
     for label, scheduler, slots in MODES:

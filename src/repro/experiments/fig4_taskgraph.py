@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.apps.catalog import get_benchmark
-from repro.experiments.runner import format_table
+from repro.experiments.runner import format_table, uniform_args
 from repro.taskgraph.dot import stage_summary, to_dot
 from repro.taskgraph.graph import TaskGraph
 
@@ -35,8 +35,15 @@ class Fig4Result:
         return self.graph.num_edges
 
 
-def run(cache=None, settings=None, benchmark: str = "alexnet") -> Fig4Result:
-    """Summarize one benchmark's task graph (AlexNet by default)."""
+def run(
+    settings=None, cache=None, *, jobs=None, benchmark: str = "alexnet"
+) -> Fig4Result:
+    """Summarize one benchmark's task graph (AlexNet by default).
+
+    Uniform experiment signature; a structural study, so ``settings``,
+    ``cache`` and ``jobs`` are ignored.
+    """
+    settings, cache = uniform_args(settings, cache)
     graph = get_benchmark(benchmark).graph
     return Fig4Result(
         graph=graph,

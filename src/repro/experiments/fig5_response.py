@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.metrics.response import mean_reduction_factor
 from repro.schedulers.registry import SHARING_SCHEDULERS
@@ -44,13 +45,16 @@ class Fig5Result:
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     scenarios: Sequence[Scenario] = SCENARIOS,
     schedulers: Sequence[str] = SHARING_SCHEDULERS,
 ) -> Fig5Result:
     """Execute (or reuse) all runs and compute the Figure 5 matrix."""
-    cache = cache or RunCache()
+    settings, cache = uniform_args(settings, cache)
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
     per_scenario = {
         scenario.name: [
@@ -62,6 +66,7 @@ def run(
     cache.prewarm(
         ("baseline", *schedulers),
         [seq for seqs in per_scenario.values() for seq in seqs],
+        jobs=jobs,
     )
     reductions: Dict[Tuple[str, str], float] = {}
     for scenario in scenarios:

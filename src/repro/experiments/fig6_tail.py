@@ -16,6 +16,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.metrics.response import tail_normalized_response
 from repro.schedulers.registry import SHARING_SCHEDULERS
@@ -45,13 +46,16 @@ class Fig6Result:
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     scenarios: Sequence[Scenario] = SCENARIOS,
     schedulers: Sequence[str] = SHARING_SCHEDULERS,
 ) -> Fig6Result:
     """Compute the Figure 6 tail matrix (reusing Figure 5's runs)."""
-    cache = cache or RunCache()
+    settings, cache = uniform_args(settings, cache)
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
     per_scenario = {
         scenario.name: [
@@ -63,6 +67,7 @@ def run(
     cache.prewarm(
         ("baseline", *schedulers),
         [seq for seqs in per_scenario.values() for seq in seqs],
+        jobs=jobs,
     )
     tails: Dict[Tuple[str, float, str], float] = {}
     for scenario in scenarios:

@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.metrics.deadlines import (
     DEFAULT_DS_VALUES,
@@ -61,15 +62,18 @@ class Fig7Result:
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     scenarios: Sequence[Scenario] = SCENARIOS,
     schedulers: Sequence[str] = ALL_SCHEDULERS,
     priority: Optional[int] = ANALYZED_PRIORITY,
     ds_values: Sequence[float] = DEFAULT_DS_VALUES,
 ) -> Fig7Result:
     """Sweep deadline scaling factors over the scenario runs."""
-    cache = cache or RunCache()
+    settings, cache = uniform_args(settings, cache)
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
     per_scenario = {
         scenario.name: [
@@ -79,7 +83,9 @@ def run(
         for scenario in scenarios
     }
     cache.prewarm(
-        schedulers, [seq for seqs in per_scenario.values() for seq in seqs]
+        schedulers,
+        [seq for seqs in per_scenario.values() for seq in seqs],
+        jobs=jobs,
     )
     curves: Dict[Tuple[str, str], DeadlineCurve] = {}
     for scenario in scenarios:

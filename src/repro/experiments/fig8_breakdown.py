@@ -16,6 +16,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.metrics.breakdown import TimeBreakdown, breakdown_by_benchmark
 from repro.workload.scenarios import STANDARD, scenario_sequence
@@ -35,18 +36,21 @@ class Fig8Result:
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     scheduler: str = "nimblock",
 ) -> Fig8Result:
     """Break down application time under one scheduler (standard test)."""
-    cache = cache or RunCache()
+    settings, cache = uniform_args(settings, cache)
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STANDARD, seed, settings.num_events)
         for seed in settings.seeds()
     ]
-    cache.prewarm((scheduler,), sequences)
+    cache.prewarm((scheduler,), sequences, jobs=jobs)
     results = cache.combined(scheduler, sequences)
     return Fig8Result(
         scheduler=scheduler, breakdowns=breakdown_by_benchmark(results)

@@ -21,6 +21,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.metrics.response import normalized_responses
 from repro.workload.generator import EventGenerator
@@ -66,13 +67,16 @@ def _ablation_sequences(
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     batch_sizes: Sequence[int] = ABLATION_BATCH_SIZES,
     variants: Sequence[str] = ABLATION_NAMES,
 ) -> Fig9Result:
     """Run the ablation grid: fixed batches x Nimblock variants."""
-    cache = cache or RunCache()
+    settings, cache = uniform_args(settings, cache)
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
     per_batch = {
         batch_size: _ablation_sequences(settings, batch_size)
@@ -81,6 +85,7 @@ def run(
     cache.prewarm(
         ("nimblock", *variants),
         [seq for seqs in per_batch.values() for seq in seqs],
+        jobs=jobs,
     )
     relative: Dict[Tuple[int, str], float] = {}
     for batch_size in batch_sizes:

@@ -151,3 +151,30 @@ def chaos_cells(
 ) -> List[ChaosCell]:
     """Fan fault-injected simulation tasks out, in task order."""
     return fanout(_simulate_chaos, tasks, jobs=jobs)
+
+
+#: An observed task: (scheduler, stimulus, fault config, platform config).
+ObservedTask = ChaosTask
+
+
+def _simulate_observed(task: ObservedTask) -> dict:
+    """Worker: one instrumented run reduced to its metrics snapshot.
+
+    Snapshots are plain dicts of trace-derived (deterministic) metrics, so
+    they cross the process boundary cheaply and merge associatively on the
+    gather side — the contract behind ``stats --jobs N`` determinism.
+    """
+    from repro.observe.aggregate import observed_run
+
+    scheduler_name, sequence, fault_config, config = task
+    _, observer = observed_run(
+        scheduler_name, sequence, fault_config, config=config
+    )
+    return observer.snapshot()
+
+
+def observed_snapshots(
+    tasks: Sequence[ObservedTask], jobs: Optional[int] = None
+) -> List[dict]:
+    """Fan instrumented simulation tasks out; one snapshot each, in order."""
+    return fanout(_simulate_observed, tasks, jobs=jobs)

@@ -37,7 +37,7 @@ from repro.experiments import (
     table2,
     table3,
 )
-from repro.experiments.runner import ExperimentSettings, RunCache
+from repro.experiments.runner import ExperimentSettings, RunCache, uniform_args
 
 
 @dataclass(frozen=True)
@@ -337,7 +337,7 @@ def _check_overhead() -> List[Finding]:
 
 
 def _prewarm_shared_runs(
-    cache: RunCache, settings: ExperimentSettings
+    cache: RunCache, settings: ExperimentSettings, jobs=None
 ) -> None:
     """Fan the report's shared stimuli out in one batch.
 
@@ -365,17 +365,18 @@ def _prewarm_shared_runs(
         )
         for seed in settings.seeds()
     )
-    cache.prewarm(ALL_SCHEDULERS, sequences)
+    cache.prewarm(ALL_SCHEDULERS, sequences, jobs=jobs)
 
 
 def generate_findings(
     cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    jobs=None,
 ) -> List[Finding]:
     """Run every experiment and compare against the paper's claims."""
-    cache = cache or RunCache()
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
-    _prewarm_shared_runs(cache, settings)
+    _prewarm_shared_runs(cache, settings, jobs=jobs)
     findings: List[Finding] = []
     findings.extend(_check_table1())
     findings.extend(_check_table2())
@@ -408,9 +409,10 @@ def format_findings(findings: List[Finding]) -> str:
 
 
 # CLI adapter: `nimblock-repro report`.
-def run(cache=None, settings=None) -> List[Finding]:
+def run(settings=None, cache=None, *, jobs=None) -> List[Finding]:
     """Experiment-module interface used by the CLI."""
-    return generate_findings(cache, settings)
+    settings, cache = uniform_args(settings, cache)
+    return generate_findings(cache=cache, settings=settings, jobs=jobs)
 
 
 def format_result(findings: List[Finding]) -> str:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -86,6 +87,31 @@ class ExperimentSettings:
     def seeds(self) -> List[int]:
         """Seed per sequence."""
         return [self.base_seed + i for i in range(self.num_sequences)]
+
+
+def uniform_args(
+    settings: Optional["ExperimentSettings"] = None,
+    cache: Optional["RunCache"] = None,
+) -> Tuple[Optional["ExperimentSettings"], Optional["RunCache"]]:
+    """Thin deprecation shim behind the uniform experiment signature.
+
+    Every experiment module now takes ``run(settings, cache, *, jobs)``;
+    the historical order was ``run(cache, settings)``. Callers that still
+    pass positionally in the old order are detected by type and swapped,
+    with a :class:`DeprecationWarning`, so pre-registry call sites keep
+    working unchanged.
+    """
+    if isinstance(settings, RunCache) or isinstance(
+        cache, ExperimentSettings
+    ):
+        warnings.warn(
+            "experiment run(cache, settings) positional order is "
+            "deprecated; call run(settings, cache) or use keywords",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        settings, cache = cache, settings
+    return settings, cache
 
 
 def run_sequence(

@@ -15,7 +15,7 @@ from repro.overlay.resources import (
     SLOT_UTILIZATION_RANGE,
     STATIC_REGION_UTILIZATION,
 )
-from repro.experiments.runner import format_table
+from repro.experiments.runner import format_table, uniform_args
 
 
 @dataclass(frozen=True)
@@ -28,8 +28,15 @@ class Table1Result:
     floorplan_valid: bool
 
 
-def run(num_slots: int = 10) -> Table1Result:
-    """Build the overlay floorplan and report utilization."""
+def run(
+    settings=None, cache=None, *, jobs=None, num_slots: int = 10
+) -> Table1Result:
+    """Build the overlay floorplan and report utilization.
+
+    Uniform experiment signature; a static study, so ``settings``,
+    ``cache`` and ``jobs`` are ignored.
+    """
+    settings, cache = uniform_args(settings, cache)
     plan = Floorplan.zcu106(num_slots=num_slots)
     plan.validate()
     report = plan.utilization_report()

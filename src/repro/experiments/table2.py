@@ -10,7 +10,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.apps.catalog import BENCHMARK_NAMES, get_benchmark
-from repro.experiments.runner import format_table
+from repro.experiments.runner import format_table, uniform_args
 
 #: The paper's Table 2, for verification: name -> (tasks, edges).
 PAPER_TABLE2: Dict[str, Tuple[int, int]] = {
@@ -38,8 +38,13 @@ class Table2Result:
         )
 
 
-def run() -> Table2Result:
-    """Measure every catalog benchmark's task/edge counts."""
+def run(settings=None, cache=None, *, jobs=None) -> Table2Result:
+    """Measure every catalog benchmark's task/edge counts.
+
+    Uniform experiment signature; a static study, so ``settings``,
+    ``cache`` and ``jobs`` are ignored.
+    """
+    settings, cache = uniform_args(settings, cache)
     rows = []
     for name in BENCHMARK_NAMES:
         app = get_benchmark(name)

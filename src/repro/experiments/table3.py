@@ -22,6 +22,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
+    uniform_args,
 )
 from repro.hypervisor.results import AppResult
 from repro.schedulers.registry import ALL_SCHEDULERS
@@ -57,12 +58,15 @@ def _mean_by_benchmark(results: Sequence[AppResult]) -> Dict[str, float]:
 
 
 def run(
-    cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
+    cache: Optional[RunCache] = None,
+    *,
+    jobs: Optional[int] = None,
     schedulers: Sequence[str] = ALL_SCHEDULERS,
 ) -> Table3Result:
     """Run the Table 3 workload under every algorithm."""
-    cache = cache or RunCache()
+    settings, cache = uniform_args(settings, cache)
+    cache = cache or RunCache(jobs=jobs)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         fixed_batch_sequence(
@@ -71,7 +75,7 @@ def run(
         )
         for seed in settings.seeds()
     ]
-    cache.prewarm(("baseline", *schedulers), sequences)
+    cache.prewarm(("baseline", *schedulers), sequences, jobs=jobs)
 
     baseline = cache.combined("baseline", sequences)
     seen = {result.name for result in baseline}

@@ -1,0 +1,112 @@
+"""One-call simulation facade over the hypervisor stack.
+
+:func:`simulate` wires together the pieces a library consumer otherwise
+assembles by hand — scheduler construction, workload generation, fault
+injection and (optionally) the :mod:`repro.observe` instrumentation —
+and returns a :class:`SimulationRun` bundling the finished hypervisor,
+its per-application results and the attached observer.
+
+>>> from repro import simulate
+>>> run = simulate("nimblock", scenario="stress", seed=1, num_events=5)
+>>> len(run.results) > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.errors import ExperimentError
+from repro.faults.models import FaultConfig
+from repro.hypervisor.results import AppResult
+from repro.workload.events import EventSequence
+
+
+@dataclass(frozen=True)
+class SimulationRun:
+    """One finished simulation: hypervisor, results and observer."""
+
+    hypervisor: object
+    results: Tuple[AppResult, ...]
+    observer: Optional[object] = None
+
+    @property
+    def trace(self):
+        """The run's full :class:`~repro.sim.trace.Trace` event stream."""
+        return self.hypervisor.trace
+
+    def spans(self) -> List[object]:
+        """The trace folded into :class:`~repro.observe.spans.Span` rows."""
+        from repro.observe.spans import build_spans
+
+        return build_spans(self.trace)
+
+    def metrics(self) -> Optional[dict]:
+        """The observer's metrics snapshot, or ``None`` if unobserved."""
+        if self.observer is None:
+            return None
+        return self.observer.snapshot()
+
+
+def simulate(
+    scheduler: str = "nimblock",
+    *,
+    scenario: str = "stress",
+    seed: int = 1,
+    num_events: Optional[int] = None,
+    sequence: Optional[EventSequence] = None,
+    config: Optional[SystemConfig] = None,
+    faults: Optional[FaultConfig] = None,
+    observe: bool = False,
+) -> SimulationRun:
+    """Run one workload under one scheduler and return everything.
+
+    ``sequence`` overrides the (``scenario``, ``seed``, ``num_events``)
+    workload generation; ``faults`` attaches a seeded fault injector;
+    ``observe=True`` attaches :class:`~repro.observe.Instrumentation`
+    (never changing simulation behaviour — traces stay byte-identical).
+    """
+    from repro.experiments.runner import ExperimentSettings
+    from repro.hypervisor.hypervisor import Hypervisor
+    from repro.schedulers.registry import make_scheduler
+    from repro.workload.scenarios import SCENARIOS, scenario_sequence
+
+    if sequence is None:
+        match = [s for s in SCENARIOS if s.name == scenario]
+        if not match:
+            raise ExperimentError(
+                f"unknown scenario {scenario!r}; known: "
+                f"{', '.join(sorted(s.name for s in SCENARIOS))}"
+            )
+        if num_events is None:
+            num_events = ExperimentSettings.from_env().num_events
+        sequence = scenario_sequence(match[0], seed, num_events)
+
+    injector = None
+    if faults is not None and faults.enabled:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(faults)
+
+    observer = None
+    if observe:
+        from repro.observe.instrument import Instrumentation
+
+        observer = Instrumentation()
+
+    hypervisor = Hypervisor(
+        make_scheduler(scheduler), config=config,
+        faults=injector, observer=observer,
+    )
+    for request in sequence.to_requests():
+        hypervisor.submit(request)
+    hypervisor.run()
+    if observer is not None:
+        observer.finalize(hypervisor)
+    return SimulationRun(
+        hypervisor=hypervisor,
+        results=tuple(hypervisor.results()),
+        observer=observer,
+    )

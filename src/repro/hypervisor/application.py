@@ -66,6 +66,10 @@ class TaskRun:
     #: Slot a fault evicted this task from; cleared when the task is next
     #: configured (a different slot then counts as a relocation).
     relocated_from: Optional[int] = None
+    #: True between a detach (preemption or fault eviction) and the next
+    #: successful reconfiguration; the hypervisor emits ``TASK_RESUMED``
+    #: when it clears, pairing the preemption edge for the span builder.
+    was_detached: bool = False
     #: Slot that produced each completed item (consumed by the optional
     #: inter-slot transfer model; index = batch item).
     producer_slots: List[int] = field(default_factory=list)
@@ -79,6 +83,7 @@ class TaskRun:
         self.state = TaskRunState.PENDING
         self.slot_index = None
         self.preemption_count += 1
+        self.was_detached = True
 
 
 class AppRun:

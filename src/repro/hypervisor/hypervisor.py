@@ -131,6 +131,7 @@ class Hypervisor:
         item_buffer_bytes: int = ITEM_BUFFER_BYTES,
         faults: Optional["FaultInjector"] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        observer: Optional[object] = None,
     ) -> None:
         self.config = config or SystemConfig()
         self.engine = engine or SimulationEngine()
@@ -168,6 +169,13 @@ class Hypervisor:
         self.faults = faults
         if faults is not None:
             faults.attach(self)
+        # Observability hook (repro.observe.Instrumentation, or anything
+        # with the same three methods). None — the default — leaves every
+        # hook site as a single predicate; no observe code is imported or
+        # executed, keeping the unobserved path at seed speed.
+        self.observer = observer
+        if observer is not None:
+            self.engine.set_observer(observer)
 
     def add_retire_listener(self, callback) -> None:
         """Register ``callback(app_run, now)`` to fire on each retirement.
@@ -269,6 +277,10 @@ class Hypervisor:
     def _run_pass(self, now: float) -> None:
         self._pass_pending = False
         self.scheduler_passes += 1
+        observer = self.observer
+        pass_token = (
+            observer.pass_started() if observer is not None else None
+        )
         guard = 0
         configured = False
         while not self.device.port.is_busy:
@@ -287,6 +299,8 @@ class Hypervisor:
         self._launch_ready_items(now)
         if not configured:
             self._break_fault_stall(now)
+        if observer is not None:
+            observer.pass_finished(self, now, pass_token)
 
     def _break_fault_stall(self, now: float) -> None:
         """Un-wedge the board when faults strand runnable work.
@@ -403,6 +417,15 @@ class Hypervisor:
                 done_now, TraceKind.TASK_CONFIG_DONE,
                 app_id=app.app_id, task_id=task.task_id, slot=slot.index,
             )
+            if task.was_detached:
+                # Pairs the earlier TASK_PREEMPTED / fault eviction: the
+                # task is back on the board with its batch progress intact.
+                task.was_detached = False
+                self.trace.record(
+                    done_now, TraceKind.TASK_RESUMED,
+                    app_id=app.app_id, task_id=task.task_id,
+                    slot=slot.index, detail=float(task.items_done),
+                )
             self._request_pass()
 
         self.device.port.request(slot, duration, on_done)

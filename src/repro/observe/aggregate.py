@@ -1,0 +1,110 @@
+"""Cross-worker metrics aggregation for parallel experiment sweeps.
+
+One observed run produces one deterministic snapshot (see
+:mod:`repro.observe.instrument`); a sweep produces many. This module runs
+the (scheduler x sequence) grid — serially or fanned out over the
+process-pool executor in :mod:`repro.experiments.parallel` — and merges
+the per-run snapshots associatively, so::
+
+    collect_metrics(schedulers, sequences, jobs=1)
+    == collect_metrics(schedulers, sequences, jobs=N)
+
+byte-for-byte, for any ``N``. The ``repro stats`` CLI subcommand and the
+CI observability job are built directly on this identity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig
+from repro.errors import ExperimentError
+from repro.faults.models import FaultConfig
+from repro.observe.instrument import Instrumentation
+from repro.observe.metrics import merge_snapshots
+from repro.workload.events import EventSequence
+
+#: One observed-run task: (scheduler, stimulus, faults, platform).
+ObservedTask = Tuple[
+    str, EventSequence, Optional[FaultConfig], Optional[SystemConfig]
+]
+
+
+def observed_run(
+    scheduler_name: str,
+    sequence: EventSequence,
+    fault_config: Optional[FaultConfig] = None,
+    config: Optional[SystemConfig] = None,
+    profile: bool = False,
+) -> Tuple["Hypervisor", "Instrumentation"]:
+    """Run one sequence with instrumentation attached.
+
+    Returns the finished hypervisor (trace, results and timing intact)
+    and the finalized :class:`Instrumentation` (its registry already
+    includes the folded trace metrics). Attaching the observer never
+    changes simulation behaviour — the trace and results are
+    byte-identical to an unobserved run.
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.hypervisor.hypervisor import Hypervisor
+    from repro.schedulers.registry import make_scheduler
+
+    injector = None
+    if fault_config is not None and fault_config.enabled:
+        injector = FaultInjector(fault_config)
+    observer = Instrumentation(profile=profile)
+    hypervisor = Hypervisor(
+        make_scheduler(scheduler_name), config=config,
+        faults=injector, observer=observer,
+    )
+    for request in sequence.to_requests():
+        hypervisor.submit(request)
+    hypervisor.run()
+    if not hypervisor.all_retired:
+        raise ExperimentError(
+            f"scheduler {scheduler_name!r} failed to retire all "
+            f"applications on sequence {sequence.label!r}"
+        )
+    observer.finalize(hypervisor)
+    return hypervisor, observer
+
+
+def collect_snapshots(
+    schedulers: Sequence[str],
+    sequences: Sequence[EventSequence],
+    fault_config: Optional[FaultConfig] = None,
+    config: Optional[SystemConfig] = None,
+    jobs: Optional[int] = None,
+) -> List[dict]:
+    """One deterministic snapshot per (scheduler, sequence) cell.
+
+    Cells fan out over ``jobs`` worker processes; results come back in
+    grid order (schedulers outer, sequences inner) regardless of the
+    worker count.
+    """
+    from repro.experiments import parallel
+
+    tasks: List[ObservedTask] = [
+        (name, sequence, fault_config, config)
+        for name in schedulers
+        for sequence in sequences
+    ]
+    return parallel.observed_snapshots(tasks, jobs=jobs)
+
+
+def collect_metrics(
+    schedulers: Sequence[str],
+    sequences: Sequence[EventSequence],
+    fault_config: Optional[FaultConfig] = None,
+    config: Optional[SystemConfig] = None,
+    jobs: Optional[int] = None,
+) -> dict:
+    """Merged metrics snapshot over the whole (scheduler x sequence) grid.
+
+    Independent of ``jobs`` by construction: per-cell snapshots are pure
+    functions of their inputs and the merge is associative in grid order.
+    """
+    return merge_snapshots(collect_snapshots(
+        schedulers, sequences,
+        fault_config=fault_config, config=config, jobs=jobs,
+    ))

@@ -1,0 +1,297 @@
+"""Run instrumentation: live hooks plus post-run trace folding.
+
+Two complementary pieces:
+
+* :class:`Instrumentation` — the observer object a
+  :class:`~repro.hypervisor.hypervisor.Hypervisor` (and its
+  :class:`~repro.sim.engine.SimulationEngine`) call into while the run is
+  live. The hooks are deliberately tiny — a token reading per scheduler
+  pass, an integer bump per engine event — and the hypervisor guards every
+  call site with ``if self.observer is not None``, so a run without an
+  observer executes **zero** observability code (the overhead-guard bench
+  and the lazy-import test pin this down).
+* :func:`observe_run` — folds a *finished* run's trace, fault counters and
+  engine diagnostics into a :class:`~repro.observe.metrics.MetricsRegistry`.
+  Everything it records derives from the deterministic trace stream, so
+  snapshots are reproducible and merge byte-identically across parallel
+  workers.
+
+Wall-clock scheduler-pass latency (the one genuinely non-deterministic
+signal) is only collected when ``profile=True`` and lives in a separate
+``profile`` section so it can never contaminate determinism-checked
+output.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.reliability import recovery_times_ms
+from repro.observe.metrics import (
+    LATENCY_BUCKETS_S,
+    MS_BUCKETS,
+    MetricsRegistry,
+    TOKEN_BUCKETS,
+)
+from repro.observe.spans import (
+    CATEGORY_COMPUTE,
+    CATEGORY_DPR,
+    CATEGORY_WAIT,
+    build_spans,
+)
+from repro.sim.trace import TraceKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hypervisor.hypervisor import Hypervisor
+
+
+class Instrumentation:
+    """Observer installed into a hypervisor via ``Hypervisor(observer=...)``.
+
+    Example
+    -------
+    >>> from repro import Hypervisor, make_scheduler
+    >>> from repro.observe import Instrumentation
+    >>> obs = Instrumentation()
+    >>> hv = Hypervisor(make_scheduler("nimblock"), observer=obs)
+    >>> # ... submit + run ...
+    >>> snapshot = obs.finalize(hv)  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        profile: bool = False,
+    ) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.profile = bool(profile)
+        #: Wall-clock samples live apart from the deterministic registry.
+        self.profile_registry = MetricsRegistry()
+        self.engine_events = 0
+        self._tokens = self.registry.histogram(
+            "nimblock_tokens_at_selection",
+            "Sum of pending applications' scheduling tokens at each "
+            "scheduler pass",
+            TOKEN_BUCKETS,
+        )
+        self._pending_apps = self.registry.histogram(
+            "nimblock_pending_apps_at_selection",
+            "Pending (unretired) applications at each scheduler pass",
+            TOKEN_BUCKETS,
+        )
+        self._pass_latency = self.profile_registry.histogram(
+            "nimblock_pass_decision_seconds",
+            "Wall-clock latency of one scheduler pass (non-deterministic; "
+            "profiling only)",
+            LATENCY_BUCKETS_S,
+        )
+
+    # -- hypervisor-facing hooks ------------------------------------------
+    def pass_started(self) -> Optional[float]:
+        """Called as a scheduler pass begins; returns a profiling token."""
+        return time.perf_counter() if self.profile else None
+
+    def pass_finished(
+        self, hypervisor: "Hypervisor", now: float, started: Optional[float]
+    ) -> None:
+        """Called after a pass's decisions and item launches completed."""
+        tokens = 0.0
+        pending = 0
+        for app in hypervisor.pending.in_arrival_order():
+            tokens += app.token
+            pending += 1
+        self._tokens.observe(tokens)
+        self._pending_apps.observe(float(pending))
+        if started is not None:
+            self._pass_latency.observe(time.perf_counter() - started)
+
+    # -- engine-facing hook ------------------------------------------------
+    def on_engine_event(self, now: float) -> None:
+        """Called by the simulation engine once per executed event."""
+        self.engine_events += 1
+
+    # -- results -----------------------------------------------------------
+    def finalize(self, hypervisor: "Hypervisor") -> dict:
+        """Fold the finished run into the registry; returns a snapshot."""
+        observe_run(hypervisor, self.registry)
+        return self.snapshot()
+
+    def snapshot(self, include_profile: bool = False) -> dict:
+        """Deterministic snapshot; ``include_profile`` adds wall-clock data."""
+        snapshot = self.registry.snapshot()
+        if include_profile:
+            snapshot["profile"] = self.profile_registry.snapshot()
+        return snapshot
+
+
+def _peak_concurrency(spans) -> int:
+    """Maximum number of simultaneously open spans (slot busy peak)."""
+    edges = []
+    for span in spans:
+        edges.append((span.start_ms, 1))
+        edges.append((span.end_ms, -1))
+    edges.sort()
+    peak = depth = 0
+    for _, delta in edges:
+        depth += delta
+        peak = max(peak, depth)
+    return peak
+
+
+def observe_run(
+    hypervisor: "Hypervisor",
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Fold one finished run into a metrics registry.
+
+    Usable standalone on any completed hypervisor (no live observer
+    needed) — every value below is a pure function of the trace, the
+    fault counters and the engine's event count.
+    """
+    registry = registry or MetricsRegistry()
+    trace = hypervisor.trace
+    config = hypervisor.config
+    stats = hypervisor.fault_stats
+
+    def count(kind: TraceKind) -> int:
+        return len(trace.of_kind(kind))
+
+    counters = (
+        ("nimblock_apps_arrived_total",
+         "Applications submitted to the hypervisor",
+         count(TraceKind.APP_ARRIVED)),
+        ("nimblock_apps_started_total",
+         "Applications whose first batch item began executing",
+         count(TraceKind.APP_STARTED)),
+        ("nimblock_apps_retired_total",
+         "Applications that completed every task",
+         count(TraceKind.APP_RETIRED)),
+        ("nimblock_items_completed_total",
+         "Batch items that ran to completion",
+         count(TraceKind.ITEM_DONE)),
+        ("nimblock_preemptions_total",
+         "Batch-boundary preemptions",
+         count(TraceKind.TASK_PREEMPTED)),
+        ("nimblock_resumes_total",
+         "Previously preempted/evicted tasks reconfigured back onto the "
+         "board",
+         count(TraceKind.TASK_RESUMED)),
+        ("nimblock_dpr_total",
+         "Partial reconfigurations started (config-port acquisitions)",
+         count(TraceKind.TASK_CONFIG_START)),
+        ("nimblock_dpr_completed_total",
+         "Partial reconfigurations that completed successfully",
+         count(TraceKind.TASK_CONFIG_DONE)),
+        ("nimblock_dpr_failed_total",
+         "Partial reconfigurations aborted by injected faults",
+         count(TraceKind.CONFIG_FAILED)),
+        ("nimblock_scheduler_passes_total",
+         "Scheduler passes executed",
+         hypervisor.scheduler_passes),
+        ("nimblock_engine_events_total",
+         "Discrete events executed by the simulation engine",
+         hypervisor.engine.processed),
+        ("nimblock_slot_faults_total",
+         "Slot faults injected (transient + permanent)",
+         count(TraceKind.SLOT_FAULT)),
+        ("nimblock_slot_repairs_total",
+         "Transiently faulted slots scrubbed back to health",
+         count(TraceKind.SLOT_REPAIRED)),
+        ("nimblock_faults_transient_total",
+         "Transient (SEU-style) slot faults",
+         stats.transient_faults),
+        ("nimblock_faults_permanent_total",
+         "Permanent slot failures (blacklisted regions)",
+         stats.permanent_faults),
+        ("nimblock_fault_evictions_total",
+         "Resident tasks evicted by slot faults",
+         stats.evictions),
+        ("nimblock_relocations_total",
+         "Evicted tasks re-placed on a different slot",
+         count(TraceKind.TASK_RELOCATED)),
+        ("nimblock_items_lost_total",
+         "In-flight batch items killed by slot faults",
+         stats.items_lost),
+        ("nimblock_work_lost_ms_total",
+         "Simulated work destroyed by faults (partial items + wasted CAP "
+         "time)",
+         stats.work_lost_ms),
+    )
+    for name, help_text, value in counters:
+        registry.counter(name, help_text).inc(float(value))
+
+    spans = build_spans(trace)
+    dpr_hist = registry.histogram(
+        "nimblock_dpr_duration_ms",
+        "Duration of each partial reconfiguration (config-port hold time)",
+        MS_BUCKETS,
+    )
+    item_hist = registry.histogram(
+        "nimblock_item_duration_ms",
+        "Execution time of each batch item",
+        MS_BUCKETS,
+    )
+    wait_hist = registry.histogram(
+        "nimblock_wait_duration_ms",
+        "Off-board wait of each preempted/evicted task until resumption",
+        MS_BUCKETS,
+    )
+    recovery_hist = registry.histogram(
+        "nimblock_recovery_ms",
+        "Fault-to-recovery intervals (slot repairs and DPR retries)",
+        MS_BUCKETS,
+    )
+    dpr_busy = compute_busy = 0.0
+    compute_spans = []
+    for span in spans:
+        if span.category == CATEGORY_DPR:
+            dpr_hist.observe(span.duration_ms)
+            dpr_busy += span.duration_ms
+        elif span.category == CATEGORY_COMPUTE:
+            item_hist.observe(span.duration_ms)
+            compute_busy += span.duration_ms
+            compute_spans.append(span)
+        elif span.category == CATEGORY_WAIT:
+            wait_hist.observe(span.duration_ms)
+    recoveries = recovery_times_ms(trace)
+    for interval in recoveries:
+        recovery_hist.observe(interval)
+
+    registry.counter(
+        "nimblock_dpr_busy_ms_total",
+        "Total simulated time the configuration port was held",
+    ).inc(dpr_busy)
+    registry.counter(
+        "nimblock_compute_busy_ms_total",
+        "Total simulated slot-busy time across batch items",
+    ).inc(compute_busy)
+
+    horizon = trace.events[-1].time if len(trace) else 0.0
+    registry.gauge(
+        "nimblock_sim_time_ms", "Simulated horizon of the run",
+    ).set(horizon)
+    registry.gauge(
+        "nimblock_slots", "Reconfigurable slots on the platform",
+    ).set(config.num_slots)
+    peak = _peak_concurrency(compute_spans)
+    registry.gauge(
+        "nimblock_slots_busy_peak",
+        "Peak number of slots executing items simultaneously",
+    ).set(peak)
+    if horizon > 0 and config.num_slots > 0:
+        registry.gauge(
+            "nimblock_slot_utilization_ratio",
+            "Slot-time fraction spent executing items (allocated vs used)",
+        ).set(compute_busy / (config.num_slots * horizon))
+    if recoveries:
+        registry.gauge(
+            "nimblock_mttr_ms",
+            "Mean time to recovery over every observed recovery edge",
+        ).set(sum(recoveries) / len(recoveries))
+    return registry
+
+
+def snapshot_run(hypervisor: "Hypervisor") -> dict:
+    """One-call deterministic metrics snapshot of a finished run."""
+    return observe_run(hypervisor).snapshot()

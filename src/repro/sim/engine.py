@@ -54,12 +54,24 @@ class SimulationEngine:
     [5.0]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Optional[object] = None) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        # Observability hook (repro.observe). None costs one predicate per
+        # executed event; the engine never imports the observe package.
+        self._observer = observer
+
+    def set_observer(self, observer: Optional[object]) -> None:
+        """Install (or remove, with None) an observability hook.
+
+        The observer's ``on_engine_event(now)`` is called once per
+        executed event. Installing one never alters event ordering or
+        timing — observers are read-only bystanders.
+        """
+        self._observer = observer
 
     @property
     def now(self) -> float:
@@ -108,6 +120,8 @@ class SimulationEngine:
                 )
             self._now = event.time
             self._processed += 1
+            if self._observer is not None:
+                self._observer.on_engine_event(self._now)
             event.callback(self._now)
             return True
         return False

@@ -1,0 +1,8 @@
+"""Single source of the package version.
+
+Lives in its own module so lightweight consumers (the CLI's
+``--version`` flag, packaging metadata) can read it without importing
+the full :mod:`repro` surface.
+"""
+
+__version__ = "1.1.0"

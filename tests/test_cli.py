@@ -53,3 +53,70 @@ class TestMain:
         )
         assert proc.returncode == 0
         assert "Table 2" in proc.stdout
+
+
+class TestVersionAndExitCodes:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_usage_error_exits_two(self):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["fig99"])
+        assert exit_info.value.code == 2
+
+    def test_experiment_error_exits_one(self, capsys):
+        # A negative fault rate is rejected inside the experiment layer.
+        assert main(["chaos", "--fault-rate", "-1", "--events", "4"]) == 1
+        assert "chaos:" in capsys.readouterr().err
+
+
+class TestObserveActions:
+    def test_trace_chrome_is_valid_trace_event_json(self, capsys):
+        import json
+
+        assert main(["trace", "--sequences", "1", "--events", "5"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert isinstance(payload["traceEvents"], list)
+        span_events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(span_events) == payload["otherData"]["spans"] > 0
+
+    def test_trace_jsonl_to_file(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "trace.jsonl"
+        assert main(["trace", "--format", "jsonl", "--events", "4",
+                     "--output", str(output)]) == 0
+        lines = output.read_text().strip().splitlines()
+        assert lines
+        for line in lines[:5]:
+            assert "kind" in json.loads(line)
+
+    def test_stats_emits_prometheus_text(self, capsys):
+        assert main(["stats", "--sequences", "1", "--events", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE nimblock_apps_retired_total counter" in out
+        assert "nimblock_scheduler_passes_total" in out
+
+    def test_stats_identical_across_jobs(self, capsys):
+        args = ["stats", "--sequences", "2", "--events", "4"]
+        assert main(args + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        fanned = capsys.readouterr().out
+        assert serial == fanned
+
+    def test_trace_with_faults_counts_match(self, capsys):
+        import json
+
+        assert main(["trace", "--events", "6", "--fault-rate", "0.05",
+                     "--seed", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        fault_spans = [e for e in payload["traceEvents"]
+                       if e["ph"] == "X" and e.get("cat") == "fault"]
+        assert fault_spans

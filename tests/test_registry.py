@@ -1,0 +1,152 @@
+"""Tests for the experiment registry (repro.experiments.registry)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentLike,
+    ExperimentResult,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.runner import (
+    ExperimentSettings,
+    RunCache,
+    uniform_args,
+)
+
+TINY = ExperimentSettings(num_sequences=1, num_events=5)
+
+#: Experiments cheap enough to execute inside the uniform-dispatch test.
+CHEAP = ("fig2", "fig4", "table1", "table2")
+
+
+class TestRegistryContents:
+    def test_every_cli_experiment_is_registered(self):
+        names = experiment_names()
+        assert len(names) == 25
+        for expected in ("fig2", "fig5", "fig11", "table1", "table3",
+                         "overhead", "report", "ext-faults", "ext-seeds"):
+            assert expected in names
+
+    def test_all_experiments_sorted_and_typed(self):
+        experiments = all_experiments()
+        assert [e.name for e in experiments] == sorted(experiment_names())
+        for experiment in experiments:
+            assert isinstance(experiment, Experiment)
+            assert isinstance(experiment, ExperimentLike)
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ExperimentError, match="fig2"):
+            get_experiment("fig99")
+
+    def test_titles_come_from_module_docstrings(self):
+        assert "Figure 4" in get_experiment("fig4").title
+        assert "Table 2" in get_experiment("table2").title
+
+
+class TestUniformInvocation:
+    @pytest.mark.parametrize("name", CHEAP)
+    def test_run_returns_uniform_envelope(self, name):
+        result = run_experiment(name, TINY, cache=RunCache())
+        assert isinstance(result, ExperimentResult)
+        assert result.name == name
+        assert isinstance(result.text, str) and result.text
+        assert result.value is not None
+        assert result.title == get_experiment(name).title
+
+    def test_text_matches_module_formatter(self):
+        experiment = get_experiment("table2")
+        result = experiment.run(TINY)
+        assert result.text == experiment.module().format_result(result.value)
+
+    def test_run_defaults_settings_and_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEQUENCES", "1")
+        monkeypatch.setenv("REPRO_EVENTS", "4")
+        result = run_experiment("fig2")
+        assert result.name == "fig2"
+
+    def test_simulation_experiment_through_registry(self):
+        result = run_experiment("fig5", TINY, cache=RunCache(), jobs=1)
+        assert "nimblock" in result.text
+
+    def test_every_module_accepts_the_uniform_signature(self):
+        """run(settings, cache, *, jobs) must bind on all 25 modules."""
+        import inspect
+
+        for experiment in all_experiments():
+            signature = inspect.signature(experiment.module().run)
+            signature.bind(TINY, RunCache(), jobs=None)
+
+
+class TestLegacyShim:
+    def test_legacy_positional_order_swaps_and_warns(self):
+        from repro.experiments import fig5_response
+
+        cache = RunCache()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = fig5_response.run(cache, TINY)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert result.reductions
+
+    def test_uniform_args_passthrough_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            settings, cache = uniform_args(TINY, None)
+        assert settings is TINY
+        assert cache is None
+
+    def test_uniform_args_swaps_both_positions(self):
+        cache_in = RunCache()
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            settings, cache = uniform_args(cache_in, TINY)
+        assert settings is TINY
+        assert cache is cache_in
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.run_experiment is run_experiment
+        assert callable(repro.simulate)
+        assert callable(repro.build_spans)
+        assert repro.__version__
+
+    def test_simulate_facade_round_trip(self):
+        import repro
+
+        run = repro.simulate(
+            "nimblock", scenario="stress", seed=1, num_events=5,
+            observe=True,
+        )
+        assert run.results
+        assert len(run.spans()) > 0
+        metrics = run.metrics()
+        assert metrics["counters"]["nimblock_apps_retired_total"]["value"] \
+            == len(run.results)
+
+    def test_simulate_unobserved_has_no_metrics(self):
+        import repro
+
+        run = repro.simulate("fcfs", scenario="standard", seed=2,
+                             num_events=4)
+        assert run.metrics() is None
+        assert len(run.trace) > 0
+
+    def test_simulate_unknown_scenario_raises(self):
+        import repro
+
+        with pytest.raises(ExperimentError, match="stress"):
+            repro.simulate(scenario="nope", num_events=3)
