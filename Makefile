@@ -5,7 +5,7 @@ PYTHON ?= python
 JOBS ?= 4
 CACHE_DIR ?= .runcache
 
-.PHONY: install test bench sweep chaos trace stats reproduce report examples clean
+.PHONY: install test bench sweep perf chaos trace stats reproduce report examples clean
 
 install:
 	pip install -e . && pip install -e '.[test]'
@@ -23,6 +23,11 @@ bench:
 # Time the serial/parallel/warm sweep modes; appends to BENCH_sweep.json.
 sweep:
 	$(PYTHON) benchmarks/bench_sweep.py --bench --jobs $(JOBS)
+
+# Core-throughput regression guard + fast sweep timing (the CI perf job).
+perf:
+	$(PYTHON) benchmarks/bench_core.py --guard
+	$(PYTHON) benchmarks/bench_sweep.py --bench --fast --jobs 2
 
 # Fault-injection drill: every scheduler under the mixed chaos scenario.
 chaos:

@@ -1,0 +1,253 @@
+"""Core bench: raw simulation throughput in engine events per second.
+
+Where ``bench_sweep`` times the experiment *harness* (cache, process
+fan-out), this bench isolates the simulation *core*: the event heap, the
+hypervisor decision passes and the trace recorder. Two rates are
+reported:
+
+* **engine events/sec** — an empty-callback timer storm through
+  :class:`~repro.sim.engine.SimulationEngine`: the per-event overhead
+  floor of the heap itself;
+* **sim events/sec** — full hypervisor simulations (every registry
+  scheduler over deterministic generated sequences), counting the events
+  the engine actually processed.
+
+Standalone usage::
+
+    # print both rates at the default scale
+    python benchmarks/bench_core.py
+
+    # cProfile breakdown of the simulation hot path
+    python benchmarks/bench_core.py --profile
+
+    # append a trajectory entry to BENCH_core.json (repo root)
+    python benchmarks/bench_core.py --bench
+
+    # CI regression guard: fail if sim events/sec drops >30% below the
+    # last committed BENCH_core.json entry
+    python benchmarks/bench_core.py --guard
+
+The guard compares *rates*, not totals. Per-run fixed costs make the
+rate scale-sensitive, so CI guards at the same (default) scale the
+committed baseline was recorded at; the 30% tolerance absorbs
+machine-to-machine noise while still catching the order-of-magnitude
+regressions the optimization work targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import datetime
+import json
+import os
+import pstats
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.schedulers.registry import ALL_SCHEDULERS, make_scheduler
+from repro.workload.generator import EventGenerator
+
+#: Default output of ``--bench`` mode: the core bench trajectory.
+DEFAULT_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+#: Maximum tolerated drop in sim events/sec before --guard fails.
+GUARD_TOLERANCE = 0.30
+
+#: Timer events for the raw-engine measurement.
+ENGINE_STORM_EVENTS = 200_000
+
+
+def engine_storm(num_events: int = ENGINE_STORM_EVENTS) -> float:
+    """Raw engine throughput: ``num_events`` empty timers, events/sec."""
+    from repro.sim.engine import SimulationEngine
+
+    engine = SimulationEngine()
+
+    def noop(now: float) -> None:
+        pass
+
+    # Interleave two priorities so heap sifts exercise the tuple compare.
+    start = time.perf_counter()
+    for i in range(num_events):
+        engine.schedule_at(float(i % 1024), noop, priority=i & 1)
+    engine.run()
+    elapsed = time.perf_counter() - start
+    assert engine.processed == num_events
+    return num_events / elapsed
+
+
+def _sequences(num_sequences: int, num_events: int) -> List:
+    return [
+        EventGenerator(
+            1000 + seed, benchmarks=("lenet", "imgc", "3dr", "of")
+        ).sequence(
+            num_events=num_events,
+            delay_range_ms=(100.0, 400.0),
+            batch_range=(2, 6),
+            label=f"core-{seed}",
+        )
+        for seed in range(num_sequences)
+    ]
+
+
+def sim_throughput(
+    num_sequences: int, num_events: int
+) -> Tuple[float, int, float]:
+    """Full-simulation throughput over every registry scheduler.
+
+    Returns ``(events_per_sec, total_engine_events, wall_seconds)``.
+    """
+    sequences = _sequences(num_sequences, num_events)
+    requests = [seq.to_requests() for seq in sequences]
+    total_events = 0
+    start = time.perf_counter()
+    for name in ALL_SCHEDULERS:
+        for reqs in requests:
+            hv = Hypervisor(make_scheduler(name))
+            for request in reqs:
+                hv.submit(request)
+            hv.run()
+            total_events += hv.engine.processed
+    elapsed = time.perf_counter() - start
+    return total_events / elapsed, total_events, elapsed
+
+
+def measure(num_sequences: int, num_events: int) -> Dict:
+    """One full measurement: both rates plus the scale that produced them."""
+    engine_rate = engine_storm()
+    sim_rate, sim_events, sim_wall = sim_throughput(
+        num_sequences, num_events
+    )
+    return {
+        "scale": {
+            "schedulers": len(ALL_SCHEDULERS),
+            "sequences": num_sequences,
+            "events": num_events,
+            "engine_storm_events": ENGINE_STORM_EVENTS,
+        },
+        "cpu_count": os.cpu_count(),
+        "engine_events_per_sec": round(engine_rate),
+        "sim_events_per_sec": round(sim_rate),
+        "sim_events": sim_events,
+        "sim_wall_s": round(sim_wall, 3),
+    }
+
+
+def print_measurement(entry: Dict) -> None:
+    scale = entry["scale"]
+    print(
+        f"core bench: {scale['schedulers']} schedulers x "
+        f"{scale['sequences']} sequences x {scale['events']} events"
+    )
+    print(f"engine storm:  {entry['engine_events_per_sec']:>10,} events/sec")
+    print(
+        f"full sim:      {entry['sim_events_per_sec']:>10,} events/sec "
+        f"({entry['sim_events']:,} events in {entry['sim_wall_s']}s)"
+    )
+
+
+# -- standalone modes -------------------------------------------------------
+def _profile(num_sequences: int, num_events: int) -> int:
+    """cProfile the full-simulation path and print the hot functions."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim_throughput(num_sequences, num_events)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    print("top 25 by internal time (simulation core):")
+    stats.sort_stats("tottime").print_stats(25)
+    return 0
+
+
+def _bench(num_sequences: int, num_events: int, out: Path) -> int:
+    entry = measure(num_sequences, num_events)
+    print_measurement(entry)
+    entry = {
+        "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        **entry,
+    }
+    if out.exists():
+        trajectory = json.loads(out.read_text(encoding="utf-8"))
+    else:
+        trajectory = {"bench": "core", "unit": "events/sec", "history": []}
+    trajectory["history"].append(entry)
+    out.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+    print(f"\nrecorded trajectory entry -> {out}")
+    return 0
+
+
+def _guard(num_sequences: int, num_events: int, baseline_path: Path) -> int:
+    if not baseline_path.exists():
+        print(f"guard: no baseline at {baseline_path}; run --bench first")
+        return 1
+    trajectory = json.loads(baseline_path.read_text(encoding="utf-8"))
+    history = trajectory.get("history", [])
+    if not history:
+        print(f"guard: {baseline_path} has an empty history")
+        return 1
+    baseline = history[-1]["sim_events_per_sec"]
+    entry = measure(num_sequences, num_events)
+    print_measurement(entry)
+    current = entry["sim_events_per_sec"]
+    floor = baseline * (1.0 - GUARD_TOLERANCE)
+    verdict = "OK" if current >= floor else "REGRESSION"
+    print(
+        f"\nguard: current {current:,} vs baseline {baseline:,} events/sec "
+        f"(floor {floor:,.0f}, tolerance {GUARD_TOLERANCE:.0%}) -> {verdict}"
+    )
+    return 0 if current >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Core bench: simulation events/sec + regression guard."
+    )
+    parser.add_argument("--sequences", type=int, default=3)
+    parser.add_argument("--events", type=int, default=12)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="reduced scale (2 sequences x 8 events) for CI",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the simulation hot path and print the breakdown",
+    )
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="measure and append a trajectory entry to BENCH_core.json",
+    )
+    parser.add_argument(
+        "--guard", action="store_true",
+        help="fail (exit 1) if sim events/sec drops >30%% below the last "
+             "BENCH_core.json entry",
+    )
+    parser.add_argument(
+        "--bench-out", default=str(DEFAULT_BENCH_PATH),
+        help="trajectory file (default: repo-root BENCH_core.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.fast:
+        num_sequences, num_events = 2, 8
+    else:
+        num_sequences, num_events = args.sequences, args.events
+
+    if args.profile:
+        return _profile(num_sequences, num_events)
+    if args.bench:
+        return _bench(num_sequences, num_events, Path(args.bench_out))
+    if args.guard:
+        return _guard(num_sequences, num_events, Path(args.bench_out))
+    entry = measure(num_sequences, num_events)
+    print_measurement(entry)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

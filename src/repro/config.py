@@ -154,11 +154,12 @@ class SystemConfig:
         below the lowest level floor to 0 so freshly arrived low-priority
         applications do not raise the candidate threshold above themselves.
         """
-        floored = 0.0
-        for level in self.priority_levels:
+        # Levels are validated increasing; scan from the top so the common
+        # case (token at or above the highest level) exits immediately.
+        for level in reversed(self.priority_levels):
             if value >= level:
-                floored = float(level)
-        return floored
+                return float(level)
+        return 0.0
 
     def with_slots(self, num_slots: int) -> "SystemConfig":
         """A copy of this configuration with a different slot count."""

@@ -149,10 +149,9 @@ class NimblockScheduler(SchedulerPolicy):
         for app in candidates:
             if app.slots_used >= app.slots_allocated:
                 continue
-            tasks = app.configurable_tasks(prefetch=self.prefetch)
-            if not tasks:
+            task_id = app.first_configurable_task(prefetch=self.prefetch)
+            if task_id is None:
                 continue
-            task_id = tasks[0]
             slot_index = ctx.free_slot_index()
             if slot_index is not None:
                 return ConfigureAction(app.app_id, task_id, slot_index)

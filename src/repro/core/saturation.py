@@ -71,38 +71,55 @@ def find_saturation_point(
 
 
 class SaturationAnalyzer:
-    """Memoized goal-number oracle used by the Nimblock scheduler."""
+    """Memoized goal-number oracle used by the Nimblock scheduler.
+
+    The memo lives **on the graph object**, keyed by the platform scalars
+    the analysis depends on (slot count, reconfiguration latency,
+    saturation threshold) plus the batch size. Graphs are immutable and
+    the catalog benchmarks are process-wide singletons, so the memo is
+    shared across analyzer instances — and therefore across the thousands
+    of simulation runs in a sweep, each of which constructs a fresh
+    scheduler. Keying by graph identity (not name) keeps two distinct
+    graphs that merely share a name from colliding.
+    """
 
     def __init__(self, config: SystemConfig) -> None:
         self._config = config
-        self._cache: Dict[Tuple, int] = {}
-        self._sweeps: Dict[Tuple, List[float]] = {}
 
-    def _key(self, graph: TaskGraph, batch_size: int) -> Tuple:
+    def _key(self, batch_size: int) -> Tuple:
         return (
-            graph.name,
-            graph.num_tasks,
-            graph.num_edges,
             batch_size,
             self._config.num_slots,
             self._config.reconfig_ms,
+            self._config.saturation_threshold,
         )
+
+    @staticmethod
+    def _graph_cache(graph: TaskGraph, attr: str) -> Dict[Tuple, object]:
+        cache = getattr(graph, attr, None)
+        if cache is None:
+            cache = {}
+            setattr(graph, attr, cache)
+        return cache
 
     def sweep(self, graph: TaskGraph, batch_size: int) -> List[float]:
         """Cached latency sweep across slot counts."""
-        key = self._key(graph, batch_size)
-        if key not in self._sweeps:
-            self._sweeps[key] = saturation_sweep(
+        sweeps = self._graph_cache(graph, "_saturation_sweep_cache")
+        key = (batch_size, self._config.num_slots, self._config.reconfig_ms)
+        cached = sweeps.get(key)
+        if cached is None:
+            cached = sweeps[key] = saturation_sweep(
                 graph, batch_size, self._config
             )
-        return self._sweeps[key]
+        return cached  # type: ignore[return-value]
 
     def goal_number(self, graph: TaskGraph, batch_size: int) -> int:
         """The application's goal number of slots (paper §4.2)."""
-        key = self._key(graph, batch_size)
-        cached = self._cache.get(key)
+        goals = self._graph_cache(graph, "_saturation_goal_cache")
+        key = self._key(batch_size)
+        cached = goals.get(key)
         if cached is not None:
-            return cached
+            return cached  # type: ignore[return-value]
         point = find_saturation_point(
             self.sweep(graph, batch_size), self._config.saturation_threshold
         )
@@ -112,5 +129,5 @@ class SaturationAnalyzer:
         if graph.num_tasks > 1 and batch_size > 1:
             point = max(point, 2)
         point = min(point, graph.num_tasks, self._config.num_slots)
-        self._cache[key] = point
+        goals[key] = point
         return point

@@ -39,19 +39,16 @@ class TokenAccounting:
 
     def accumulate(self, apps: Iterable[AppRun], now: float) -> None:
         """One accumulation round over the pending queue (Alg. 1 line 6)."""
-        apps = list(apps)
-        if not apps:
+        pairs = [(app, self.degradation(app, now)) for app in apps]
+        if not pairs:
             return
-        degradations = {
-            app.app_id: self.degradation(app, now) for app in apps
-        }
-        max_degradation = max(degradations.values())
+        max_degradation = max(degradation for _, degradation in pairs)
         if max_degradation <= 0:
             return
-        for app in apps:
-            normalized = degradations[app.app_id] / max_degradation
-            app.token += (
-                self._config.token_alpha * app.priority * normalized
+        alpha = self._config.token_alpha
+        for app, degradation in pairs:
+            app.token += alpha * app.priority * (
+                degradation / max_degradation
             )
 
     def threshold(self, apps: Sequence[AppRun]) -> float:

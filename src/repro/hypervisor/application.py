@@ -103,6 +103,15 @@ class AppRun:
         self.app_id = app_id
         self.request = request
         self.latency_estimate_ms = latency_estimate_ms
+        # Immutable request fields mirrored as plain attributes: readiness
+        # checks read batch_size hundreds of thousands of times per run,
+        # and a property descriptor + request indirection is measurable.
+        self.name: str = request.name
+        self.graph: TaskGraph = request.graph
+        self.batch_size: int = request.batch_size
+        self.priority: int = request.priority
+        self.arrival_ms: float = request.arrival_ms
+        self.age_key: Tuple[float, int] = (request.arrival_ms, app_id)
         self.token: float = float(request.priority)
         self.slots_allocated: int = 0
         self.first_item_start_ms: Optional[float] = None
@@ -118,39 +127,20 @@ class AppRun:
             )
             for task_id in request.graph.topological_order
         }
-
-    # ------------------------------------------------------------------
-    # Identity and ordering
-    # ------------------------------------------------------------------
-    @property
-    def name(self) -> str:
-        """Application (benchmark) name."""
-        return self.request.name
-
-    @property
-    def graph(self) -> TaskGraph:
-        """The application task graph."""
-        return self.request.graph
-
-    @property
-    def batch_size(self) -> int:
-        """Number of independent inputs in this request."""
-        return self.request.batch_size
-
-    @property
-    def priority(self) -> int:
-        """PREMA priority level (1, 3 or 9)."""
-        return self.request.priority
-
-    @property
-    def arrival_ms(self) -> float:
-        """Arrival time at the hypervisor."""
-        return self.request.arrival_ms
-
-    @property
-    def age_key(self) -> Tuple[float, int]:
-        """Sort key implementing "oldest application first"."""
-        return (self.arrival_ms, self.app_id)
+        # Hot-path structure: readiness checks run once per scheduler-pass
+        # iteration, so resolve each task's predecessor TaskRuns (and the
+        # topological ordering of TaskRuns) to object tuples up front
+        # instead of chasing graph + dict lookups per query.
+        graph = request.graph
+        self._topo_runs: Tuple[TaskRun, ...] = tuple(
+            self.tasks[task_id] for task_id in graph.topological_order
+        )
+        self._pred_runs: Dict[str, Tuple[TaskRun, ...]] = {
+            task_id: tuple(
+                self.tasks[pred] for pred in graph.predecessors(task_id)
+            )
+            for task_id in graph.topological_order
+        }
 
     # ------------------------------------------------------------------
     # Progress
@@ -172,10 +162,14 @@ class AppRun:
 
         This is ``a.slots_used`` in Algorithm 2 line 4.
         """
-        return sum(
-            1 for run in self.tasks.values()
-            if run.state in (TaskRunState.CONFIGURING, TaskRunState.CONFIGURED)
-        )
+        used = 0
+        configuring = TaskRunState.CONFIGURING
+        configured = TaskRunState.CONFIGURED
+        for run in self._topo_runs:
+            state = run.state
+            if state is configuring or state is configured:
+                used += 1
+        return used
 
     @property
     def over_consumption(self) -> int:
@@ -209,10 +203,11 @@ class AppRun:
     # ------------------------------------------------------------------
     def preds_complete(self, task_id: str) -> bool:
         """True if every predecessor has finished its entire batch."""
-        return all(
-            self.task_complete(pred)
-            for pred in self.graph.predecessors(task_id)
-        )
+        batch = self.batch_size
+        for run in self._pred_runs[task_id]:
+            if run.items_done < batch:
+                return False
+        return True
 
     def item_ready(self, task_id: str, pipelined: bool) -> bool:
         """Can the configured task ``task_id`` start its next batch item?
@@ -222,18 +217,25 @@ class AppRun:
         mode, the task may only run once every predecessor finished the
         whole batch (Figure 2(a)/(b)).
         """
-        run = self.tasks[task_id]
-        if run.state != TaskRunState.CONFIGURED:
+        return self._run_item_ready(self.tasks[task_id], pipelined)
+
+    def _run_item_ready(self, run: "TaskRun", pipelined: bool) -> bool:
+        """:meth:`item_ready` for callers already holding the TaskRun."""
+        if run.state is not TaskRunState.CONFIGURED:
             return False
         item = run.items_done
-        if item >= self.batch_size:
+        batch = self.batch_size
+        if item >= batch:
             return False
         if pipelined:
-            return all(
-                self.tasks[pred].items_done > item
-                for pred in self.graph.predecessors(task_id)
-            )
-        return self.preds_complete(task_id)
+            for pred in self._pred_runs[run.task_id]:
+                if pred.items_done <= item:
+                    return False
+            return True
+        for pred in self._pred_runs[run.task_id]:
+            if pred.items_done < batch:
+                return False
+        return True
 
     def configurable_tasks(self, prefetch: bool) -> List[str]:
         """Tasks eligible to be placed into a slot, in topological order.
@@ -244,23 +246,55 @@ class AppRun:
         whose predecessors completed the whole batch are eligible.
         """
         eligible = []
-        for task_id in self.graph.topological_order:
-            run = self.tasks[task_id]
-            if run.state != TaskRunState.PENDING:
-                continue
-            if run.items_done >= self.batch_size:
+        batch = self.batch_size
+        pending = TaskRunState.PENDING
+        pred_runs = self._pred_runs
+        for run in self._topo_runs:
+            if run.state is not pending or run.items_done >= batch:
                 continue
             if prefetch:
-                ok = all(
-                    self.tasks[pred].state != TaskRunState.PENDING
-                    or self.task_complete(pred)
-                    for pred in self.graph.predecessors(task_id)
-                )
+                ok = True
+                for pred in pred_runs[run.task_id]:
+                    if pred.state is pending and pred.items_done < batch:
+                        ok = False
+                        break
             else:
-                ok = self.preds_complete(task_id)
+                ok = True
+                for pred in pred_runs[run.task_id]:
+                    if pred.items_done < batch:
+                        ok = False
+                        break
             if ok:
-                eligible.append(task_id)
+                eligible.append(run.task_id)
         return eligible
+
+    def first_configurable_task(self, prefetch: bool) -> Optional[str]:
+        """First task of :meth:`configurable_tasks`, without building the list.
+
+        Most policies configure exactly one task per decision, so this
+        early-exit variant is the hot-path entry point; it returns exactly
+        ``configurable_tasks(prefetch)[0]`` (or None when none is eligible).
+        """
+        batch = self.batch_size
+        pending = TaskRunState.PENDING
+        pred_runs = self._pred_runs
+        for run in self._topo_runs:
+            if run.state is not pending or run.items_done >= batch:
+                continue
+            ok = True
+            if prefetch:
+                for pred in pred_runs[run.task_id]:
+                    if pred.state is pending and pred.items_done < batch:
+                        ok = False
+                        break
+            else:
+                for pred in pred_runs[run.task_id]:
+                    if pred.items_done < batch:
+                        ok = False
+                        break
+            if ok:
+                return run.task_id
+        return None
 
     def configured_waiting_tasks(self) -> List[str]:
         """Configured tasks not currently needed for bookkeeping helpers."""

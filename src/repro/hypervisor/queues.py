@@ -20,6 +20,11 @@ class PendingQueue:
     def __init__(self) -> None:
         self._apps: List[AppRun] = []
         self._index: Dict[int, AppRun] = {}
+        # Memoized arrival-order snapshot: the queue only changes on
+        # add/remove, while the schedulers ask for the ordering on every
+        # decision-pass iteration, so rebuilding the sorted list per call
+        # dominated the pass cost.
+        self._ordered: Optional[List[AppRun]] = None
 
     def add(self, app: AppRun) -> None:
         """Append a newly arrived application."""
@@ -27,6 +32,7 @@ class PendingQueue:
             raise SchedulerError(f"app {app.app_id} already pending")
         self._apps.append(app)
         self._index[app.app_id] = app
+        self._ordered = None
 
     def remove(self, app_id: int) -> AppRun:
         """Remove a retired application."""
@@ -34,6 +40,7 @@ class PendingQueue:
         if app is None:
             raise SchedulerError(f"app {app_id} is not pending")
         self._apps.remove(app)
+        self._ordered = None
         return app
 
     def get(self, app_id: int) -> Optional[AppRun]:
@@ -51,8 +58,17 @@ class PendingQueue:
         return iter(list(self._apps))
 
     def in_arrival_order(self) -> List[AppRun]:
-        """Snapshot of pending applications, oldest first."""
-        return sorted(self._apps, key=lambda app: app.age_key)
+        """Snapshot of pending applications, oldest first.
+
+        The returned list is cached between queue mutations; callers treat
+        it as read-only (every scheduler copies before sorting further).
+        """
+        ordered = self._ordered
+        if ordered is None:
+            ordered = self._ordered = sorted(
+                self._apps, key=lambda app: app.age_key
+            )
+        return ordered
 
     def oldest(self) -> Optional[AppRun]:
         """The longest-waiting pending application."""

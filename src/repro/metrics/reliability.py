@@ -30,10 +30,10 @@ from repro.sim.trace import Trace, TraceKind
 
 def goodput_items_per_s(trace: Trace) -> float:
     """Useful batch items completed per second over the trace span."""
-    items = len(trace.of_kind(TraceKind.ITEM_DONE))
+    items = trace.count(TraceKind.ITEM_DONE)
     if not len(trace):
         return 0.0
-    span_ms = trace.events[-1].time - trace.events[0].time
+    span_ms = trace.end_ms - trace.start_ms
     if span_ms <= 0:
         return 0.0
     return items / (span_ms / 1000.0)
@@ -152,10 +152,10 @@ class ReliabilityReport:
 def reliability_report(trace: Trace) -> ReliabilityReport:
     """Compute the full reliability summary of one trace."""
     return ReliabilityReport(
-        slot_faults=len(trace.of_kind(TraceKind.SLOT_FAULT)),
-        repairs=len(trace.of_kind(TraceKind.SLOT_REPAIRED)),
-        config_failures=len(trace.of_kind(TraceKind.CONFIG_FAILED)),
-        relocations=len(trace.of_kind(TraceKind.TASK_RELOCATED)),
+        slot_faults=trace.count(TraceKind.SLOT_FAULT),
+        repairs=trace.count(TraceKind.SLOT_REPAIRED),
+        config_failures=trace.count(TraceKind.CONFIG_FAILED),
+        relocations=trace.count(TraceKind.TASK_RELOCATED),
         work_lost_ms=work_lost_ms(trace),
         mttr_ms=mean_time_to_recovery_ms(trace),
         goodput_items_per_s=goodput_items_per_s(trace),

@@ -54,8 +54,8 @@ def board_utilization(trace: Trace, num_slots: int) -> UtilizationReport:
     if not len(trace):
         raise ExperimentError("cannot analyze an empty trace")
 
-    first = trace.events[0].time
-    last = trace.events[-1].time
+    first = trace.start_ms
+    last = trace.end_ms
     window = last - first
     if window <= 0:
         raise ExperimentError("trace window is empty")

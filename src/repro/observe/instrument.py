@@ -155,7 +155,7 @@ def observe_run(
     stats = hypervisor.fault_stats
 
     def count(kind: TraceKind) -> int:
-        return len(trace.of_kind(kind))
+        return trace.count(kind)
 
     counters = (
         ("nimblock_apps_arrived_total",
@@ -267,7 +267,7 @@ def observe_run(
         "Total simulated slot-busy time across batch items",
     ).inc(compute_busy)
 
-    horizon = trace.events[-1].time if len(trace) else 0.0
+    horizon = trace.end_ms if len(trace) else 0.0
     registry.gauge(
         "nimblock_sim_time_ms", "Simulated horizon of the run",
     ).set(horizon)

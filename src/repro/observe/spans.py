@@ -98,7 +98,7 @@ def build_spans(trace: Trace, end_ms: Optional[float] = None) -> List[Span]:
     spans: List[Span] = []
     horizon = end_ms
     if horizon is None:
-        horizon = trace.events[-1].time if len(trace) else 0.0
+        horizon = trace.end_ms if len(trace) else 0.0
 
     # Open interval bookkeeping, keyed to match the closing event.
     open_configs: Dict[Tuple, float] = {}

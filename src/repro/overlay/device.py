@@ -14,7 +14,7 @@ schedule, which the property-based tests rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Deque, List, Optional
 
@@ -61,6 +61,16 @@ class Slot:
     occupant: Optional[object] = None
     busy: bool = False
     health: SlotHealth = SlotHealth.HEALTHY
+    #: Device-installed hook fired on every phase/health transition so the
+    #: device can invalidate its availability caches. ``busy`` flips do not
+    #: notify — they never change ``is_free``/``is_healthy``.
+    on_availability_change: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _notify(self) -> None:
+        if self.on_availability_change is not None:
+            self.on_availability_change()
 
     def host(self, occupant: object) -> None:
         """Complete a reconfiguration: the slot now hosts ``occupant``."""
@@ -71,6 +81,7 @@ class Slot:
         self.phase = SlotPhase.OCCUPIED
         self.occupant = occupant
         self.busy = False
+        self._notify()
 
     def begin_reconfig(self) -> None:
         """Enter the reconfiguring phase (evicting any previous occupant)."""
@@ -82,6 +93,7 @@ class Slot:
             )
         self.phase = SlotPhase.RECONFIGURING
         self.occupant = None
+        self._notify()
 
     def clear(self) -> None:
         """Release the slot (task finished or was preempted)."""
@@ -95,6 +107,7 @@ class Slot:
             )
         self.phase = SlotPhase.EMPTY
         self.occupant = None
+        self._notify()
 
     def start_item(self) -> None:
         """Mark the hosted logic as running one batch item."""
@@ -134,6 +147,7 @@ class Slot:
             )
         self.phase = SlotPhase.EMPTY
         self.occupant = None
+        self._notify()
 
     def mark_faulty(self) -> None:
         """A transient fault hit the slot; unusable until repaired."""
@@ -144,6 +158,7 @@ class Slot:
         if self.health is SlotHealth.DEAD:
             raise SlotStateError(f"slot {self.index} is already dead")
         self.health = SlotHealth.FAULTY
+        self._notify()
 
     def mark_dead(self) -> None:
         """Permanently fail (blacklist) the slot."""
@@ -152,6 +167,7 @@ class Slot:
                 f"slot {self.index} must be evicted before marking dead"
             )
         self.health = SlotHealth.DEAD
+        self._notify()
 
     def repair(self) -> None:
         """Complete the scrub of a transient fault; slot usable again."""
@@ -160,6 +176,7 @@ class Slot:
                 f"slot {self.index} cannot repair from health {self.health}"
             )
         self.health = SlotHealth.HEALTHY
+        self._notify()
 
     @property
     def is_healthy(self) -> bool:
@@ -246,6 +263,17 @@ class FPGADevice:
             raise SlotStateError(f"num_slots must be >= 1, got {num_slots}")
         self._slots: List[Slot] = [Slot(i) for i in range(num_slots)]
         self.port = ReconfigurationPort(engine)
+        # Availability caches, invalidated by the slots' change hook: the
+        # schedulers probe for the lowest free slot on every decision-pass
+        # iteration, while slot phase/health transitions are far rarer.
+        self._free_cache: Optional[List[Slot]] = None
+        self._healthy_cache: Optional[List[Slot]] = None
+        for slot in self._slots:
+            slot.on_availability_change = self._invalidate_availability
+
+    def _invalidate_availability(self) -> None:
+        self._free_cache = None
+        self._healthy_cache = None
 
     @property
     def num_slots(self) -> int:
@@ -264,16 +292,31 @@ class FPGADevice:
         return self._slots[index]
 
     def free_slots(self) -> List[Slot]:
-        """Slots that can accept a reconfiguration right now."""
-        return [slot for slot in self._slots if slot.is_free]
+        """Slots that can accept a reconfiguration right now (read-only)."""
+        cache = self._free_cache
+        if cache is None:
+            cache = self._free_cache = [
+                slot for slot in self._slots if slot.is_free
+            ]
+        return cache
+
+    def lowest_free_slot_index(self) -> Optional[int]:
+        """Index of the lowest-numbered free slot, or None (cached)."""
+        free = self.free_slots()
+        return free[0].index if free else None
 
     def occupied_slots(self) -> List[Slot]:
         """Slots currently hosting a task."""
         return [slot for slot in self._slots if slot.phase == SlotPhase.OCCUPIED]
 
     def healthy_slots(self) -> List[Slot]:
-        """Slots not currently faulted or blacklisted."""
-        return [slot for slot in self._slots if slot.is_healthy]
+        """Slots not currently faulted or blacklisted (read-only)."""
+        cache = self._healthy_cache
+        if cache is None:
+            cache = self._healthy_cache = [
+                slot for slot in self._slots if slot.is_healthy
+            ]
+        return cache
 
     def dead_slots(self) -> List[Slot]:
         """Permanently failed (blacklisted) slots."""

@@ -51,6 +51,7 @@ class DMLStaticScheduler(SchedulerPolicy):
                 continue  # arrival notification not yet delivered
             if app.slots_used >= budget:
                 continue
-            for task_id in app.configurable_tasks(prefetch=self.prefetch):
+            task_id = app.first_configurable_task(prefetch=self.prefetch)
+            if task_id is not None:
                 return ConfigureAction(app.app_id, task_id, slot_index)
         return None

@@ -59,6 +59,7 @@ class EDFScheduler(SchedulerPolicy):
             key=lambda app: (self._deadline(app), app.age_key),
         )
         for app in apps:
-            for task_id in app.configurable_tasks(prefetch=self.prefetch):
+            task_id = app.first_configurable_task(prefetch=self.prefetch)
+            if task_id is not None:
                 return ConfigureAction(app.app_id, task_id, slot_index)
         return None

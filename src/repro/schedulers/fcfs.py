@@ -27,6 +27,7 @@ class FCFSScheduler(SchedulerPolicy):
         if slot_index is None:
             return None
         for app in ctx.pending_apps():
-            for task_id in app.configurable_tasks(prefetch=self.prefetch):
+            task_id = app.first_configurable_task(prefetch=self.prefetch)
+            if task_id is not None:
                 return ConfigureAction(app.app_id, task_id, slot_index)
         return None

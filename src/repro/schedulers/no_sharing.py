@@ -30,6 +30,7 @@ class NoSharingScheduler(SchedulerPolicy):
         slot_index = ctx.free_slot_index()
         if slot_index is None:
             return None
-        for task_id in active.configurable_tasks(prefetch=self.prefetch):
+        task_id = active.first_configurable_task(prefetch=self.prefetch)
+        if task_id is not None:
             return ConfigureAction(active.app_id, task_id, slot_index)
         return None

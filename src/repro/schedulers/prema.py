@@ -53,6 +53,7 @@ class PremaScheduler(SchedulerPolicy):
         # age breaks ties deterministically.
         candidates.sort(key=lambda app: (app.remaining_work_ms(), app.age_key))
         for app in candidates:
-            for task_id in app.configurable_tasks(prefetch=self.prefetch):
+            task_id = app.first_configurable_task(prefetch=self.prefetch)
+            if task_id is not None:
                 return ConfigureAction(app.app_id, task_id, slot_index)
         return None

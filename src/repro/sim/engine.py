@@ -1,17 +1,26 @@
 """Event-heap core of the discrete-event simulator.
 
-The engine is intentionally minimal: it owns the virtual clock and a heap of
-``(time, priority, sequence, callback)`` entries. The ``sequence`` number
-makes ordering fully deterministic — two events scheduled for the same
-instant fire in scheduling order, so repeated runs of the same workload
-produce byte-identical traces.
+The engine is intentionally minimal: it owns the virtual clock and a heap
+of ``(time, priority, seq, event)`` tuples. The ``seq`` number makes
+ordering fully deterministic — two events scheduled for the same instant
+fire in scheduling order, so repeated runs of the same workload produce
+byte-identical traces.
+
+Performance notes
+-----------------
+The heap stores plain tuples rather than :class:`Event` objects so that
+``heapq`` sift operations compare native floats/ints instead of calling a
+generated dataclass ``__lt__``; ``seq`` is unique, so comparisons never
+reach the trailing :class:`Event` handle. :class:`Event` itself is a
+``__slots__`` class, and cancellation bookkeeping is kept live in
+``_live`` so :attr:`SimulationEngine.pending` is O(1) instead of a heap
+scan. Neither change affects event ordering.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
@@ -20,25 +29,46 @@ from repro.errors import SimulationError
 EventCallback = Callable[[float], None]
 
 
-@dataclass(order=True)
 class Event:
     """A pending simulation event.
 
-    Events compare by ``(time, priority, seq)``; the callback itself never
+    Events order by ``(time, priority, seq)``; the callback itself never
     participates in comparisons. Lower ``priority`` fires first among
     same-time events, which lets the hypervisor order e.g. completions
     before the scheduling pass that reacts to them.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "_engine")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: EventCallback,
+        engine: Optional["SimulationEngine"] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._on_cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return (
+            f"Event(time={self.time}, priority={self.priority}, "
+            f"seq={self.seq}{flag})"
+        )
 
 
 class SimulationEngine:
@@ -56,10 +86,15 @@ class SimulationEngine:
 
     def __init__(self, observer: Optional[object] = None) -> None:
         self._now = 0.0
-        self._heap: list[Event] = []
+        # Heap of (time, priority, seq, Event): comparisons stop at the
+        # unique seq, never touching the Event handle.
+        self._heap: list = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        # Live (scheduled, not fired, not cancelled) event count; kept
+        # exact by schedule/cancel/pop so ``pending`` is O(1).
+        self._live = 0
         # Observability hook (repro.observe). None costs one predicate per
         # executed event; the engine never imports the observe package.
         self._observer = observer
@@ -80,13 +115,16 @@ class SimulationEngine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._live
 
     @property
     def processed(self) -> int:
         """Number of events executed so far (diagnostics)."""
         return self._processed
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
 
     def schedule_at(
         self, time: float, callback: EventCallback, priority: int = 0
@@ -96,8 +134,9 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        event = Event(time, priority, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
+        event = Event(time, priority, next(self._seq), callback, self)
+        heapq.heappush(self._heap, (time, priority, event.seq, event))
+        self._live += 1
         return event
 
     def schedule_after(
@@ -106,23 +145,34 @@ class SimulationEngine:
         """Schedule ``callback`` to fire ``delay`` ms from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self._now + delay, callback, priority)
+        # Body of schedule_at inlined (this is the hot scheduling entry
+        # point; now + delay >= now holds whenever delay >= 0).
+        time = self._now + delay
+        event = Event(time, priority, next(self._seq), callback, self)
+        heapq.heappush(self._heap, (time, priority, event.seq, event))
+        self._live += 1
+        return event
 
     def step(self) -> bool:
         """Execute the next event. Returns False if the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _, _, event = heapq.heappop(heap)
             if event.cancelled:
                 continue
-            if event.time < self._now:
+            if time < self._now:
                 raise SimulationError(
-                    f"event at {event.time} popped after clock reached {self._now}"
+                    f"event at {time} popped after clock reached {self._now}"
                 )
-            self._now = event.time
+            self._now = time
+            self._live -= 1
+            # Detach so a late cancel() of a fired event cannot skew the
+            # live counter.
+            event._engine = None
             self._processed += 1
             if self._observer is not None:
-                self._observer.on_engine_event(self._now)
-            event.callback(self._now)
+                self._observer.on_engine_event(time)
+            event.callback(time)
             return True
         return False
 
@@ -130,29 +180,54 @@ class SimulationEngine:
         """Run until the heap drains, ``until`` is reached, or event budget ends.
 
         ``until`` is inclusive: events scheduled exactly at ``until`` fire.
+        A horizon below the already-advanced clock never moves time
+        backwards; the clock clamps at its current value.
         """
         if self._running:
             raise SimulationError("engine is already running (reentrant run())")
         self._running = True
         try:
+            # Inlined event loop (same semantics as repeated step() calls):
+            # the per-event method call and attribute reloads are the
+            # engine's own overhead floor, so the hot loop keeps pop and
+            # fire local. step() remains the single-event entry point.
+            heap = self._heap
+            heappop = heapq.heappop
             executed = 0
-            while self._heap:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     return
-                # Peek for the horizon check without popping cancelled noise.
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+                head = heap[0]
+                event = head[3]
+                if event.cancelled:
+                    # Drop cancelled noise without running horizon checks.
+                    heappop(heap)
                     continue
-                if until is not None and head.time > until:
-                    self._now = until
+                time = head[0]
+                if until is not None and time > until:
+                    self._now = max(self._now, until)
                     return
-                if not self.step():
-                    return
+                heappop(heap)
+                if time < self._now:
+                    raise SimulationError(
+                        f"event at {time} popped after clock reached {self._now}"
+                    )
+                self._now = time
+                self._live -= 1
+                # Detach so a late cancel() of a fired event cannot skew
+                # the live counter.
+                event._engine = None
+                self._processed += 1
+                if self._observer is not None:
+                    self._observer.on_engine_event(time)
+                event.callback(time)
                 executed += 1
         finally:
             self._running = False
 
     def drain(self) -> None:
         """Discard all pending events (used by tests)."""
+        for entry in self._heap:
+            entry[3]._engine = None
         self._heap.clear()
+        self._live = 0

@@ -3,13 +3,25 @@
 The hypervisor emits one :class:`TraceEvent` per state change. The metrics
 layer (Figures 5-11, Table 3) is computed entirely from traces, so every
 experiment is post-processable without re-running the simulation.
+
+Performance notes
+-----------------
+:class:`Trace` stores events **columnar-internally**: ``record`` appends a
+plain ``(time, kind, app_id, task_id, slot, detail)`` tuple, which is far
+cheaper than constructing a frozen dataclass on the hot path, and keeps a
+per-kind index of row positions so ``of_kind``/``first`` and the busy-time
+accumulators never re-scan the full trace. :class:`TraceEvent` objects are
+materialised lazily — the first time user code iterates the trace — and
+cached, so repeated metric queries pay the construction cost once. None of
+this changes what is recorded or in which order: an exported trace is
+byte-identical to the pre-columnar format.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class TraceKind(str, Enum):
@@ -60,11 +72,22 @@ class TraceEvent:
         return " ".join(parts)
 
 
-@dataclass
+#: Internal row layout: mirrors the TraceEvent field order exactly.
+_Row = Tuple[float, TraceKind, Optional[int], Optional[str], Optional[int],
+             Optional[float]]
+
+
 class Trace:
     """Append-only log of :class:`TraceEvent` records."""
 
-    events: List[TraceEvent] = field(default_factory=list)
+    __slots__ = ("_rows", "_by_kind", "_cache")
+
+    def __init__(self) -> None:
+        self._rows: List[_Row] = []
+        #: Row positions per kind, in record (= time) order.
+        self._by_kind: Dict[TraceKind, List[int]] = {}
+        #: Lazily materialised TraceEvent objects, kept in sync by record.
+        self._cache: Optional[List[TraceEvent]] = None
 
     def record(
         self,
@@ -76,17 +99,56 @@ class Trace:
         detail: Optional[float] = None,
     ) -> None:
         """Append one event to the trace."""
-        self.events.append(TraceEvent(time, kind, app_id, task_id, slot, detail))
+        rows = self._rows
+        index = self._by_kind.get(kind)
+        if index is None:
+            index = self._by_kind[kind] = []
+        index.append(len(rows))
+        rows.append((time, kind, app_id, task_id, slot, detail))
+        if self._cache is not None:
+            self._cache.append(
+                TraceEvent(time, kind, app_id, task_id, slot, detail)
+            )
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All events in record order (materialised lazily, then cached)."""
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = [TraceEvent(*row) for row in self._rows]
+        return cache
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
 
+    @property
+    def start_ms(self) -> float:
+        """Time of the first recorded event (O(1))."""
+        return self._rows[0][0]
+
+    @property
+    def end_ms(self) -> float:
+        """Time of the last recorded event (O(1))."""
+        return self._rows[-1][0]
+
+    def count(self, kind: TraceKind) -> int:
+        """Number of events of one kind (O(1) via the kind index)."""
+        index = self._by_kind.get(kind)
+        return len(index) if index is not None else 0
+
     def of_kind(self, kind: TraceKind) -> List[TraceEvent]:
         """All events of one kind, in time order."""
-        return [event for event in self.events if event.kind == kind]
+        index = self._by_kind.get(kind)
+        if not index:
+            return []
+        if self._cache is not None:
+            cache = self._cache
+            return [cache[i] for i in index]
+        rows = self._rows
+        return [TraceEvent(*rows[i]) for i in index]
 
     def for_app(self, app_id: int) -> List[TraceEvent]:
         """All events belonging to one application."""
@@ -94,38 +156,57 @@ class Trace:
 
     def first(self, kind: TraceKind, app_id: Optional[int] = None) -> Optional[TraceEvent]:
         """First event of ``kind`` (optionally for one app), or None."""
-        for event in self.events:
-            if event.kind != kind:
+        index = self._by_kind.get(kind)
+        if not index:
+            return None
+        rows = self._rows
+        for i in index:
+            row = rows[i]
+            if app_id is not None and row[2] != app_id:
                 continue
-            if app_id is not None and event.app_id != app_id:
-                continue
-            return event
+            if self._cache is not None:
+                return self._cache[i]
+            return TraceEvent(*row)
         return None
+
+    def _paired_busy_ms(
+        self,
+        start_kind: TraceKind,
+        done_kind: TraceKind,
+        app_id: Optional[int],
+        key_detail: bool,
+    ) -> float:
+        """Sum of (done - start) over matching start/done row pairs."""
+        positions = sorted(
+            self._by_kind.get(start_kind, []) + self._by_kind.get(done_kind, [])
+        )
+        rows = self._rows
+        starts: Dict[tuple, float] = {}
+        total = 0.0
+        for i in positions:
+            time, kind, row_app, task_id, slot, detail = rows[i]
+            if app_id is not None and row_app != app_id:
+                continue
+            key = (
+                (row_app, task_id, slot, detail) if key_detail
+                else (row_app, task_id, slot)
+            )
+            if kind is start_kind:
+                starts[key] = time
+            elif key in starts:
+                total += time - starts.pop(key)
+        return total
 
     def reconfig_busy_ms(self, app_id: Optional[int] = None) -> float:
         """Total time spent reconfiguring slots (optionally for one app)."""
-        starts: Dict[tuple, float] = {}
-        total = 0.0
-        for event in self.events:
-            if app_id is not None and event.app_id != app_id:
-                continue
-            key = (event.app_id, event.task_id, event.slot)
-            if event.kind == TraceKind.TASK_CONFIG_START:
-                starts[key] = event.time
-            elif event.kind == TraceKind.TASK_CONFIG_DONE and key in starts:
-                total += event.time - starts.pop(key)
-        return total
+        return self._paired_busy_ms(
+            TraceKind.TASK_CONFIG_START, TraceKind.TASK_CONFIG_DONE,
+            app_id, key_detail=False,
+        )
 
     def run_busy_ms(self, app_id: Optional[int] = None) -> float:
         """Total task execution time summed over all items (and apps)."""
-        starts: Dict[tuple, float] = {}
-        total = 0.0
-        for event in self.events:
-            if app_id is not None and event.app_id != app_id:
-                continue
-            key = (event.app_id, event.task_id, event.slot, event.detail)
-            if event.kind == TraceKind.ITEM_START:
-                starts[key] = event.time
-            elif event.kind == TraceKind.ITEM_DONE and key in starts:
-                total += event.time - starts.pop(key)
-        return total
+        return self._paired_busy_ms(
+            TraceKind.ITEM_START, TraceKind.ITEM_DONE,
+            app_id, key_detail=True,
+        )

@@ -9,6 +9,7 @@ predecessor of ``t`` has produced item ``b``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.errors import TaskGraphError
@@ -92,6 +93,17 @@ class TaskGraph:
         self._topo_index: Dict[str, int] = {
             tid: i for i, tid in enumerate(self._topo)
         }
+        # Hot-path accessors return these prebuilt immutable views instead
+        # of copying per call (graphs are immutable after construction).
+        self._pred_tuples: Dict[str, Tuple[str, ...]] = {
+            tid: tuple(preds) for tid, preds in self._preds.items()
+        }
+        self._succ_tuples: Dict[str, Tuple[str, ...]] = {
+            tid: tuple(succs) for tid, succs in self._succs.items()
+        }
+        self._tasks_view: Mapping[str, TaskSpec] = MappingProxyType(
+            self._tasks
+        )
 
     def _toposort(self) -> Tuple[str, ...]:
         indegree = {tid: len(self._preds[tid]) for tid in self._tasks}
@@ -128,8 +140,8 @@ class TaskGraph:
 
     @property
     def tasks(self) -> Mapping[str, TaskSpec]:
-        """Mapping of task id to :class:`TaskSpec`."""
-        return dict(self._tasks)
+        """Read-only mapping of task id to :class:`TaskSpec` (cached view)."""
+        return self._tasks_view
 
     @property
     def edges(self) -> Tuple[Tuple[str, str], ...]:
@@ -152,13 +164,21 @@ class TaskGraph:
 
     def predecessors(self, task_id: str) -> Tuple[str, ...]:
         """Task ids that must produce an item before ``task_id`` consumes it."""
-        self.task(task_id)
-        return tuple(self._preds[task_id])
+        try:
+            return self._pred_tuples[task_id]
+        except KeyError:
+            raise TaskGraphError(
+                f"unknown task {task_id!r} in graph {self._name!r}"
+            ) from None
 
     def successors(self, task_id: str) -> Tuple[str, ...]:
         """Task ids that consume the output of ``task_id``."""
-        self.task(task_id)
-        return tuple(self._succs[task_id])
+        try:
+            return self._succ_tuples[task_id]
+        except KeyError:
+            raise TaskGraphError(
+                f"unknown task {task_id!r} in graph {self._name!r}"
+            ) from None
 
     def topo_index(self, task_id: str) -> int:
         """Position of ``task_id`` in the topological order."""

@@ -1,0 +1,128 @@
+"""Byte-identical equivalence pins for the optimized simulation core.
+
+The performance work (tuple event heap, columnar trace, availability
+caches, graph-attached memos) must be *pure* optimization: every
+scheduler has to produce exactly the trace, responses and derived
+metrics it produced before. These tests pin a sha256 over the full
+canonical dump of a fixed workload for every registry scheduler — plus
+three fault-injection (chaos) runs, which exercise event cancellation,
+preemption rollback and the availability-cache invalidation hooks.
+
+The hashes were recorded against the pre-optimization implementation;
+any ordering, timing or rounding drift in the core shows up here as a
+hash mismatch long before it would surface in an experiment figure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.faults.injector import FaultInjector
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.metrics.utilization import board_utilization
+from repro.schedulers.registry import make_scheduler
+from repro.sim.trace_export import trace_to_dict
+from repro.workload.generator import EventGenerator
+from repro.workload.scenarios import chaos_scenario
+
+#: sha256 of the canonical run dump per scheduler, recorded before the
+#: performance optimization of the simulation core.
+PINNED_RUNS = {
+    "baseline": "c19362c0d2838fb2cbea65bd4e929a80e81fe6276ef10ccd746e0a4e605afd89",
+    "fcfs": "d14c903cab34f24dcfca320dc14088e64669e8910bce26a271d580b7731c3644",
+    "prema": "c50d03b64ff8ce03f8b9a003ab970749e10fc8ed6dc04bc698252ea6da44fa93",
+    "rr": "ca8fa2c1eca90a3fb547f5b045a4436485bd85df4109aa4248ff7f0755dcdd76",
+    "nimblock": "d0a2ca66ba425d07cb0f48881901aacc879b092411c1d9c8af2cebbab06b3e12",
+    "nimblock_no_pipe": "86729931813d6b78f70eb6a9a9bd3d7b8092ebb46f19104ed4031c9aa3106d80",
+    "nimblock_no_preempt": "132821bac64351b56dba0c612e417a0471545c904250e1e5623e1be91e86fa72",
+    "edf": "1a1333f92faacec98f7cb766ed44ce3c4d5fb305eef7670084b5bf0dec3d21b2",
+    "dml_static": "e11dc9bd034ed819c2adef8b74d609d41835f0beb40e264dcbf5ae168365a893",
+}
+
+#: Same idea under full-rate fault injection (mixed chaos scenario).
+PINNED_CHAOS_RUNS = {
+    "nimblock": "4a965efc2721c205ce79dad32be4f3922507233319dd5fcc89588f62395b9c98",
+    "rr": "2c92a5ed0bed7ed87b7627eef228bc55a91bac2191fe851b55aa2d76e24240a4",
+    "prema": "6c0088abd9686ec2b7725c8545042d777df2ebc37ab27111d4c73b146d907671",
+}
+
+
+def pinned_sequence():
+    """The fixed workload every pin hashes: seed 99, four benchmarks."""
+    return EventGenerator(
+        99, benchmarks=("lenet", "imgc", "3dr", "of")
+    ).sequence(
+        num_events=5,
+        delay_range_ms=(200.0, 200.0),
+        batch_range=(2, 6),
+        label="golden",
+    )
+
+
+def run_digest(name: str) -> str:
+    hv = Hypervisor(make_scheduler(name))
+    for request in pinned_sequence().to_requests():
+        hv.submit(request)
+    hv.run()
+    util = board_utilization(hv.trace, hv.config.num_slots)
+    blob = json.dumps(
+        {
+            "trace": trace_to_dict(hv.trace, label=name),
+            "responses": [round(r.response_ms, 6) for r in hv.results()],
+            "util": [
+                round(util.compute_fraction, 9),
+                round(util.reconfig_fraction, 9),
+            ],
+            "reconfig_busy": round(hv.trace.reconfig_busy_ms(), 6),
+            "run_busy": round(hv.trace.run_busy_ms(), 6),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def chaos_digest(name: str) -> str:
+    fault_config = chaos_scenario("mixed").fault_config(
+        fault_rate=1.0, seed=1234
+    )
+    hv = Hypervisor(
+        make_scheduler(name),
+        config=SystemConfig(),
+        faults=FaultInjector(fault_config),
+    )
+    for request in pinned_sequence().to_requests():
+        hv.submit(request)
+    hv.run()
+    blob = json.dumps(
+        {
+            "trace": trace_to_dict(hv.trace, label=name),
+            "responses": [round(r.response_ms, 6) for r in hv.results()],
+            "faults": hv.fault_stats.total_faults,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TestPinnedEquivalence:
+    @pytest.mark.parametrize("name", sorted(PINNED_RUNS))
+    def test_scheduler_matches_pre_optimization_pin(self, name):
+        assert run_digest(name) == PINNED_RUNS[name], (
+            f"scheduler {name!r} diverged from its pre-optimization trace"
+        )
+
+    @pytest.mark.parametrize("name", sorted(PINNED_CHAOS_RUNS))
+    def test_chaos_run_matches_pre_optimization_pin(self, name):
+        assert chaos_digest(name) == PINNED_CHAOS_RUNS[name], (
+            f"chaos run {name!r} diverged from its pre-optimization trace"
+        )
+
+    def test_repeat_run_is_bit_stable(self):
+        # Same process, fresh hypervisors: the digest never drifts (the
+        # graph-attached memo caches warmed by the first run must not
+        # change the second run's trace).
+        assert run_digest("nimblock") == run_digest("nimblock")

@@ -91,8 +91,12 @@ class TestGoalNumbers:
         first = analyzer.goal_number(graph, 5)
         second = analyzer.goal_number(graph, 5)
         assert first == second
-        # The sweep cache must hold exactly one entry for this key.
-        assert len(analyzer._sweeps) == 1
+        # The memo lives on the graph object and is shared across
+        # analyzer instances (cross-run reuse in sweeps).
+        key = (5, config.num_slots, config.reconfig_ms)
+        assert key in graph._saturation_sweep_cache
+        fresh = SaturationAnalyzer(config)
+        assert fresh.goal_number(graph, 5) == first
 
 
 class TestBenchmarkGoals:

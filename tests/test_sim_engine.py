@@ -87,6 +87,19 @@ class TestRunControl:
         engine.run(until=10.0)
         assert fired == [10.0]
 
+    def test_run_until_below_clock_never_rewinds(self):
+        # Regression: a horizon below the already-advanced clock used to
+        # rewind time; it must clamp at the current value instead.
+        engine = SimulationEngine()
+        engine.schedule_at(20.0, lambda now: None)
+        engine.run()
+        assert engine.now == 20.0
+        engine.schedule_at(30.0, lambda now: None)
+        engine.run(until=5.0)
+        assert engine.now == 20.0
+        engine.run(until=30.0)
+        assert engine.now == 30.0
+
     def test_max_events_budget(self):
         engine = SimulationEngine()
         fired = []
@@ -119,6 +132,42 @@ class TestRunControl:
         engine = SimulationEngine()
         engine.schedule_at(1.0, lambda now: None)
         engine.drain()
+        assert engine.pending == 0
+
+    def test_live_counter_consistent_under_cancel(self):
+        # The O(1) pending counter must stay exact through every
+        # schedule/cancel/fire/drain combination, including the cases
+        # that used to skew it: double-cancel, cancel-after-fire and
+        # cancel-after-drain.
+        engine = SimulationEngine()
+        events = [
+            engine.schedule_at(float(i), lambda now: None) for i in range(6)
+        ]
+        assert engine.pending == 6
+        events[0].cancel()
+        events[0].cancel()  # double cancel: counted once
+        assert engine.pending == 5
+        engine.run(until=2.0)  # fires events 1 and 2
+        assert engine.processed == 2
+        assert engine.pending == 3
+        events[1].cancel()  # already fired: must not decrement
+        assert engine.pending == 3
+        events[3].cancel()
+        assert engine.pending == 2
+        engine.drain()
+        assert engine.pending == 0
+        events[4].cancel()  # drained: must not go negative
+        assert engine.pending == 0
+
+    def test_event_count_shape_matches_workload(self):
+        # Microbenchmark shape: N scheduled timers process exactly N
+        # events (the bench_core engine storm relies on this).
+        engine = SimulationEngine()
+        for i in range(100):
+            engine.schedule_at(float(i % 7), lambda now: None, priority=i & 1)
+        assert engine.pending == 100
+        engine.run()
+        assert engine.processed == 100
         assert engine.pending == 0
 
 

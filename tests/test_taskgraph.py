@@ -100,6 +100,26 @@ class TestTopology:
             make_graph().task("missing")
         with pytest.raises(TaskGraphError, match="unknown task"):
             make_graph().predecessors("missing")
+        with pytest.raises(TaskGraphError, match="unknown task"):
+            make_graph().successors("missing")
+
+    def test_tasks_view_is_cached_and_read_only(self):
+        # ``tasks`` returns one cached read-only view rather than a fresh
+        # dict copy per access (the hypervisor reads it in hot paths).
+        graph = make_graph()
+        view = graph.tasks
+        assert view is graph.tasks
+        assert set(view) == set(graph.topological_order)
+        with pytest.raises(TypeError):
+            view["rogue"] = view["src"]  # type: ignore[index]
+
+    def test_adjacency_tuples_are_stable(self):
+        # predecessors/successors return prebuilt tuples: identical
+        # objects per query, immutable by construction.
+        graph = make_graph()
+        assert graph.predecessors("sink") is graph.predecessors("sink")
+        assert graph.successors("src") is graph.successors("src")
+        assert isinstance(graph.predecessors("sink"), tuple)
 
 
 class TestDerivedMetrics:
