@@ -5,7 +5,7 @@ PYTHON ?= python
 JOBS ?= 4
 CACHE_DIR ?= .runcache
 
-.PHONY: install test bench sweep perf chaos trace stats reproduce report examples clean
+.PHONY: install test bench sweep perf chaos overload paranoid trace stats reproduce report examples clean
 
 install:
 	pip install -e . && pip install -e '.[test]'
@@ -25,13 +25,25 @@ sweep:
 	$(PYTHON) benchmarks/bench_sweep.py --bench --jobs $(JOBS)
 
 # Core-throughput regression guard + fast sweep timing (the CI perf job).
+# bench_core also asserts O(1) PendingQueue removal; bench_invariants
+# guards that the invariant checker is free when off and bounded when on.
 perf:
 	$(PYTHON) benchmarks/bench_core.py --guard
+	$(PYTHON) benchmarks/bench_invariants.py --guard --fast
 	$(PYTHON) benchmarks/bench_sweep.py --bench --fast --jobs 2
 
 # Fault-injection drill: every scheduler under the mixed chaos scenario.
 chaos:
 	$(PYTHON) -m repro.cli chaos --scenario mixed --fault-rate 0.05 --seed 1
+
+# Admission-policy drill: every policy on the overload regime at 4x rate.
+overload:
+	$(PYTHON) -m repro.cli overload --rate-multiplier 4 --seed 1
+
+# Paranoid sweep: every scheduler plus full-rate chaos scenarios with
+# the runtime invariant checker attached; any violation fails the target.
+paranoid:
+	$(PYTHON) benchmarks/bench_invariants.py --paranoid --fast
 
 # Perfetto-loadable Chrome trace of a faulty stress run -> trace.json.
 trace:

@@ -80,6 +80,65 @@ def engine_storm(num_events: int = ENGINE_STORM_EVENTS) -> float:
     return num_events / elapsed
 
 
+class _StubApp:
+    """Minimal stand-in carrying the attributes PendingQueue touches."""
+
+    __slots__ = ("app_id", "age_key")
+
+    def __init__(self, app_id: int) -> None:
+        self.app_id = app_id
+        self.age_key = (float(app_id), app_id)
+
+
+def queue_removal_per_op(num_apps: int) -> float:
+    """Seconds per PendingQueue removal at the given queue size.
+
+    Fills the queue, then removes every app oldest-first — the worst case
+    for the old ``list.remove`` implementation, which shifted the whole
+    tail on each call. With tombstoned removal the per-op cost must stay
+    flat as the queue grows.
+    """
+    from repro.hypervisor.queues import PendingQueue
+
+    queue = PendingQueue()
+    for app_id in range(num_apps):
+        queue.add(_StubApp(app_id))
+    start = time.perf_counter()
+    for app_id in range(num_apps):
+        queue.remove(app_id)
+    elapsed = time.perf_counter() - start
+    queue.self_check()
+    assert len(queue) == 0
+    return elapsed / num_apps
+
+
+#: Queue sizes compared by the O(1)-removal scaling assertion, and the
+#: maximum tolerated per-op growth between them. A 10x larger queue costs
+#: ~10x per removal under the old O(n) implementation; amortized O(1)
+#: keeps the ratio near 1, and 4.0 absorbs timer noise.
+QUEUE_SCALING_SIZES = (4_000, 40_000)
+QUEUE_SCALING_MAX_RATIO = 4.0
+
+
+def queue_scaling() -> Dict:
+    """Measure removal cost at both sizes and assert O(1) scaling."""
+    small, large = QUEUE_SCALING_SIZES
+    queue_removal_per_op(small)  # warm-up
+    small_s = min(queue_removal_per_op(small) for _ in range(3))
+    large_s = min(queue_removal_per_op(large) for _ in range(3))
+    ratio = large_s / small_s
+    assert ratio <= QUEUE_SCALING_MAX_RATIO, (
+        f"PendingQueue.remove is not O(1): {large:,}-app removals cost "
+        f"{ratio:.1f}x the per-op time of {small:,}-app removals "
+        f"(limit {QUEUE_SCALING_MAX_RATIO}x)"
+    )
+    return {
+        "queue_remove_ns_small": round(small_s * 1e9, 1),
+        "queue_remove_ns_large": round(large_s * 1e9, 1),
+        "queue_remove_scaling": round(ratio, 3),
+    }
+
+
 def _sequences(num_sequences: int, num_events: int) -> List:
     return [
         EventGenerator(
@@ -119,10 +178,12 @@ def sim_throughput(
 def measure(num_sequences: int, num_events: int) -> Dict:
     """One full measurement: both rates plus the scale that produced them."""
     engine_rate = engine_storm()
+    queue_stats = queue_scaling()
     sim_rate, sim_events, sim_wall = sim_throughput(
         num_sequences, num_events
     )
     return {
+        **queue_stats,
         "scale": {
             "schedulers": len(ALL_SCHEDULERS),
             "sequences": num_sequences,
@@ -147,6 +208,12 @@ def print_measurement(entry: Dict) -> None:
     print(
         f"full sim:      {entry['sim_events_per_sec']:>10,} events/sec "
         f"({entry['sim_events']:,} events in {entry['sim_wall_s']}s)"
+    )
+    print(
+        f"queue remove:  {entry['queue_remove_ns_large']:>10,.0f} ns/op "
+        f"at {QUEUE_SCALING_SIZES[1]:,} apps "
+        f"({entry['queue_remove_scaling']}x vs {QUEUE_SCALING_SIZES[0]:,}; "
+        f"O(1) limit {QUEUE_SCALING_MAX_RATIO}x)"
     )
 
 

@@ -71,6 +71,14 @@ _LAZY_EXPORTS = {
     "collect_metrics": "repro.observe",
     "observed_run": "repro.observe",
     "snapshot_run": "repro.observe",
+    "ADMISSION_POLICIES": "repro.admission",
+    "AdmissionController": "repro.admission",
+    "AdmissionStats": "repro.admission",
+    "Watchdog": "repro.admission",
+    "WatchdogConfig": "repro.admission",
+    "make_admission_policy": "repro.admission",
+    "InvariantChecker": "repro.invariants",
+    "checked_run": "repro.invariants",
 }
 
 
@@ -143,5 +151,13 @@ __all__ = [
     "collect_metrics",
     "observed_run",
     "snapshot_run",
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "AdmissionStats",
+    "Watchdog",
+    "WatchdogConfig",
+    "make_admission_policy",
+    "InvariantChecker",
+    "checked_run",
     "__version__",
 ]

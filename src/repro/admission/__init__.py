@@ -1,0 +1,39 @@
+"""Overload protection for the hypervisor: admission control, load
+shedding, graceful degradation and a scheduler watchdog.
+
+Quickstart
+----------
+>>> from repro import Hypervisor, make_scheduler
+>>> from repro.admission import AdmissionController, Watchdog
+>>> hv = Hypervisor(
+...     make_scheduler("nimblock"),
+...     admission=AdmissionController("shed", seed=1),
+...     watchdog=Watchdog(),
+... )
+
+See ``docs/robustness.md`` for the policy catalogue and tuning guidance.
+"""
+
+from repro.admission.controller import AdmissionController, AdmissionStats
+from repro.admission.policies import (
+    ADMISSION_POLICIES,
+    AdmissionPolicy,
+    DegradePolicy,
+    RejectPolicy,
+    ShedPolicy,
+    make_admission_policy,
+)
+from repro.admission.watchdog import Watchdog, WatchdogConfig
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionStats",
+    "DegradePolicy",
+    "RejectPolicy",
+    "ShedPolicy",
+    "Watchdog",
+    "WatchdogConfig",
+    "make_admission_policy",
+]

@@ -1,0 +1,229 @@
+"""Pluggable admission policies for the hypervisor's pending queue.
+
+The paper's hypervisor (§2.2) accepts every arrival forever; under the
+stress/real-time congestion scenarios (§5.2) a sustained burst simply
+grows the queue without bound. These policies bound that behaviour:
+
+* **unbounded** — today's semantics, the default. Never rejects, never
+  sheds, never degrades; a controller carrying this policy emits no
+  trace events and a run is byte-identical to one with no controller.
+* **reject** — a bounded queue. Arrivals beyond ``queue_capacity`` are
+  rejected and retried with seeded exponential backoff; after
+  ``max_retries`` failed attempts the application is dropped.
+* **shed** — load shedding at decision-pass boundaries: while the queue
+  is over capacity, pending applications that have made no progress are
+  evicted, lowest priority first (then youngest first), down to the low
+  watermark.
+* **degrade** — graceful degradation: while a queue-depth / wait-time
+  pressure signal is high, the Nimblock goal-number slot raises are
+  capped and inter-batch pipelining depth is throttled to bulk mode, so
+  each admitted application holds fewer slots and the backlog drains.
+
+Every policy is a frozen dataclass, so controllers (and the parallel
+experiment workers that rebuild them from a name) are trivially
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional, Tuple, Type
+
+from repro.errors import AdmissionError
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Base class: the ``unbounded`` (accept-everything) policy.
+
+    ``high_watermark`` / ``low_watermark`` bound the overload hysteresis
+    band shared by the bounded policies; the base policy disables both.
+    """
+
+    kind = "unbounded"
+
+    def validate(self) -> None:
+        """Raise :class:`AdmissionError` on inconsistent knob values."""
+
+    def watermarks(self) -> Tuple[Optional[int], Optional[int]]:
+        """(high, low) pending-depth watermarks, or (None, None)."""
+        return (None, None)
+
+
+@dataclass(frozen=True)
+class RejectPolicy(AdmissionPolicy):
+    """Bounded queue with seeded exponential-backoff retries.
+
+    An arrival finding ``queue_capacity`` applications already pending is
+    rejected; the workload layer re-submits it after
+    ``backoff_base_ms * backoff_factor**(attempt-1)`` (capped, plus a
+    seeded jitter fraction). After ``max_retries`` rejections the
+    application is dropped for good.
+    """
+
+    kind = "reject"
+
+    queue_capacity: int = 12
+    max_retries: int = 6
+    backoff_base_ms: float = 100.0
+    backoff_factor: float = 2.0
+    backoff_cap_ms: float = 3200.0
+    jitter_frac: float = 0.25
+
+    def validate(self) -> None:
+        if self.queue_capacity < 1:
+            raise AdmissionError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.max_retries < 0:
+            raise AdmissionError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_ms <= 0 or self.backoff_cap_ms <= 0:
+            raise AdmissionError("backoff times must be > 0")
+        if self.backoff_factor < 1.0:
+            raise AdmissionError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise AdmissionError(
+                f"jitter_frac must be in [0, 1), got {self.jitter_frac}"
+            )
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Deterministic backoff midpoint for retry ``attempt`` (1-based)."""
+        return min(
+            self.backoff_base_ms * self.backoff_factor ** (attempt - 1),
+            self.backoff_cap_ms,
+        )
+
+    def watermarks(self) -> Tuple[Optional[int], Optional[int]]:
+        return (self.queue_capacity, max(1, self.queue_capacity * 3 // 4))
+
+
+@dataclass(frozen=True)
+class ShedPolicy(AdmissionPolicy):
+    """Load shedding at decision-pass boundaries.
+
+    While more than ``queue_capacity`` applications are pending, victims
+    that have made no progress (never configured a slot, never ran an
+    item) are evicted lowest-priority-first, youngest-first within a
+    priority, until the queue drains to ``low_watermark`` (default: 3/4
+    of capacity). In-flight applications are never shed — eviction at any
+    other point would discard batch progress the paper's preemption
+    checkpoint explicitly preserves.
+    """
+
+    kind = "shed"
+
+    queue_capacity: int = 12
+    low_watermark: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.queue_capacity < 1:
+            raise AdmissionError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        low = self.effective_low_watermark()
+        if not 0 < low <= self.queue_capacity:
+            raise AdmissionError(
+                f"low_watermark must be in (0, queue_capacity], got {low}"
+            )
+
+    def effective_low_watermark(self) -> int:
+        if self.low_watermark is not None:
+            return self.low_watermark
+        return max(1, self.queue_capacity * 3 // 4)
+
+    def watermarks(self) -> Tuple[Optional[int], Optional[int]]:
+        return (self.queue_capacity, self.effective_low_watermark())
+
+
+@dataclass(frozen=True)
+class DegradePolicy(AdmissionPolicy):
+    """Graceful degradation while a pressure signal is high.
+
+    The controller enters overload when the pending depth reaches
+    ``high_watermark`` or the oldest pending application has waited
+    longer than ``wait_high_ms``, and exits when the depth falls to
+    ``low_watermark`` with the wait below half the threshold. While
+    overloaded, three levers throttle service instead of refusing it:
+
+    * Nimblock's per-application slot allocation is capped at
+      ``slot_cap`` (goal raises and surplus grants alike);
+    * when ``cap_pipelining`` is set, item launches fall back to bulk
+      mode — prefetched-but-idle tasks are what over-consume slots under
+      pressure;
+    * when ``priority_scheduling`` is set, the scheduler's candidate
+      view is re-ordered priority-major (highest class first, arrival
+      order within a class): a brownout that makes even priority-blind
+      policies like FCFS serve the most important waiting work first,
+      without ever hiding an application (slots stay fed, low classes
+      are delayed rather than starved).
+    """
+
+    kind = "degrade"
+
+    high_watermark: int = 12
+    low_watermark: int = 6
+    wait_high_ms: float = 15000.0
+    slot_cap: int = 4
+    cap_pipelining: bool = True
+    priority_scheduling: bool = True
+
+    def validate(self) -> None:
+        if self.high_watermark < 1:
+            raise AdmissionError(
+                f"high_watermark must be >= 1, got {self.high_watermark}"
+            )
+        if not 0 < self.low_watermark <= self.high_watermark:
+            raise AdmissionError(
+                "low_watermark must be in (0, high_watermark], got "
+                f"{self.low_watermark}"
+            )
+        if self.wait_high_ms <= 0:
+            raise AdmissionError(
+                f"wait_high_ms must be > 0, got {self.wait_high_ms}"
+            )
+        if self.slot_cap < 1:
+            raise AdmissionError(
+                f"slot_cap must be >= 1, got {self.slot_cap}"
+            )
+
+    def watermarks(self) -> Tuple[Optional[int], Optional[int]]:
+        return (self.high_watermark, self.low_watermark)
+
+
+#: Policy registry, in mildest-to-strictest order.
+POLICY_CLASSES: Dict[str, Type[AdmissionPolicy]] = {
+    "unbounded": AdmissionPolicy,
+    "reject": RejectPolicy,
+    "shed": ShedPolicy,
+    "degrade": DegradePolicy,
+}
+
+#: Every admission policy name, in registry order.
+ADMISSION_POLICIES: Tuple[str, ...] = tuple(POLICY_CLASSES)
+
+
+def make_admission_policy(name: str, **overrides) -> AdmissionPolicy:
+    """Build a policy by name, with optional knob overrides.
+
+    >>> make_admission_policy("reject", queue_capacity=4).queue_capacity
+    4
+    """
+    cls = POLICY_CLASSES.get(name)
+    if cls is None:
+        raise AdmissionError(
+            f"unknown admission policy {name!r}; known: "
+            f"{', '.join(ADMISSION_POLICIES)}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise AdmissionError(
+            f"policy {name!r} has no knobs {unknown}; known: {sorted(known)}"
+        )
+    policy = replace(cls(), **overrides) if overrides else cls()
+    policy.validate()
+    return policy

@@ -1,0 +1,222 @@
+"""Scheduler watchdog: stall detection and per-app starvation recovery.
+
+The watchdog rides the scheduler-pass cadence (the hypervisor calls
+``on_pass`` at the end of every pass) and watches two failure shapes the
+core algorithm cannot express:
+
+* **global stall** — the board is wedged: applications are pending, no
+  slot is executing, the configuration port is idle, and the progress
+  signature (items completed, reconfigurations finished, preemptions,
+  retirements, sheds) has not moved for ``stall_passes`` consecutive
+  passes. Recovery detaches every idle resident at the batch boundary
+  (the paper's preemption primitive, so batch progress survives) and
+  books a fresh pass.
+* **per-app starvation** — one pending application has seen no token
+  growth and no batch progress for ``starvation_passes`` passes while
+  others advance. Recovery boosts its token to the current pending
+  maximum so it clears the PREMA candidate threshold on the next pass.
+
+Interplay with the PR-1 fault stall-breaker: the hypervisor's
+``_break_fault_stall`` acts *inside* the pass, before this hook runs, and
+records the pass number it last acted on. The watchdog treats that
+breaker action as progress (its preemptions move the progress signature)
+and additionally refuses to kick in a pass the breaker owned — so the two
+mechanisms never double-fire on the same stalled app (pinned by
+``tests/test_admission.py::TestWatchdogFaultInterplay``).
+
+Both detections emit ``WATCHDOG_STALL``; both recoveries emit
+``WATCHDOG_KICK``. A detached watchdog costs nothing (the hook site is a
+single ``is not None`` predicate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.errors import AdmissionError
+from repro.overlay.device import SlotPhase
+from repro.sim.trace import TraceKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.application import AppRun
+    from repro.hypervisor.hypervisor import Hypervisor
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Tuning knobs; see ``docs/robustness.md`` for guidance.
+
+    The defaults are deliberately patient: a pass fires on every engine
+    event, so thresholds are counted in passes-without-progress, not
+    wall-clock, and false positives under long-running batch items are
+    excluded structurally (a stall requires an idle board).
+    """
+
+    #: Consecutive no-progress passes before a wedged board is kicked.
+    stall_passes: int = 20
+    #: Consecutive no-progress passes before one app counts as starved.
+    starvation_passes: int = 400
+    #: Minimum passes between two recovery actions (global and per-app).
+    cooldown_passes: int = 50
+    #: Whether starvation recovery boosts the victim's scheduling token.
+    boost_tokens: bool = True
+
+    def validate(self) -> None:
+        if self.stall_passes < 1:
+            raise AdmissionError(
+                f"stall_passes must be >= 1, got {self.stall_passes}"
+            )
+        if self.starvation_passes < 1:
+            raise AdmissionError(
+                f"starvation_passes must be >= 1, got {self.starvation_passes}"
+            )
+        if self.cooldown_passes < 0:
+            raise AdmissionError(
+                f"cooldown_passes must be >= 0, got {self.cooldown_passes}"
+            )
+
+
+class Watchdog:
+    """Stall/starvation detector attached to one hypervisor."""
+
+    def __init__(self, config: Optional[WatchdogConfig] = None) -> None:
+        self.config = config or WatchdogConfig()
+        self.config.validate()
+        self._hv: Optional["Hypervisor"] = None
+        self._progress_sig: Optional[Tuple[int, int, int, int, int]] = None
+        self._stalled_passes = 0
+        self._last_kick_pass = -(10**9)
+        self._app_progress: Dict[int, Tuple[float, int, int]] = {}
+        self._app_stalled: Dict[int, int] = {}
+        self._app_last_kick: Dict[int, int] = {}
+        #: Recovery-action counters (diagnostics and SLO metrics).
+        self.stall_kicks = 0
+        self.starvation_boosts = 0
+        self.stalls_detected = 0
+        self.starvations_detected = 0
+
+    def attach(self, hypervisor: "Hypervisor") -> None:
+        """Bind to one hypervisor (called from ``Hypervisor.__init__``)."""
+        if self._hv is not None:
+            raise AdmissionError(
+                "watchdog is already attached to a hypervisor"
+            )
+        self._hv = hypervisor
+
+    # ------------------------------------------------------------------
+    def on_pass(self, hv: "Hypervisor", now: float) -> None:
+        """End-of-pass hook: update counters, fire recovery when due."""
+        trace = hv.trace
+        sig = (
+            trace.count(TraceKind.ITEM_DONE),
+            trace.count(TraceKind.TASK_CONFIG_DONE),
+            trace.count(TraceKind.TASK_PREEMPTED),
+            len(hv.retired),
+            len(hv.shed),
+        )
+        if sig != self._progress_sig:
+            self._progress_sig = sig
+            self._stalled_passes = 0
+        elif len(hv.pending):
+            self._stalled_passes += 1
+        else:
+            self._stalled_passes = 0
+        self._check_stall(hv, now)
+        self._check_starvation(hv, now)
+
+    # ------------------------------------------------------------------
+    # Global stall
+    # ------------------------------------------------------------------
+    def _check_stall(self, hv: "Hypervisor", now: float) -> None:
+        cfg = self.config
+        if self._stalled_passes < cfg.stall_passes:
+            return
+        if hv.scheduler_passes - self._last_kick_pass < cfg.cooldown_passes:
+            return
+        if not self._wedged(hv):
+            return
+        # The PR-1 fault stall-breaker already acted in this very pass:
+        # it owns the recovery, the watchdog stands down.
+        if hv._last_stall_break_pass == hv.scheduler_passes:
+            self._stalled_passes = 0
+            return
+        self.stalls_detected += 1
+        hv.trace.record(
+            now, TraceKind.WATCHDOG_STALL, detail=float(self._stalled_passes)
+        )
+        detached = hv._detach_idle_residents(now)
+        if detached:
+            self.stall_kicks += 1
+            hv.trace.record(
+                now, TraceKind.WATCHDOG_KICK, detail=float(detached)
+            )
+            hv._request_pass()
+        self._last_kick_pass = hv.scheduler_passes
+        self._stalled_passes = 0
+
+    @staticmethod
+    def _wedged(hv: "Hypervisor") -> bool:
+        """Nothing is in flight but applications are still pending."""
+        if not len(hv.pending) or hv.device.port.is_busy:
+            return False
+        return not any(slot.busy for slot in hv.device.slots)
+
+    # ------------------------------------------------------------------
+    # Per-app starvation
+    # ------------------------------------------------------------------
+    def _check_starvation(self, hv: "Hypervisor", now: float) -> None:
+        cfg = self.config
+        pending = hv.pending.in_arrival_order()
+        live_ids = set()
+        max_token = 0.0
+        for app in pending:
+            live_ids.add(app.app_id)
+            if app.token > max_token:
+                max_token = app.token
+        for app in pending:
+            progress = (
+                app.token,
+                app.slots_used,
+                sum(run.items_done for run in app.tasks.values()),
+            )
+            if self._app_progress.get(app.app_id) != progress:
+                self._app_progress[app.app_id] = progress
+                self._app_stalled[app.app_id] = 0
+                continue
+            stalled = self._app_stalled.get(app.app_id, 0) + 1
+            self._app_stalled[app.app_id] = stalled
+            if stalled < cfg.starvation_passes:
+                continue
+            if app.first_item_start_ms is not None:
+                continue  # it has run before; waiting, not starving
+            last = self._app_last_kick.get(app.app_id, -(10**9))
+            if hv.scheduler_passes - last < cfg.cooldown_passes:
+                continue
+            self.starvations_detected += 1
+            hv.trace.record(
+                now, TraceKind.WATCHDOG_STALL, app_id=app.app_id,
+                detail=float(stalled),
+            )
+            if cfg.boost_tokens and max_token > app.token:
+                old_token = app.token
+                app.token = max_token
+                self.starvation_boosts += 1
+                hv.trace.record(
+                    now, TraceKind.WATCHDOG_KICK, app_id=app.app_id,
+                    detail=old_token,
+                )
+                hv._request_pass()
+            self._app_last_kick[app.app_id] = hv.scheduler_passes
+            self._app_stalled[app.app_id] = 0
+        # Drop bookkeeping for retired/shed apps so state stays bounded.
+        for app_id in list(self._app_progress):
+            if app_id not in live_ids:
+                self._app_progress.pop(app_id, None)
+                self._app_stalled.pop(app_id, None)
+                self._app_last_kick.pop(app_id, None)
+
+
+def _slot_is_idle_resident(slot) -> bool:
+    """An occupied, non-busy slot (helper shared with the hypervisor)."""
+    return slot.phase == SlotPhase.OCCUPIED and not slot.busy

@@ -9,11 +9,15 @@ Examples
     nimblock-repro all --sequences 2 --events 10
     nimblock-repro report --jobs 4 --cache-dir .runcache
     nimblock-repro chaos --scenario transient --fault-rate 0.05 --seed 1
+    nimblock-repro overload --rate-multiplier 4 --workload stress
     nimblock-repro trace --format chrome --output run.json
     nimblock-repro stats --fault-rate 0.02 --jobs 4
 
 Exit codes: 0 on success, 1 when an experiment fails
-(:class:`~repro.errors.ReproError`), 2 on usage errors (argparse).
+(:class:`~repro.errors.ReproError`), 2 on usage errors — argparse
+rejections, admission misconfiguration
+(:class:`~repro.errors.AdmissionError`) and runtime invariant breaches
+(:class:`~repro.errors.InvariantViolation`).
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.errors import ReproError
+from repro.errors import AdmissionError, InvariantViolation, ReproError
 from repro.experiments.registry import experiment_names, get_experiment
 from repro.experiments.runner import ExperimentSettings, RunCache
 from repro.version import __version__
@@ -35,7 +39,7 @@ EXIT_ERROR = 1
 EXIT_USAGE = 2
 
 #: Non-experiment actions accepted in the positional slot.
-ACTIONS = ("all", "chaos", "stats", "trace")
+ACTIONS = ("all", "chaos", "overload", "stats", "trace")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,7 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(experiment_names()) + list(ACTIONS),
         help=(
             "which table/figure to regenerate ('all' runs everything; "
-            "'chaos' runs a one-shot fault-injection drill; 'trace' "
+            "'chaos' runs a one-shot fault-injection drill; 'overload' "
+            "runs a one-shot admission-policy drill; 'trace' "
             "exports one observed run as Chrome/Perfetto or JSONL; "
             "'stats' emits Prometheus-format metrics for a sweep)"
         ),
@@ -86,7 +91,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     workload = parser.add_argument_group(
-        "workload", "options for the 'chaos', 'trace' and 'stats' actions"
+        "workload",
+        "options for the 'chaos', 'overload', 'trace' and 'stats' actions",
     )
     workload.add_argument(
         "--scenario", default="mixed",
@@ -105,13 +111,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload and fault-stream seed (default: 1)",
     )
     workload.add_argument(
-        "--workload", default="stress",
-        choices=sorted(s.name for s in SCENARIOS),
-        help="congestion scenario driving arrivals (default: stress)",
+        "--workload", default=None,
+        choices=sorted([s.name for s in SCENARIOS] + ["overload"]),
+        help=(
+            "congestion scenario driving arrivals ('overload' is the "
+            "admission study's dedicated regime; default: stress, or "
+            "overload for the 'overload' action)"
+        ),
     )
     workload.add_argument(
-        "--scheduler", default="nimblock",
-        help="scheduler observed by 'trace' and 'stats' (default: nimblock)",
+        "--scheduler", default=None,
+        help=(
+            "scheduler observed by 'trace', 'stats' and 'overload' "
+            "(default: nimblock, or fcfs for 'overload' — nimblock "
+            "self-protects high-priority work even unbounded)"
+        ),
+    )
+    workload.add_argument(
+        "--rate-multiplier", type=float, default=4.0,
+        help=(
+            "'overload' arrival-rate multiplier versus the workload's "
+            "nominal inter-arrival delays (default: 4.0)"
+        ),
     )
     observe = parser.add_argument_group(
         "observe", "options for the 'trace' action"
@@ -130,9 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _workload_scenario(name: str):
+def _workload_scenario(name: Optional[str]):
     """The congestion scenario driving arrivals, by CLI name."""
-    return next(s for s in SCENARIOS if s.name == name)
+    if name == "overload":
+        from repro.experiments.ext_overload import OVERLOAD_WORKLOAD
+
+        return OVERLOAD_WORKLOAD
+    return next(s for s in SCENARIOS if s.name == (name or "stress"))
 
 
 def _fault_config(args: argparse.Namespace, default_rate: float):
@@ -155,7 +180,23 @@ def _run_chaos(args: argparse.Namespace, settings: ExperimentSettings) -> int:
         fault_rate=rate,
         seed=args.seed,
         num_events=args.events or settings.num_events,
-        workload_name=args.workload,
+        workload_name=args.workload or "stress",
+    ))
+    return EXIT_OK
+
+
+def _run_overload(
+    args: argparse.Namespace, settings: ExperimentSettings
+) -> int:
+    """The one-shot admission-policy drill (``overload``)."""
+    from repro.experiments import ext_overload
+
+    print(ext_overload.overload_report(
+        rate_multiplier=args.rate_multiplier,
+        seed=args.seed,
+        num_events=args.events,
+        workload_name=args.workload or "overload",
+        scheduler=args.scheduler or "fcfs",
     ))
     return EXIT_OK
 
@@ -173,16 +214,17 @@ def _run_trace(args: argparse.Namespace, settings: ExperimentSettings) -> int:
     from repro.observe.spans import expected_span_count
     from repro.workload.scenarios import scenario_sequence
 
+    scheduler = args.scheduler or "nimblock"
     sequence = scenario_sequence(
         _workload_scenario(args.workload), args.seed, settings.num_events
     )
     hypervisor, _ = observed_run(
-        args.scheduler, sequence, _fault_config(args, default_rate=0.0)
+        scheduler, sequence, _fault_config(args, default_rate=0.0)
     )
     if args.format == "chrome":
         payload = trace_to_chrome(
             hypervisor.trace,
-            label=args.scheduler,
+            label=scheduler,
             num_slots=hypervisor.config.num_slots,
         )
         spans = validate_chrome_trace(payload)
@@ -214,7 +256,7 @@ def _run_stats(args: argparse.Namespace, settings: ExperimentSettings) -> int:
         for seed in settings.seeds()
     ]
     merged = collect_metrics(
-        [args.scheduler], sequences,
+        [args.scheduler or "nimblock"], sequences,
         fault_config=_fault_config(args, default_rate=0.0),
         jobs=args.jobs,
     )
@@ -234,6 +276,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.experiment == "chaos":
             return _run_chaos(args, settings)
+        if args.experiment == "overload":
+            return _run_overload(args, settings)
         if args.experiment == "trace":
             return _run_trace(args, settings)
         if args.experiment == "stats":
@@ -250,6 +294,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(result.text)
             print()
+    except (AdmissionError, InvariantViolation) as error:
+        # Robustness failures (admission misconfiguration, invariant
+        # breaches) are usage-grade: something about the requested run
+        # itself is wrong, not the experiment pipeline.
+        print(f"{args.experiment}: {error}", file=sys.stderr)
+        return EXIT_USAGE
     except ReproError as error:
         print(f"{args.experiment}: {error}", file=sys.stderr)
         return EXIT_ERROR

@@ -69,6 +69,7 @@ class NimblockScheduler(SchedulerPolicy):
         # and preemption thrash at large batch sizes.
         self._alloc_dirty = True
         self._last_candidate_ids: frozenset = frozenset()
+        self._last_slot_cap: Optional[int] = None
         self.preemptions_issued = 0
 
     # ------------------------------------------------------------------
@@ -132,18 +133,38 @@ class NimblockScheduler(SchedulerPolicy):
         # formerly greedy application becomes an over-consumer the moment
         # it drops out of (or is out-aged in) the candidate pool.
         candidate_ids = frozenset(app.app_id for app in candidates)
-        if self._alloc_dirty or candidate_ids != self._last_candidate_ids:
+        # Overload degradation (repro.admission): while the degrade
+        # policy's pressure signal is high, every application's allocation
+        # is clamped — goal raises and surplus grants alike — so more
+        # candidates share the board and the backlog drains. None (the
+        # default, and always without an admission controller) changes
+        # nothing.
+        slot_cap = ctx.admission_slot_cap()
+        if (
+            self._alloc_dirty
+            or candidate_ids != self._last_candidate_ids
+            or slot_cap != self._last_slot_cap
+        ):
             goals = {
                 app.app_id: self._goal_number(ctx, app)
                 for app in candidates
             }
+            if slot_cap is not None:
+                goals = {
+                    app_id: min(goal, slot_cap)
+                    for app_id, goal in goals.items()
+                }
             allocation = allocate_slots(
                 candidates, ctx.config.num_slots, goals
             )
             for app in pending:
-                app.slots_allocated = allocation.get(app.app_id, 0)
+                allocated = allocation.get(app.app_id, 0)
+                if slot_cap is not None and allocated > slot_cap:
+                    allocated = slot_cap
+                app.slots_allocated = allocated
             self._alloc_dirty = False
             self._last_candidate_ids = candidate_ids
+            self._last_slot_cap = slot_cap
 
         # Task selection (§4.3): oldest candidate below its allocation.
         for app in candidates:

@@ -66,3 +66,28 @@ class FaultInjectionError(ReproError):
 
 class RecoveryError(ReproError):
     """A recovery policy could not restore the platform to a sane state."""
+
+
+class AdmissionError(ReproError):
+    """An admission controller or policy was configured inconsistently."""
+
+
+class InvariantViolation(ReproError):
+    """The runtime invariant checker caught an illegal hypervisor state.
+
+    Carries the name of the violated invariant plus the tail of the trace
+    (the *offending window*) so the failure is diagnosable without
+    re-running the simulation.
+    """
+
+    def __init__(self, invariant: str, message=None, events=()):
+        self.invariant = invariant
+        self.events = tuple(events)
+        window = "\n".join(f"    {event}" for event in self.events)
+        # One-argument form behaves like any other ReproError (the
+        # hierarchy contract); the checker always passes both.
+        text = invariant if message is None else f"[{invariant}] {message}"
+        if window:
+            text += f"\n  offending trace window (last {len(self.events)}):\n"
+            text += window
+        super().__init__(text)

@@ -153,6 +153,74 @@ def chaos_cells(
     return fanout(_simulate_chaos, tasks, jobs=jobs)
 
 
+#: An overload task: (scheduler, stimulus, admission policy name, seed,
+#: fault config, platform config). The controller/watchdog pair is built
+#: inside the worker from the picklable (policy name, seed) — identical
+#: reconstruction to the serial path, hence identical retry jitter draws.
+OverloadTask = Tuple[
+    str, EventSequence, str, int, Optional[FaultConfig],
+    Optional[SystemConfig],
+]
+
+
+@dataclass(frozen=True)
+class OverloadCell:
+    """One admission-controlled run reduced to its SLO scalars.
+
+    Retired-app results cross the process boundary (they are small frozen
+    records); the trace itself never does — every trace-derived quantity
+    is reduced to a scalar inside the worker.
+    """
+
+    results: Tuple[AppResult, ...]
+    admission_ratio: float
+    drops: int
+    shed: int
+    overload_windows: int
+    overload_ms: float
+    goodput_under_overload: float
+    starvation_index: float
+    watchdog_stalls: int
+    watchdog_kicks: int
+
+
+def _simulate_overload(task: OverloadTask) -> OverloadCell:
+    """Worker: one overload run plus its trace-derived SLO scalars."""
+    from repro.experiments.ext_overload import run_overload_sequence
+    from repro.metrics.slo import slo_report
+
+    scheduler_name, sequence, policy, seed, fault_config, config = task
+    results, trace, _ = run_overload_sequence(
+        scheduler_name, sequence, policy, seed=seed,
+        fault_config=fault_config, config=config,
+    )
+    report = slo_report(trace, results)
+    return OverloadCell(
+        results=tuple(results),
+        admission_ratio=report.admission_ratio,
+        drops=report.drops,
+        shed=report.shed,
+        overload_windows=report.overload_windows,
+        overload_ms=report.overload_ms,
+        goodput_under_overload=report.goodput_under_overload,
+        starvation_index=report.starvation_index,
+        watchdog_stalls=report.watchdog_stalls,
+        watchdog_kicks=report.watchdog_kicks,
+    )
+
+
+def overload_cells(
+    tasks: Sequence[OverloadTask], jobs: Optional[int] = None
+) -> List[OverloadCell]:
+    """Fan admission-controlled simulation tasks out, in task order.
+
+    Deliberately cache-free: :class:`RunCache` keys do not include the
+    admission policy, so overload cells must never be satisfied from (or
+    recorded into) the plain-run cache.
+    """
+    return fanout(_simulate_overload, tasks, jobs=jobs)
+
+
 #: An observed task: (scheduler, stimulus, fault config, platform config).
 ObservedTask = ChaosTask
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.admission.controller import AdmissionController
+    from repro.admission.watchdog import Watchdog
     from repro.faults.injector import FaultInjector
     from repro.sim.engine import Event
 
@@ -82,8 +84,17 @@ class SchedulerContext:
         return self._hv.pending
 
     def pending_apps(self) -> List[AppRun]:
-        """Unretired applications, oldest first."""
-        return self._hv.pending.in_arrival_order()
+        """Unretired applications, oldest first.
+
+        Under an overloaded degrade admission policy this view is browned
+        out (not-yet-started low-priority apps hidden); without an
+        admission controller it is exactly the pending queue's cached
+        arrival-order snapshot.
+        """
+        apps = self._hv.pending.in_arrival_order()
+        if self._hv.admission is not None:
+            apps = self._hv.admission.filter_candidates(apps)
+        return apps
 
     def app(self, app_id: int) -> AppRun:
         """Look up any submitted application by id."""
@@ -113,6 +124,18 @@ class SchedulerContext:
         """Slots not currently faulted or blacklisted."""
         return len(self._hv.device.healthy_slots())
 
+    def admission_slot_cap(self) -> Optional[int]:
+        """Per-app slot cap while the degrade policy is overloaded.
+
+        None — the near-universal case — means no cap: no admission
+        controller is attached, its policy does not degrade, or pressure
+        is below the overload watermarks.
+        """
+        admission = self._hv.admission
+        if admission is None:
+            return None
+        return admission.slot_cap()
+
 
 class Hypervisor:
     """System manager running one scheduling policy over one workload."""
@@ -129,6 +152,8 @@ class Hypervisor:
         faults: Optional["FaultInjector"] = None,
         recovery: Optional[RecoveryPolicy] = None,
         observer: Optional[object] = None,
+        admission: Optional["AdmissionController"] = None,
+        watchdog: Optional["Watchdog"] = None,
     ) -> None:
         self.config = config or SystemConfig()
         self.engine = engine or SimulationEngine()
@@ -177,6 +202,21 @@ class Hypervisor:
         self.observer = observer
         if observer is not None:
             self.engine.set_observer(observer)
+        # Overload protection (repro.admission). Both default to None and
+        # every hook site below is a single ``is not None`` predicate, so
+        # the unprotected path is byte-identical to the pre-admission
+        # simulator (pinned by tests/test_perf_equivalence.py).
+        self.admission = admission
+        if admission is not None:
+            admission.attach(self)
+        self.watchdog = watchdog
+        if watchdog is not None:
+            watchdog.attach(self)
+        #: Applications evicted by load shedding (never retired).
+        self.shed: List[AppRun] = []
+        #: Pass number at which the fault stall-breaker last detached
+        #: residents; the watchdog stands down for that pass.
+        self._last_stall_break_pass = -1
 
     def add_retire_listener(self, callback) -> None:
         """Register ``callback(app_run, now)`` to fire on each retirement.
@@ -219,6 +259,12 @@ class Hypervisor:
 
     def _on_arrival(self, now: float, app_id: int, request: AppRequest) -> None:
         self._arrivals_outstanding -= 1
+        if self.admission is not None and not self.admission.admit(
+            now, app_id, request
+        ):
+            # Rejected: the controller has either re-scheduled this
+            # arrival with backoff or dropped the application for good.
+            return
         self._register_bitstreams(request)
         error = self.config.hls_estimation_error
         estimate = application_latency_estimate_ms(
@@ -284,6 +330,10 @@ class Hypervisor:
         pass_token = (
             observer.pass_started() if observer is not None else None
         )
+        if self.admission is not None:
+            # Pressure refresh + load shedding. Pass start is a batch
+            # boundary for every shed victim (it has nothing in flight).
+            self.admission.on_pass(now)
         guard = 0
         guard_limit = 4 * self.config.num_slots + 4
         port = self.device.port
@@ -306,6 +356,8 @@ class Hypervisor:
         self._launch_ready_items(now)
         if not configured:
             self._break_fault_stall(now)
+        if self.watchdog is not None:
+            self.watchdog.on_pass(self, now)
         if observer is not None:
             observer.pass_finished(self, now, pass_token)
 
@@ -331,21 +383,30 @@ class Hypervisor:
             return
         if any(slot.busy for slot in slots) or any(s.is_free for s in slots):
             return
-        detached = False
-        for slot in slots:
-            if slot.phase != SlotPhase.OCCUPIED:
+        if self._detach_idle_residents(now):
+            self._last_stall_break_pass = self.scheduler_passes
+            self._request_pass()
+
+    def _detach_idle_residents(self, now: float) -> int:
+        """Batch-boundary detach of every occupied, non-busy slot.
+
+        The recovery primitive shared by the fault stall-breaker and the
+        watchdog's stall kick; returns the number of slots freed.
+        """
+        detached = 0
+        for slot in self.device.slots:
+            if slot.phase != SlotPhase.OCCUPIED or slot.busy:
                 continue
             app, task = slot.occupant  # type: ignore[misc]
             task.detach()
             slot.clear()
-            detached = True
+            detached += 1
             self.trace.record(
                 now, TraceKind.TASK_PREEMPTED,
                 app_id=app.app_id, task_id=task.task_id, slot=slot.index,
                 detail=float(task.items_done),
             )
-        if detached:
-            self._request_pass()
+        return detached
 
     def _apply(self, action: Action, now: float) -> None:
         if isinstance(action, ConfigureAction):
@@ -492,6 +553,10 @@ class Hypervisor:
     # ------------------------------------------------------------------
     def _launch_ready_items(self, now: float) -> None:
         pipelined = self.scheduler.pipelined
+        if pipelined and self.admission is not None:
+            # The degrade policy throttles pipelining depth to bulk mode
+            # while the overload pressure signal is high.
+            pipelined = self.admission.pipelining_allowed()
         occupied = SlotPhase.OCCUPIED
         record = self.trace.record
         schedule_after = self.engine.schedule_after
@@ -594,6 +659,24 @@ class Hypervisor:
         for listener in self._retire_listeners:
             listener(app, now)
 
+    def _shed_app(self, app: AppRun, now: float) -> None:
+        """Evict one zero-progress pending application (load shedding).
+
+        The victim leaves the pending queue for good: it never retires
+        and produces no :class:`AppResult`. The policy is notified as for
+        a completion so its per-app bookkeeping (goal numbers, token
+        accounting) is cleaned up. Retire listeners do *not* fire — the
+        application did not finish.
+        """
+        self.pending.remove(app.app_id)
+        self.shed.append(app)
+        self.buffers.release_app(app.app_id)
+        self.trace.record(
+            now, TraceKind.APP_SHED, app_id=app.app_id,
+            detail=float(app.priority),
+        )
+        self.scheduler.notify_completion(self._ctx, app)
+
     # ------------------------------------------------------------------
     # Fault injection & recovery (repro.faults)
     # ------------------------------------------------------------------
@@ -678,11 +761,16 @@ class Hypervisor:
 
     @property
     def all_retired(self) -> bool:
-        """True once every submitted application has retired."""
+        """True once every admitted application has retired or been shed.
+
+        Applications dropped by a rejecting admission policy never enter
+        ``apps`` and therefore do not count; shed applications left the
+        system deliberately and do.
+        """
         return (
             self._arrivals_outstanding == 0
             and len(self.pending) == 0
-            and len(self.retired) == len(self.apps)
+            and len(self.retired) + len(self.shed) == len(self.apps)
         )
 
     def results(self) -> List[AppResult]:

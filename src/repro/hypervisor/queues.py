@@ -4,6 +4,12 @@ Arriving applications sit in the pending queue until they retire. The
 candidate pool — the subset whose scheduling tokens cleared the PREMA
 threshold — is derived from the pending queue by the policies; the queue
 itself only guarantees deterministic arrival ordering and O(1) membership.
+
+Removal is O(1) amortized: ``remove`` tombstones the slot (a plain
+``None`` write) instead of the old O(n) ``list.remove`` shift, and the
+backing list compacts only once tombstones dominate — so a retire-heavy
+run pays constant time per removal while iteration order stays exactly
+arrival order (``bench_core.py`` guards the per-op scaling).
 """
 
 from __future__ import annotations
@@ -13,13 +19,23 @@ from typing import Dict, Iterator, List, Optional
 from repro.errors import SchedulerError
 from repro.hypervisor.application import AppRun
 
+#: Compaction trigger: tombstones outnumber both this floor and the live
+#: entries. The floor keeps tiny queues from compacting on every removal;
+#: the ratio bounds wasted slots at 50%, making removal O(1) amortized.
+_COMPACT_MIN_DEAD = 16
+
 
 class PendingQueue:
     """Arrival-ordered queue of unretired applications."""
 
     def __init__(self) -> None:
-        self._apps: List[AppRun] = []
+        #: Backing store in insertion order; removed apps leave a None
+        #: tombstone behind so removal never shifts the tail.
+        self._apps: List[Optional[AppRun]] = []
+        #: Position of each live app inside ``_apps``.
+        self._positions: Dict[int, int] = {}
         self._index: Dict[int, AppRun] = {}
+        self._dead = 0
         # Memoized arrival-order snapshot: the queue only changes on
         # add/remove, while the schedulers ask for the ordering on every
         # decision-pass iteration, so rebuilding the sorted list per call
@@ -30,18 +46,35 @@ class PendingQueue:
         """Append a newly arrived application."""
         if app.app_id in self._index:
             raise SchedulerError(f"app {app.app_id} already pending")
+        self._positions[app.app_id] = len(self._apps)
         self._apps.append(app)
         self._index[app.app_id] = app
         self._ordered = None
 
     def remove(self, app_id: int) -> AppRun:
-        """Remove a retired application."""
+        """Remove a retired (or shed) application in O(1) amortized."""
         app = self._index.pop(app_id, None)
         if app is None:
             raise SchedulerError(f"app {app_id} is not pending")
-        self._apps.remove(app)
+        position = self._positions.pop(app_id)
+        self._apps[position] = None
+        self._dead += 1
         self._ordered = None
+        if (
+            self._dead > _COMPACT_MIN_DEAD
+            and self._dead * 2 >= len(self._apps)
+        ):
+            self._compact()
         return app
+
+    def _compact(self) -> None:
+        """Drop tombstones and re-index positions (amortized by removal)."""
+        self._apps = [app for app in self._apps if app is not None]
+        self._positions = {
+            app.app_id: position
+            for position, app in enumerate(self._apps)
+        }
+        self._dead = 0
 
     def get(self, app_id: int) -> Optional[AppRun]:
         """The pending app with ``app_id``, or None."""
@@ -51,11 +84,11 @@ class PendingQueue:
         return app_id in self._index
 
     def __len__(self) -> int:
-        return len(self._apps)
+        return len(self._index)
 
     def __iter__(self) -> Iterator[AppRun]:
         """Iterate in arrival order."""
-        return iter(list(self._apps))
+        return iter(self.in_arrival_order())
 
     def in_arrival_order(self) -> List[AppRun]:
         """Snapshot of pending applications, oldest first.
@@ -66,7 +99,8 @@ class PendingQueue:
         ordered = self._ordered
         if ordered is None:
             ordered = self._ordered = sorted(
-                self._apps, key=lambda app: app.age_key
+                (app for app in self._apps if app is not None),
+                key=lambda app: app.age_key,
             )
         return ordered
 
@@ -74,3 +108,33 @@ class PendingQueue:
         """The longest-waiting pending application."""
         apps = self.in_arrival_order()
         return apps[0] if apps else None
+
+    def self_check(self) -> None:
+        """Verify internal bookkeeping; raises :class:`SchedulerError`.
+
+        Used by the runtime invariant checker (``repro.invariants``):
+        index, position map and tombstoned backing list must agree.
+        """
+        live = [app for app in self._apps if app is not None]
+        if len(live) != len(self._index) or len(live) != len(self._positions):
+            raise SchedulerError(
+                f"pending queue inconsistent: {len(live)} live entries, "
+                f"{len(self._index)} indexed, {len(self._positions)} "
+                "positioned"
+            )
+        dead = len(self._apps) - len(live)
+        if dead != self._dead:
+            raise SchedulerError(
+                f"pending queue tombstone drift: counted {dead}, "
+                f"tracked {self._dead}"
+            )
+        for app_id, position in self._positions.items():
+            app = self._apps[position]
+            if app is None or app.app_id != app_id:
+                raise SchedulerError(
+                    f"pending queue position map broken for app {app_id}"
+                )
+            if self._index.get(app_id) is not app:
+                raise SchedulerError(
+                    f"pending queue index disagrees for app {app_id}"
+                )

@@ -1,0 +1,16 @@
+"""Runtime invariant checking for the simulated hypervisor.
+
+Attach an :class:`InvariantChecker` through the existing ``observer=``
+hook; a run without one executes zero invariant code. Violations raise
+:class:`repro.errors.InvariantViolation` with the offending trace window.
+
+>>> from repro import Hypervisor, make_scheduler
+>>> from repro.invariants import InvariantChecker
+>>> hv = Hypervisor(make_scheduler("nimblock"), observer=InvariantChecker())
+
+See ``docs/robustness.md`` for the invariant catalogue.
+"""
+
+from repro.invariants.checker import InvariantChecker, checked_run
+
+__all__ = ["InvariantChecker", "checked_run"]

@@ -36,6 +36,17 @@ from repro.metrics.reliability import (
     reliability_report,
     work_lost_ms,
 )
+from repro.metrics.slo import (
+    SloReport,
+    admission_ratio,
+    goodput_under_overload,
+    overload_windows,
+    p99_response_ms,
+    responses_by_priority,
+    shed_rate_per_s,
+    slo_report,
+    starvation_index,
+)
 from repro.metrics.utilization import UtilizationReport, board_utilization
 
 __all__ = [
@@ -66,6 +77,15 @@ __all__ = [
     "recovery_times_ms",
     "reliability_report",
     "work_lost_ms",
+    "SloReport",
+    "admission_ratio",
+    "goodput_under_overload",
+    "overload_windows",
+    "p99_response_ms",
+    "responses_by_priority",
+    "shed_rate_per_s",
+    "slo_report",
+    "starvation_index",
     "UtilizationReport",
     "board_utilization",
 ]

@@ -1,0 +1,204 @@
+"""Overload / SLO metrics for admission-controlled runs (repro.admission).
+
+Everything derives from the trace and the retired-application results, so
+overload studies remain post-processable without re-simulation — the same
+contract the reliability metrics keep for chaos runs:
+
+* **admission ratio** — admitted / submitted arrivals. ``APP_REJECTED``
+  events with a negative ``detail`` mark final drops; positive details are
+  retried attempts and do not lower the ratio by themselves;
+* **shed rate** — applications evicted by the shed policy per second of
+  trace span (``APP_SHED`` events);
+* **goodput under overload** — useful batch items completed *inside*
+  ``OVERLOAD_ENTER``/``OVERLOAD_EXIT`` windows, per second of overload
+  time. Falls back to whole-run goodput when the run never entered
+  overload (so the 1x baseline cell stays comparable);
+* **starvation index** — the ratio of the worst pending wait to the mean
+  response, a dimensionless "how unfair was the tail" figure; 1.0 means
+  the slowest app waited about as long as the average app took end to
+  end;
+* **p99 response by priority** — the acceptance-criterion quantity: under
+  overload, protection policies must keep the high-priority p99 close to
+  the uncongested run while unbounded queues let it blow up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hypervisor.results import AppResult
+from repro.metrics.response import percentile
+from repro.sim.trace import Trace, TraceKind
+
+
+def admission_ratio(trace: Trace) -> float:
+    """Fraction of submitted applications that were finally admitted.
+
+    Final drops are ``APP_REJECTED`` events with ``detail < 0`` (the
+    controller negates the attempt count when it gives up); transient
+    rejections that later retried successfully do not count against the
+    ratio. A trace with no arrivals reports 1.0 (vacuously fine).
+    """
+    arrivals = trace.count(TraceKind.APP_ARRIVED)
+    drops = sum(
+        1 for event in trace
+        if event.kind is TraceKind.APP_REJECTED
+        and (event.detail or 0) < 0
+    )
+    submitted = arrivals + drops
+    if submitted <= 0:
+        return 1.0
+    return arrivals / submitted
+
+
+def shed_rate_per_s(trace: Trace) -> float:
+    """Applications shed per second of trace span."""
+    shed = trace.count(TraceKind.APP_SHED)
+    if not len(trace):
+        return 0.0
+    span_ms = trace.end_ms - trace.start_ms
+    if span_ms <= 0:
+        return 0.0
+    return shed / (span_ms / 1000.0)
+
+
+def overload_windows(trace: Trace) -> List[Tuple[float, float]]:
+    """``(enter, exit)`` times of every overload window, in trace order.
+
+    A window still open when the trace ends is closed at ``trace.end_ms``.
+    """
+    windows: List[Tuple[float, float]] = []
+    opened: Optional[float] = None
+    for event in trace:
+        if event.kind is TraceKind.OVERLOAD_ENTER:
+            if opened is None:
+                opened = event.time
+        elif event.kind is TraceKind.OVERLOAD_EXIT:
+            if opened is not None:
+                windows.append((opened, event.time))
+                opened = None
+    if opened is not None:
+        windows.append((opened, trace.end_ms))
+    return windows
+
+
+def goodput_under_overload(trace: Trace) -> float:
+    """Useful items per second completed while overload was active.
+
+    Runs that never entered overload fall back to whole-run goodput, so
+    uncongested baseline cells remain directly comparable.
+    """
+    windows = overload_windows(trace)
+    if not windows:
+        from repro.metrics.reliability import goodput_items_per_s
+        return goodput_items_per_s(trace)
+    total_ms = sum(end - start for start, end in windows)
+    if total_ms <= 0:
+        return 0.0
+    items = 0
+    for event in trace:
+        if event.kind is not TraceKind.ITEM_DONE:
+            continue
+        if any(start <= event.time <= end for start, end in windows):
+            items += 1
+    return items / (total_ms / 1000.0)
+
+
+def starvation_index(results: Sequence[AppResult]) -> float:
+    """Worst queueing wait over mean response: the unfairness tail.
+
+    0.0 when nothing retired (or responses are degenerate); values well
+    above 1.0 mean some application waited far longer than the typical
+    end-to-end response — the signature of starvation under overload.
+    """
+    if not results:
+        return 0.0
+    responses = [r.response_ms for r in results if r.response_ms > 0]
+    if not responses:
+        return 0.0
+    mean_response = sum(responses) / len(responses)
+    worst_wait = max(r.wait_ms for r in results)
+    if mean_response <= 0:
+        return 0.0
+    return worst_wait / mean_response
+
+
+def responses_by_priority(
+    results: Sequence[AppResult],
+) -> Dict[int, List[float]]:
+    """Response times grouped by arrival priority."""
+    grouped: Dict[int, List[float]] = {}
+    for result in results:
+        grouped.setdefault(result.priority, []).append(result.response_ms)
+    return grouped
+
+
+def p99_response_ms(
+    results: Sequence[AppResult], priority: Optional[int] = None
+) -> float:
+    """p99 response time, optionally restricted to one priority class.
+
+    Returns NaN when no retired application matches — overload cells where
+    every high-priority app was dropped must surface as NaN, not crash.
+    """
+    values = [
+        r.response_ms
+        for r in results
+        if priority is None or r.priority == priority
+    ]
+    if not values:
+        return float("nan")
+    return percentile(values, 99.0)
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Trace+results SLO summary of one admission-controlled run."""
+
+    admission_ratio: float
+    rejections: int
+    drops: int
+    shed: int
+    overload_windows: int
+    overload_ms: float
+    goodput_under_overload: float
+    starvation_index: float
+    p99_response_ms: float
+    watchdog_stalls: int
+    watchdog_kicks: int
+
+    def format(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"admit={self.admission_ratio:.3f} drops={self.drops} "
+            f"shed={self.shed} overload={self.overload_ms:.0f}ms"
+            f"/{self.overload_windows}w "
+            f"goodput={self.goodput_under_overload:.2f} items/s "
+            f"starvation={self.starvation_index:.2f} "
+            f"p99={self.p99_response_ms:.0f}ms "
+            f"watchdog={self.watchdog_stalls}/{self.watchdog_kicks}"
+        )
+
+
+def slo_report(trace: Trace, results: Sequence[AppResult]) -> SloReport:
+    """Compute the full SLO summary of one run."""
+    windows = overload_windows(trace)
+    drops = sum(
+        1 for event in trace
+        if event.kind is TraceKind.APP_REJECTED
+        and (event.detail or 0) < 0
+    )
+    return SloReport(
+        admission_ratio=admission_ratio(trace),
+        rejections=trace.count(TraceKind.APP_REJECTED),
+        drops=drops,
+        shed=trace.count(TraceKind.APP_SHED),
+        overload_windows=len(windows),
+        overload_ms=sum(end - start for start, end in windows),
+        goodput_under_overload=goodput_under_overload(trace),
+        starvation_index=starvation_index(results),
+        p99_response_ms=p99_response_ms(results),
+        watchdog_stalls=trace.count(TraceKind.WATCHDOG_STALL),
+        watchdog_kicks=trace.count(TraceKind.WATCHDOG_KICK),
+    )

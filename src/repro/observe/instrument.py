@@ -217,6 +217,21 @@ def observe_run(
          "Simulated work destroyed by faults (partial items + wasted CAP "
          "time)",
          stats.work_lost_ms),
+        ("nimblock_apps_rejected_total",
+         "Admission rejections (retried attempts and final drops)",
+         count(TraceKind.APP_REJECTED)),
+        ("nimblock_apps_shed_total",
+         "Pending applications evicted by the shed policy",
+         count(TraceKind.APP_SHED)),
+        ("nimblock_overload_windows_total",
+         "Overload windows entered by the admission controller",
+         count(TraceKind.OVERLOAD_ENTER)),
+        ("nimblock_watchdog_stalls_total",
+         "Stall/starvation detections fired by the watchdog",
+         count(TraceKind.WATCHDOG_STALL)),
+        ("nimblock_watchdog_kicks_total",
+         "Recovery actions (detach kicks, token boosts) by the watchdog",
+         count(TraceKind.WATCHDOG_KICK)),
     )
     for name, help_text, value in counters:
         registry.counter(name, help_text).inc(float(value))

@@ -46,6 +46,19 @@ class TraceKind(str, Enum):
     SLOT_REPAIRED = "slot_repaired"
     CONFIG_FAILED = "config_failed"
     TASK_RELOCATED = "task_relocated"
+    # Overload-protection kinds (repro.admission). APP_REJECTED carries the
+    # retry attempt number in ``detail`` (the final rejection of a dropped
+    # app carries a negative attempt); APP_SHED carries the victim's
+    # priority; OVERLOAD_ENTER/EXIT carry the pending-queue depth at the
+    # transition; WATCHDOG_STALL carries the stalled pass count and
+    # WATCHDOG_KICK the recovery action's magnitude (slots detached, or the
+    # starved app's pre-boost token).
+    APP_REJECTED = "app_rejected"
+    APP_SHED = "app_shed"
+    OVERLOAD_ENTER = "overload_enter"
+    OVERLOAD_EXIT = "overload_exit"
+    WATCHDOG_STALL = "watchdog_stall"
+    WATCHDOG_KICK = "watchdog_kick"
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ per failure mode (transient / permanent / reconfig / jitter / mixed).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.config import FAULT_RATE_UNIT_MTBF_MS
 from repro.errors import WorkloadError
@@ -65,6 +65,54 @@ def scenario_sequence(
         num_events=num_events,
         delay_range_ms=scenario.delay_range_ms,
         label=f"{scenario.name}-n{num_events}-seed{seed}",
+    )
+
+
+def overload_sequence(
+    scenario: Scenario,
+    seed: int,
+    num_events: int = EVENTS_PER_SEQUENCE,
+    rate_multiplier: float = 1.0,
+    batch_range: Optional[Tuple[int, int]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> EventSequence:
+    """A scenario sequence with its arrival rate scaled up.
+
+    ``rate_multiplier`` divides the inter-arrival delays: 1.0 with the
+    default ``batch_range``/``benchmarks`` reproduces
+    :func:`scenario_sequence` exactly (same label, byte-identical
+    events), 4.0 compresses the stream into a quarter of the time — the
+    overload study's congestion knob. ``batch_range`` optionally narrows
+    the per-event batch sizes and ``benchmarks`` restricts the benchmark
+    pool; the overload study uses small batches and a pool without the
+    heavyweight outliers so the uncongested 1x point really is
+    uncongested (paper-default batches saturate the board on their own,
+    drowning any arrival-rate signal).
+    """
+    if rate_multiplier <= 0:
+        raise WorkloadError(
+            f"rate_multiplier must be > 0, got {rate_multiplier}"
+        )
+    if rate_multiplier == 1.0 and batch_range is None and benchmarks is None:
+        return scenario_sequence(scenario, seed, num_events)
+    low, high = scenario.delay_range_ms
+    if benchmarks is None:
+        generator = EventGenerator(seed)
+    else:
+        generator = EventGenerator(seed, benchmarks=tuple(benchmarks))
+    label = f"{scenario.name}-x{rate_multiplier:g}-n{num_events}-seed{seed}"
+    kwargs = {}
+    if batch_range is not None:
+        kwargs["batch_range"] = batch_range
+        label = (
+            f"{scenario.name}-x{rate_multiplier:g}"
+            f"-b{batch_range[0]}-{batch_range[1]}-n{num_events}-seed{seed}"
+        )
+    return generator.sequence(
+        num_events=num_events,
+        delay_range_ms=(low / rate_multiplier, high / rate_multiplier),
+        label=label,
+        **kwargs,
     )
 
 
@@ -167,6 +215,14 @@ MIXED_FAULTS = ChaosScenario(
     config_failure_weight=0.5,
     jitter_weight=2.0,
 )
+SURGE_FAULTS = ChaosScenario(
+    "surge",
+    "the overload drill: transient faults + heavy ICAP jitter while the "
+    "arrival rate is multiplied (repro.admission stress companion)",
+    transient_weight=0.75,
+    config_failure_weight=0.25,
+    jitter_weight=4.0,
+)
 
 #: All chaos scenarios, mildest-to-wildest.
 CHAOS_SCENARIOS: Tuple[ChaosScenario, ...] = (
@@ -175,6 +231,7 @@ CHAOS_SCENARIOS: Tuple[ChaosScenario, ...] = (
     TRANSIENT_FAULTS,
     PERMANENT_FAULTS,
     MIXED_FAULTS,
+    SURGE_FAULTS,
 )
 
 

@@ -69,3 +69,76 @@ class TestOrdering:
             if app.app_id == 0:
                 queue.remove(2)
         assert seen == [0, 1, 2]
+
+
+class TestTombstones:
+    """O(1) removal: tombstoned slots, compaction and self_check."""
+
+    def fill(self, count):
+        queue = PendingQueue()
+        for i in range(count):
+            queue.add(make_app(arrival=float(i), app_id=i))
+        return queue
+
+    def test_removal_leaves_order_intact(self):
+        queue = self.fill(8)
+        queue.remove(0)
+        queue.remove(3)
+        queue.remove(7)
+        assert [a.app_id for a in queue.in_arrival_order()] == [1, 2, 4, 5, 6]
+        assert len(queue) == 5
+        queue.self_check()
+
+    def test_interleaved_add_remove(self):
+        queue = self.fill(4)
+        queue.remove(1)
+        queue.add(make_app(arrival=99.0, app_id=10))
+        queue.remove(2)
+        queue.add(make_app(arrival=100.0, app_id=11))
+        assert [a.app_id for a in queue.in_arrival_order()] == [0, 3, 10, 11]
+        assert 1 not in queue and 2 not in queue
+        queue.self_check()
+
+    def test_compaction_reclaims_tombstones(self):
+        # Remove far more than the compaction threshold: the backing
+        # list must shrink back instead of accumulating dead slots.
+        queue = self.fill(100)
+        for app_id in range(80):
+            queue.remove(app_id)
+        assert len(queue) == 20
+        assert len(queue._apps) < 100
+        assert queue._dead * 2 < max(1, len(queue._apps))
+        assert [a.app_id for a in queue.in_arrival_order()] == list(
+            range(80, 100)
+        )
+        queue.self_check()
+
+    def test_readd_after_remove(self):
+        queue = self.fill(3)
+        removed = queue.remove(1)
+        queue.add(removed)
+        assert [a.app_id for a in queue.in_arrival_order()] == [0, 1, 2]
+        queue.self_check()
+
+    def test_self_check_detects_drift(self):
+        queue = self.fill(4)
+        queue.remove(2)
+        queue._dead += 1  # simulate bookkeeping corruption
+        with pytest.raises(SchedulerError, match="tombstone drift"):
+            queue.self_check()
+
+    def test_self_check_detects_broken_position(self):
+        queue = self.fill(4)
+        queue._positions[0] = 2  # point app 0 at app 2's slot
+        with pytest.raises(SchedulerError, match="position map"):
+            queue.self_check()
+
+    def test_drain_to_empty_and_reuse(self):
+        queue = self.fill(40)
+        for app_id in range(40):
+            queue.remove(app_id)
+        assert len(queue) == 0
+        assert queue.oldest() is None
+        queue.add(make_app(app_id=77))
+        assert [a.app_id for a in queue.in_arrival_order()] == [77]
+        queue.self_check()

@@ -31,7 +31,7 @@ CHEAP = ("fig2", "fig4", "table1", "table2")
 class TestRegistryContents:
     def test_every_cli_experiment_is_registered(self):
         names = experiment_names()
-        assert len(names) == 25
+        assert len(names) == 26
         for expected in ("fig2", "fig5", "fig11", "table1", "table3",
                          "overhead", "report", "ext-faults", "ext-seeds"):
             assert expected in names
@@ -78,7 +78,7 @@ class TestUniformInvocation:
         assert "nimblock" in result.text
 
     def test_every_module_accepts_the_uniform_signature(self):
-        """run(settings, cache, *, jobs) must bind on all 25 modules."""
+        """run(settings, cache, *, jobs) must bind on all 26 modules."""
         import inspect
 
         for experiment in all_experiments():
