@@ -5,7 +5,7 @@ PYTHON ?= python
 JOBS ?= 4
 CACHE_DIR ?= .runcache
 
-.PHONY: install test bench sweep perf chaos overload paranoid trace stats reproduce report examples clean
+.PHONY: install test bench sweep perf chaos overload serve paranoid trace stats reproduce report examples clean
 
 install:
 	pip install -e . && pip install -e '.[test]'
@@ -39,6 +39,12 @@ chaos:
 # Admission-policy drill: every policy on the overload regime at 4x rate.
 overload:
 	$(PYTHON) -m repro.cli overload --rate-multiplier 4 --seed 1
+
+# Open-loop service drill: 20k Poisson arrivals through the service loop
+# with streaming windowed SLO metrics (shed admission, nimblock).
+serve:
+	$(PYTHON) -m repro.cli serve --rate 2 --submissions 20000 --seed 1 \
+		--jobs $(JOBS)
 
 # Paranoid sweep: every scheduler plus full-rate chaos scenarios with
 # the runtime invariant checker attached; any violation fails the target.

@@ -1,0 +1,82 @@
+"""Extension bench: overload protection under admission control.
+
+Sweeps arrival-rate multipliers over every admission policy and
+regenerates the protection-ratio and SLO tables of
+``repro.experiments.ext_overload``.
+
+Shapes: every policy's protection ratio is exactly 1.00 at the
+uncongested base rate (it is normalized against itself there), the
+``unbounded`` policy admits everything and never drops or sheds at any
+rate, protecting policies keep their admission ratio a valid fraction,
+and every cell sustains positive goodput — admission control degrades
+throughput, it must never wedge it.
+
+Also runnable standalone as a CI smoke test::
+
+    python benchmarks/bench_ext_overload.py --fast
+
+which runs a reduced sweep (two policies, two rates, one short sequence)
+in a few seconds and exits non-zero on any violated shape.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.experiments import ext_overload
+from repro.experiments.runner import ExperimentSettings, RunCache
+
+
+def _check_shapes(result) -> None:
+    """The invariants any overload sweep must satisfy."""
+    base = result.rate_multipliers[0]
+    for policy in result.policies:
+        ratio = result.protection[(policy, base)]
+        assert math.isnan(ratio) or ratio == 1.0, (
+            f"{policy}: base-rate protection must be 1.00, got {ratio}"
+        )
+        for rate in result.rate_multipliers:
+            key = (policy, rate)
+            assert 0.0 <= result.admission_ratio[key] <= 1.0
+            assert result.goodput[key] > 0, (
+                f"{policy} at {rate}x: zero goodput — the board wedged"
+            )
+            if policy == "unbounded":
+                assert result.admission_ratio[key] == 1.0
+                assert result.drops[key] == 0
+                assert result.shed[key] == 0
+
+
+def test_ext_overload_study(benchmark, cache, settings):
+    result = benchmark.pedantic(
+        lambda: ext_overload.run(cache=cache, settings=settings),
+        rounds=1, iterations=1,
+    )
+    _check_shapes(result)
+
+    from conftest import emit
+
+    emit(ext_overload.format_result(result))
+
+
+def _fast_smoke() -> int:
+    """Reduced sweep for CI: seconds, not minutes."""
+    result = ext_overload.run(
+        cache=RunCache(),
+        settings=ExperimentSettings(num_sequences=1, num_events=4),
+        rate_multipliers=(1.0, 4.0),
+        policies=("unbounded", "shed"),
+    )
+    _check_shapes(result)
+    print(ext_overload.format_result(result))
+    print("\noverload smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--fast" in sys.argv[1:]:
+        sys.exit(_fast_smoke())
+    print("usage: python benchmarks/bench_ext_overload.py --fast",
+          file=sys.stderr)
+    sys.exit(2)

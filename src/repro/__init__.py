@@ -48,7 +48,9 @@ from repro.workload import (
     STRESS,
     chaos_scenario,
     fixed_batch_sequence,
+    make_arrivals,
     scenario_sequence,
+    service_rate_process,
 )
 # Experiment-harness and observability entry points resolve lazily (PEP
 # 562): simulating through the core never pays for — or even imports —
@@ -65,6 +67,12 @@ _LAZY_EXPORTS = {
     "run_experiment": "repro.experiments.registry",
     "SimulationRun": "repro.facade",
     "simulate": "repro.facade",
+    "serve": "repro.facade",
+    "QuantileSketch": "repro.service",
+    "ServiceLoop": "repro.service",
+    "ServiceReport": "repro.service",
+    "WindowedMetrics": "repro.service",
+    "SloTarget": "repro.metrics.slo",
     "Instrumentation": "repro.observe",
     "Span": "repro.observe",
     "build_spans": "repro.observe",
@@ -133,7 +141,9 @@ __all__ = [
     "STRESS",
     "chaos_scenario",
     "fixed_batch_sequence",
+    "make_arrivals",
     "scenario_sequence",
+    "service_rate_process",
     "ExperimentError",
     "ExperimentSettings",
     "RunCache",
@@ -145,6 +155,12 @@ __all__ = [
     "run_experiment",
     "SimulationRun",
     "simulate",
+    "serve",
+    "QuantileSketch",
+    "ServiceLoop",
+    "ServiceReport",
+    "WindowedMetrics",
+    "SloTarget",
     "Instrumentation",
     "Span",
     "build_spans",

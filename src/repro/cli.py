@@ -10,6 +10,7 @@ Examples
     nimblock-repro report --jobs 4 --cache-dir .runcache
     nimblock-repro chaos --scenario transient --fault-rate 0.05 --seed 1
     nimblock-repro overload --rate-multiplier 4 --workload stress
+    nimblock-repro serve --rate 2 --submissions 50000 --policy shed
     nimblock-repro trace --format chrome --output run.json
     nimblock-repro stats --fault-rate 0.02 --jobs 4
 
@@ -39,7 +40,7 @@ EXIT_ERROR = 1
 EXIT_USAGE = 2
 
 #: Non-experiment actions accepted in the positional slot.
-ACTIONS = ("all", "chaos", "overload", "stats", "trace")
+ACTIONS = ("all", "chaos", "overload", "serve", "stats", "trace")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "which table/figure to regenerate ('all' runs everything; "
             "'chaos' runs a one-shot fault-injection drill; 'overload' "
-            "runs a one-shot admission-policy drill; 'trace' "
+            "runs a one-shot admission-policy drill; 'serve' runs an "
+            "open-loop online-service drill; 'trace' "
             "exports one observed run as Chrome/Perfetto or JSONL; "
             "'stats' emits Prometheus-format metrics for a sweep)"
         ),
@@ -134,6 +136,46 @@ def build_parser() -> argparse.ArgumentParser:
             "nominal inter-arrival delays (default: 4.0)"
         ),
     )
+    serve = parser.add_argument_group(
+        "serve", "options for the 'serve' open-loop service drill"
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None,
+        help="mean open-loop arrival rate, events/s (default: 2.0)",
+    )
+    serve.add_argument(
+        "--burstiness", type=float, default=0.0,
+        help=(
+            "0 = Poisson arrivals; > 0 = MMPP bursts at the same "
+            "long-run mean rate (default: 0)"
+        ),
+    )
+    serve.add_argument(
+        "--submissions", type=int, default=None,
+        help="open-loop arrivals to drive (default: 20000; --fast: 1500)",
+    )
+    serve.add_argument(
+        "--window-s", type=float, default=None,
+        help="tumbling metric window, seconds (default: 60; --fast: 20)",
+    )
+    serve.add_argument(
+        "--schedulers", default=None,
+        help=(
+            "comma-separated schedulers to serve, one service run each "
+            "(default: nimblock; --fast: nimblock,prema)"
+        ),
+    )
+    serve.add_argument(
+        "--policy", default="shed",
+        help="admission policy of the service runs (default: shed)",
+    )
+    serve.add_argument(
+        "--fast", action="store_true",
+        help=(
+            "reduced-scale serve drill for CI smoke "
+            "(overridden by any explicit serve flag)"
+        ),
+    )
     observe = parser.add_argument_group(
         "observe", "options for the 'trace' action"
     )
@@ -198,6 +240,48 @@ def _run_overload(
         workload_name=args.workload or "overload",
         scheduler=args.scheduler or "fcfs",
     ))
+    return EXIT_OK
+
+
+def _run_serve(args: argparse.Namespace, settings: ExperimentSettings) -> int:
+    """The one-shot open-loop service drill (``serve``).
+
+    Everything on stdout is deterministic (the ``service-smoke`` CI job
+    diffs ``--jobs 1`` against ``--jobs 2``); wall-clock throughput goes
+    to stderr.
+    """
+    import time
+
+    from repro.experiments import ext_service
+
+    fast = args.fast
+    rate = args.rate if args.rate is not None else (4.0 if fast else 2.0)
+    submissions = args.submissions if args.submissions is not None else (
+        1500 if fast else 20_000
+    )
+    window_s = args.window_s if args.window_s is not None else (
+        20.0 if fast else 60.0
+    )
+    schedulers = (
+        args.schedulers or ("nimblock,prema" if fast else "nimblock")
+    ).split(",")
+    started = time.perf_counter()
+    print(ext_service.serve_report(
+        rate=rate,
+        burstiness=args.burstiness,
+        submissions=submissions,
+        window_ms=window_s * 1000.0,
+        schedulers=[name.strip() for name in schedulers if name.strip()],
+        policy=args.policy,
+        seed=args.seed,
+        jobs=args.jobs,
+    ))
+    wall_s = time.perf_counter() - started
+    print(
+        f"serve: {len(schedulers)} run(s) x {submissions} submissions "
+        f"in {wall_s:.1f}s wall",
+        file=sys.stderr,
+    )
     return EXIT_OK
 
 
@@ -278,6 +362,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_chaos(args, settings)
         if args.experiment == "overload":
             return _run_overload(args, settings)
+        if args.experiment == "serve":
+            return _run_serve(args, settings)
         if args.experiment == "trace":
             return _run_trace(args, settings)
         if args.experiment == "stats":

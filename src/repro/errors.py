@@ -72,6 +72,10 @@ class AdmissionError(ReproError):
     """An admission controller or policy was configured inconsistently."""
 
 
+class ServiceError(ReproError):
+    """The online service tier (``repro.service``) was misconfigured."""
+
+
 class InvariantViolation(ReproError):
     """The runtime invariant checker caught an illegal hypervisor state.
 

@@ -246,3 +246,46 @@ def observed_snapshots(
 ) -> List[dict]:
     """Fan instrumented simulation tasks out; one snapshot each, in order."""
     return fanout(_simulate_observed, tasks, jobs=jobs)
+
+
+#: A service task: (scheduler, admission policy name, arrival rate /s,
+#: burstiness, seed, max submissions, window ms). The arrival process,
+#: controller and watchdog are all rebuilt inside the worker from these
+#: picklable scalars — identical reconstruction to the serial path, so
+#: the returned report payloads are byte-identical at any jobs count.
+ServiceTask = Tuple[str, str, float, float, int, int, float]
+
+
+def _simulate_service(task: ServiceTask) -> dict:
+    """Worker: one open-loop service run reduced to its report payload.
+
+    The payload is :meth:`repro.service.loop.ServiceReport.to_dict` — a
+    plain dict whose windowed metrics merge associatively on the gather
+    side; neither the trace nor per-app state ever crosses the process
+    boundary (the loop discards both as it runs).
+    """
+    from repro.service.loop import ServiceLoop
+    from repro.workload.arrivals import service_rate_process
+
+    scheduler, policy, rate, burstiness, seed, submissions, window_ms = task
+    arrivals = service_rate_process(rate, seed=seed, burstiness=burstiness)
+    loop = ServiceLoop(
+        arrivals,
+        scheduler=scheduler,
+        policy=policy,
+        seed=seed,
+        max_submissions=submissions,
+        window_ms=window_ms,
+    )
+    return loop.run().to_dict()
+
+
+def service_cells(
+    tasks: Sequence[ServiceTask], jobs: Optional[int] = None
+) -> List[dict]:
+    """Fan open-loop service runs out; report payloads in task order.
+
+    Cache-free like :func:`overload_cells`: the run cache keys closed
+    sequences, not open-loop streams.
+    """
+    return fanout(_simulate_service, tasks, jobs=jobs)

@@ -120,6 +120,7 @@ _SPECS: Tuple[Tuple[str, str], ...] = (
     ("ext-scaleout", "repro.experiments.ext_scaleout"),
     ("ext-schedulers", "repro.experiments.ext_schedulers"),
     ("ext-seeds", "repro.experiments.ext_seeds"),
+    ("ext-service", "repro.experiments.ext_service"),
     ("ext-utilization", "repro.experiments.ext_utilization"),
     ("fig2", "repro.experiments.fig2_modes"),
     ("fig4", "repro.experiments.fig4_taskgraph"),

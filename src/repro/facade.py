@@ -110,3 +110,51 @@ def simulate(
         results=tuple(hypervisor.results()),
         observer=observer,
     )
+
+
+def serve(
+    scheduler: str = "nimblock",
+    *,
+    rate_per_s: float = 2.0,
+    burstiness: float = 0.0,
+    seed: int = 1,
+    submissions: int = 5_000,
+    window_ms: float = 30_000.0,
+    policy: str = "shed",
+    config: Optional[SystemConfig] = None,
+    snapshot_every_windows: Optional[int] = None,
+    watchdog: bool = True,
+):
+    """Run one open-loop online service and return its report.
+
+    The service counterpart of :func:`simulate`: seeded Poisson (or, with
+    ``burstiness > 0``, MMPP) arrivals at ``rate_per_s`` drive a
+    :class:`~repro.service.loop.ServiceLoop` for ``submissions``
+    arrivals under ``policy`` admission control, with memory O(1) in the
+    submission count. Returns the
+    :class:`~repro.service.loop.ServiceReport` (streaming windowed
+    metrics, lifetime counters, any quiescent-boundary snapshots).
+
+    >>> from repro import serve
+    >>> report = serve("nimblock", rate_per_s=1.0, submissions=50)
+    >>> report.completed + report.shed + report.dropped == report.arrived
+    True
+    """
+    from repro.service.loop import ServiceLoop
+    from repro.workload.arrivals import service_rate_process
+
+    arrivals = service_rate_process(
+        rate_per_s, seed=seed, burstiness=burstiness
+    )
+    loop = ServiceLoop(
+        arrivals,
+        scheduler=scheduler,
+        policy=policy,
+        seed=seed,
+        max_submissions=submissions,
+        window_ms=window_ms,
+        config=config,
+        snapshot_every_windows=snapshot_every_windows,
+        watchdog=watchdog,
+    )
+    return loop.run()

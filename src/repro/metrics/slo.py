@@ -24,12 +24,61 @@ contract the reliability metrics keep for chaos runs:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import AdmissionError
 from repro.hypervisor.results import AppResult
 from repro.metrics.response import percentile
 from repro.sim.trace import Trace, TraceKind
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """A service-level objective for the online service tier.
+
+    Two-dimensional on purpose: a latency bound alone is gameable (shed
+    everything and the survivors are fast), a loss bound alone ignores
+    responsiveness. A run — or one tumbling window of one — *meets* the
+    target only if the p99 response stays at or under ``p99_ms`` **and**
+    the fraction of arrivals lost to shedding/dropping stays at or under
+    ``max_loss_frac``. The capacity study (``ext-service``) reports, per
+    scheduler and admission policy, the highest sustained arrival rate
+    whose whole run meets this target.
+    """
+
+    #: The 99th-percentile response bound, ms.
+    p99_ms: float = 30_000.0
+    #: Maximum tolerated (shed + dropped) / arrived fraction.
+    max_loss_frac: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.p99_ms <= 0:
+            raise AdmissionError(f"p99_ms must be > 0, got {self.p99_ms}")
+        if not 0.0 <= self.max_loss_frac <= 1.0:
+            raise AdmissionError(
+                f"max_loss_frac must be in [0, 1], got {self.max_loss_frac}"
+            )
+
+    def met(self, p99_ms: float, loss_frac: float) -> bool:
+        """True if both SLO dimensions hold (NaN p99 = nothing completed
+        = the latency dimension fails unless nothing was lost either and
+        there was simply no traffic; callers pass NaN only for non-empty
+        windows, so NaN fails here)."""
+        if math.isnan(p99_ms):
+            return False
+        return p99_ms <= self.p99_ms and loss_frac <= self.max_loss_frac
+
+    def describe(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"p99<={self.p99_ms:g}ms, loss<={100.0 * self.max_loss_frac:g}%"
+        )
+
+
+#: Default target of the service capacity study.
+DEFAULT_SERVICE_SLO = SloTarget()
 
 
 def admission_ratio(trace: Trace) -> float:

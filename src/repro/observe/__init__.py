@@ -15,6 +15,11 @@ makes a run *watchable* the way a production multi-tenant scheduler needs:
 * :mod:`repro.observe.aggregate` — sweep-level metric collection that is
   byte-identical at any ``--jobs`` count.
 
+The snapshot-merge contract here (integer counters only, associative and
+order-independent merges) is shared by the service tier's windowed SLO
+metrics (``repro.service.WindowedMetrics`` / ``QuantileSketch``); see
+``docs/service.md``.
+
 CLI: ``nimblock-repro trace`` (span export) and ``nimblock-repro stats``
 (metrics export). See ``docs/observability.md``.
 """

@@ -113,6 +113,13 @@ class RoundRobinScheduler(SchedulerPolicy):
         if best_slot is None:
             return None
         entry = queues[best_slot].pop(0)
+        if entry.app_id not in ctx.pending:
+            # The app left the pending queue without finishing (admission
+            # shed or drop evicts zero-progress apps between passes, and
+            # the service loop then discards them entirely). Drop the
+            # stale entry and retry.
+            self._issued.discard((entry.app_id, entry.task_id))
+            return self.decide(ctx)
         app = ctx.app(entry.app_id)
         task = app.tasks[entry.task_id]
         if task.state != TaskRunState.PENDING:

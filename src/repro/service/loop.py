@@ -1,0 +1,510 @@
+"""The open-loop online service loop: incremental feeding, O(1) state.
+
+Closed experiments materialize a finite
+:class:`~repro.workload.events.EventSequence`, submit every event up
+front and keep every retired :class:`~repro.hypervisor.application.AppRun`
+plus the full trace until the run ends. :class:`ServiceLoop` is the
+sustained-load counterpart: it drives the *unmodified*
+:class:`~repro.hypervisor.hypervisor.Hypervisor` (admission controller
+and watchdog included) from a lazy
+:class:`~repro.workload.arrivals.ArrivalProcess`, holding memory O(1) in
+the submission count:
+
+* **one-ahead feeding** — exactly one arrival is submitted beyond the
+  simulation clock; a feeder event at that arrival's instant pulls the
+  next one, so the engine heap never holds more than one future arrival;
+* **state discard** — a retire listener folds each completed app's
+  response into the windowed metrics and immediately deletes the app
+  from the hypervisor's ``retired``/``apps`` books; shed apps are
+  drained the same way at window boundaries (``all_retired`` stays
+  consistent because both sides of its ledger shrink together);
+* **bounded trace** — the hypervisor's trace is replaced with a
+  :class:`~repro.sim.trace.BoundedTrace` ring so watchdog/admission
+  bookkeeping keeps exact lifetime counters while row storage stays
+  constant;
+* **window closes** — a self-perpetuating engine event at each window
+  boundary (priority −100, ahead of every same-instant arrival or
+  completion) folds admission/engine deltas into the window that just
+  ended, making window attribution exact for half-open windows;
+* **snapshots** — at every ``snapshot_every_windows``-th boundary where
+  the board is quiescent, a JSON-serializable checkpoint is captured
+  (see :mod:`repro.service.snapshot`); :meth:`ServiceLoop.resume`
+  continues a run from one with metrics byte-identical to an
+  uninterrupted run.
+
+Determinism: the loop adds no randomness of its own — same process, same
+seed, same knobs give the identical :class:`ServiceReport`, and report
+payloads merge associatively across shards (``--jobs N``).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Union
+
+from repro.admission.controller import AdmissionController
+from repro.admission.watchdog import Watchdog
+from repro.config import SystemConfig
+from repro.errors import ServiceError
+from repro.schedulers.registry import make_scheduler
+from repro.service.sketch import DEFAULT_ALPHA
+from repro.service.windows import (
+    DEFAULT_WINDOW_MS,
+    WindowedMetrics,
+    WindowStats,
+)
+from repro.sim.trace import BoundedTrace
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.events import EventSpec
+
+#: Default retained-trace tail (rows), see :class:`BoundedTrace`.
+DEFAULT_TRACE_CAPACITY = 2048
+
+#: Engine priority of the window-close event: fires before every
+#: same-instant feeder (−6), arrival (−5) or completion (−2), so a close
+#: at boundary T folds exactly the half-open window [T − W, T).
+_CLOSE_PRIORITY = -100
+
+#: Engine priority of the feeder pump: just ahead of the arrival event
+#: it co-times with, so the next submission exists before the board
+#: reacts to the current one.
+_PUMP_PRIORITY = -6
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """One finished (or resumed-and-finished) service run.
+
+    Every field except ``wall_s`` is a pure function of the run's seeded
+    inputs; :meth:`to_dict` exposes exactly that deterministic subset,
+    which is what the ``--jobs N`` byte-identity CI diff compares.
+    """
+
+    scheduler: str
+    policy: str
+    arrivals: str
+    window_ms: float
+    alpha: float
+    #: Arrivals consumed from the stream (includes one possibly
+    #: in-flight tail arrival that never reached its arrival instant).
+    submitted: int
+    arrived: int
+    completed: int
+    shed: int
+    dropped: int
+    rejections: int
+    windows_closed: int
+    span_ms: float
+    engine_events: int
+    resumed_from_ms: float
+    windows: WindowedMetrics
+    snapshots: List[dict] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    # -- derived --------------------------------------------------------
+    def totals(self) -> WindowStats:
+        """Run-total window aggregate."""
+        return self.windows.total()
+
+    @property
+    def loss_frac(self) -> float:
+        """Lifetime (shed + dropped) / arrived fraction."""
+        if self.arrived == 0:
+            return 0.0
+        return (self.shed + self.dropped) / self.arrived
+
+    def p(self, pct: float) -> float:
+        """Lifetime response percentile (sketch estimate)."""
+        return self.totals().sketch.percentile(pct)
+
+    def slo_attainment(self, target) -> float:
+        """Fraction of non-empty windows meeting a
+        :class:`~repro.metrics.slo.SloTarget` (1.0 with no windows)."""
+        windows = [w for w in self.windows.windows if w.arrived > 0]
+        if not windows:
+            return 1.0
+        met = sum(
+            1 for w in windows if target.met(w.p(99.0), w.loss_frac)
+        )
+        return met / len(windows)
+
+    # -- serialization and rendering ------------------------------------
+    def to_dict(self) -> dict:
+        """The deterministic payload (no wall-clock, no snapshots)."""
+        return {
+            "scheduler": self.scheduler,
+            "policy": self.policy,
+            "arrivals": self.arrivals,
+            "window_ms": self.window_ms,
+            "alpha": self.alpha,
+            "submitted": self.submitted,
+            "arrived": self.arrived,
+            "completed": self.completed,
+            "shed": self.shed,
+            "dropped": self.dropped,
+            "rejections": self.rejections,
+            "windows_closed": self.windows_closed,
+            "span_ms": self.span_ms,
+            "engine_events": self.engine_events,
+            "resumed_from_ms": self.resumed_from_ms,
+            "snapshot_count": len(self.snapshots),
+            "windows": self.windows.to_dict(),
+        }
+
+    def format(self, window_rows: int = 12) -> str:
+        """Deterministic multi-line rendering (window table + totals)."""
+        return format_report(self.to_dict(), window_rows=window_rows)
+
+
+def format_report(payload: dict, window_rows: int = 12) -> str:
+    """Render a :meth:`ServiceReport.to_dict` payload as text.
+
+    Operates on the serialized payload so gathered ``--jobs N`` worker
+    results render without reconstructing report objects — the rendering
+    is part of the byte-identity surface.
+    """
+    windows = WindowedMetrics.from_dict(payload["windows"])
+    total = windows.total()
+    sketch = total.sketch
+    lines = [
+        f"service run: scheduler={payload['scheduler']} "
+        f"policy={payload['policy']} arrivals={payload['arrivals']}",
+        f"  windows: {payload['windows_closed']} closed x "
+        f"{payload['window_ms'] / 1000.0:g}s "
+        f"({len(windows)} non-empty), span {payload['span_ms'] / 1000.0:.1f}s"
+        + (
+            f", resumed at {payload['resumed_from_ms'] / 1000.0:.1f}s"
+            if payload["resumed_from_ms"] else ""
+        ),
+        f"  arrivals: {payload['arrived']} arrived "
+        f"({payload['submitted']} submitted), "
+        f"{payload['completed']} completed, {payload['shed']} shed, "
+        f"{payload['dropped']} dropped, "
+        f"{payload['rejections']} rejections",
+        f"  responses: p50={_ms(sketch.percentile(50.0))} "
+        f"p95={_ms(sketch.percentile(95.0))} "
+        f"p99={_ms(sketch.percentile(99.0))} mean={_ms(sketch.mean)} "
+        f"(sketch alpha={payload['alpha']:g})",
+        f"  engine: {payload['engine_events']} events, "
+        f"peak pending depth {total.peak_pending}",
+    ]
+    table = windows.format_table(limit=window_rows)
+    lines.extend("  " + line for line in table.splitlines())
+    return "\n".join(lines)
+
+
+def _ms(value: float) -> str:
+    if value != value:  # NaN — nothing completed
+        return "-"
+    return f"{value:.0f}ms"
+
+
+class ServiceLoop:
+    """Drive one hypervisor from an open-loop arrival process.
+
+    A loop instance runs exactly once (:meth:`run`); resuming from a
+    snapshot builds a *new* loop via :meth:`resume`. See the module
+    docstring for the O(1)-memory mechanics.
+    """
+
+    def __init__(
+        self,
+        arrivals: ArrivalProcess,
+        scheduler: str = "nimblock",
+        *,
+        max_submissions: int = 10_000,
+        horizon_ms: Optional[float] = None,
+        window_ms: float = DEFAULT_WINDOW_MS,
+        alpha: float = DEFAULT_ALPHA,
+        policy: str = "unbounded",
+        policy_knobs: Optional[dict] = None,
+        watchdog: Union[bool, Watchdog] = True,
+        seed: int = 0,
+        config: Optional[SystemConfig] = None,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        snapshot_every_windows: Optional[int] = None,
+        observer: Optional[object] = None,
+        _resume_state: Optional[dict] = None,
+    ) -> None:
+        from repro.hypervisor.hypervisor import Hypervisor
+
+        if max_submissions < 0:
+            raise ServiceError(
+                f"max_submissions must be >= 0, got {max_submissions}"
+            )
+        if snapshot_every_windows is not None and snapshot_every_windows < 1:
+            raise ServiceError(
+                "snapshot_every_windows must be >= 1, got "
+                f"{snapshot_every_windows}"
+            )
+        self.arrivals = arrivals
+        self.scheduler_name = scheduler
+        self.policy_name = policy
+        self.seed = seed
+        self.max_submissions = max_submissions
+        self.horizon_ms = horizon_ms
+        self.window_ms = float(window_ms)
+        self.alpha = alpha
+        self.snapshot_every_windows = snapshot_every_windows
+
+        self.admission = AdmissionController(
+            policy, seed=seed, **(policy_knobs or {})
+        )
+        if watchdog is True:
+            watchdog = Watchdog()
+        elif watchdog is False:
+            watchdog = None
+        self.hv = Hypervisor(
+            scheduler=make_scheduler(scheduler),
+            config=config,
+            admission=self.admission,
+            watchdog=watchdog,
+            observer=observer,
+        )
+        # Swap the append-only trace for a bounded ring before anything
+        # records into it — lifetime counters stay exact, rows stay O(1).
+        self.hv.trace = BoundedTrace(trace_capacity)
+        self.hv.add_retire_listener(self._on_retire)
+        self.engine = self.hv.engine
+
+        # -- streaming state (possibly restored from a snapshot) --------
+        state = _resume_state or {}
+        #: Arrivals already consumed in previous run segments.
+        self._skip = int(state.get("cursor", 0))
+        self.windows = state.get("windows") or WindowedMetrics(
+            window_ms=self.window_ms, alpha=alpha
+        )
+        self._windows_closed = int(state.get("windows_closed", 0))
+        #: Index of the next window boundary to close.
+        self._next_close_index = int(
+            state.get("next_close_index", 0)
+        )
+        self.resumed_from_ms = float(state.get("clock_ms", 0.0))
+        # Lifetime counters (continue across resumes).
+        self._arrived = self._skip
+        self._completed = int(state.get("completed", 0))
+        self._shed_total = int(state.get("shed", 0))
+        self._dropped_base = int(state.get("dropped", 0))
+        self._rejections_base = int(state.get("rejections", 0))
+        self._engine_events_base = int(state.get("engine_events", 0))
+
+        self._stream: Optional[Iterator[EventSpec]] = None
+        self._next_spec: Optional[EventSpec] = None
+        self._consumed = self._skip
+        self._stream_done = False
+        # Per-run fold baselines against the (fresh) controller stats.
+        self._folded_rejections = 0
+        self._folded_dropped = 0
+        self._folded_shed = 0
+        self._folded_engine_events = 0
+        self.snapshots: List[dict] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Feeding (one arrival ahead of the clock)
+    # ------------------------------------------------------------------
+    def _pump(self, now: float) -> None:
+        # Drain sheds eagerly: window attribution comes from admission
+        # stat deltas at closes, so the drain instant is free to pick —
+        # and per-arrival keeps hv.shed/hv.apps O(1) between closes.
+        self._drain_shed()
+        spec = self._next_spec
+        if spec is not None:
+            # ``now`` is exactly this spec's arrival instant: count it.
+            self._arrived += 1
+            self.windows.observe_arrival(spec.arrival_ms)
+            self._next_spec = None
+        if self._consumed >= self.max_submissions:
+            self._stream_done = True
+            return
+        assert self._stream is not None
+        nxt = next(self._stream, None)
+        if nxt is None or (
+            self.horizon_ms is not None and nxt.arrival_ms > self.horizon_ms
+        ):
+            self._stream_done = True
+            return
+        self._consumed += 1
+        self._next_spec = nxt
+        self.hv.submit(nxt.to_request())
+        self.engine.schedule_at(
+            nxt.arrival_ms, self._pump, priority=_PUMP_PRIORITY
+        )
+
+    # ------------------------------------------------------------------
+    # State discard
+    # ------------------------------------------------------------------
+    def _on_retire(self, app, now: float) -> None:
+        self._completed += 1
+        self.windows.observe_completion(now, now - app.arrival_ms)
+        # Discard the completed app: pop it from both sides of the
+        # ``all_retired`` ledger so the invariant keeps holding.
+        hv = self.hv
+        retired = hv.retired
+        if retired and retired[-1] is app:
+            retired.pop()
+        else:  # pragma: no cover - listeners fire right after append
+            retired.remove(app)
+        hv.apps.pop(app.app_id, None)
+
+    def _drain_shed(self) -> None:
+        hv = self.hv
+        if not hv.shed:
+            return
+        for app in hv.shed:
+            hv.apps.pop(app.app_id, None)
+        self._shed_total += len(hv.shed)
+        hv.shed.clear()
+
+    # ------------------------------------------------------------------
+    # Window closes
+    # ------------------------------------------------------------------
+    def _fold_deltas(self, index: int) -> None:
+        """Attribute since-last-fold admission/engine deltas to a window."""
+        stats = self.admission.stats
+        delta = stats.rejections - self._folded_rejections
+        if delta:
+            self.windows.observe_rejections(index, delta)
+            self._folded_rejections = stats.rejections
+        delta = stats.dropped - self._folded_dropped
+        if delta:
+            self.windows.observe_dropped(index, delta)
+            self._folded_dropped = stats.dropped
+        delta = stats.shed - self._folded_shed
+        if delta:
+            self.windows.observe_shed(index, delta)
+            self._folded_shed = stats.shed
+        delta = self.engine.processed - self._folded_engine_events
+        if delta:
+            self.windows.note_engine_events(index, delta)
+            self._folded_engine_events = self.engine.processed
+
+    def _on_window_close(self, now: float) -> None:
+        index = self._next_close_index
+        self._drain_shed()
+        self._fold_deltas(index)
+        self.windows.note_pending_depth(index, len(self.hv.pending))
+        self._windows_closed += 1
+        self._next_close_index = index + 1
+        self._maybe_snapshot(now)
+        if not self._finished():
+            self.engine.schedule_at(
+                (index + 2) * self.window_ms,
+                self._on_window_close,
+                priority=_CLOSE_PRIORITY,
+            )
+
+    def _finished(self) -> bool:
+        """True once the stream ended and the board fully drained."""
+        hv = self.hv
+        return (
+            self._stream_done
+            and self._next_spec is None
+            and not hv.apps
+            and hv._arrivals_outstanding == 0
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def _quiescent(self) -> bool:
+        """No app is admitted, running or in retry limbo.
+
+        The single one-ahead submission (``_next_spec``) is allowed: its
+        arrival lies in the future and a resume replays it from the
+        arrival stream, so nothing is lost.
+        """
+        expected_outstanding = 1 if self._next_spec is not None else 0
+        hv = self.hv
+        return (
+            not hv.apps
+            and hv._arrivals_outstanding == expected_outstanding
+        )
+
+    def _maybe_snapshot(self, now: float) -> None:
+        every = self.snapshot_every_windows
+        if not every or self._windows_closed % every:
+            return
+        if not self._quiescent():
+            return
+        from repro.service.snapshot import build_snapshot
+
+        self.snapshots.append(build_snapshot(self, now))
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self) -> ServiceReport:
+        """Run the service to stream end + drain; return the report."""
+        if self._started:
+            raise ServiceError(
+                "a ServiceLoop runs once; build a new one (or resume "
+                "from a snapshot) for another run"
+            )
+        self._started = True
+        started_wall = _time.perf_counter()
+        self._stream = self.arrivals.events(skip=self._skip)
+        # Prime the one-ahead feeder (submits the first arrival, if any).
+        self._pump(0.0)
+        if not self._stream_done or self._next_spec is not None:
+            self.engine.schedule_at(
+                (self._next_close_index + 1) * self.window_ms,
+                self._on_window_close,
+                priority=_CLOSE_PRIORITY,
+            )
+        self.engine.run()
+        # Safety net: fold anything after the last boundary (only tiny
+        # runs that never scheduled a close reach here with deltas).
+        self._drain_shed()
+        self._fold_deltas(self._next_close_index)
+        wall_s = _time.perf_counter() - started_wall
+        return self._report(wall_s)
+
+    def _report(self, wall_s: float) -> ServiceReport:
+        stats = self.admission.stats
+        return ServiceReport(
+            scheduler=self.scheduler_name,
+            policy=self.policy_name,
+            arrivals=self.arrivals.describe(),
+            window_ms=self.window_ms,
+            alpha=self.alpha,
+            submitted=self._consumed,
+            arrived=self._arrived,
+            completed=self._completed,
+            shed=self._shed_total,
+            dropped=self._dropped_base + stats.dropped,
+            rejections=self._rejections_base + stats.rejections,
+            windows_closed=self._windows_closed,
+            span_ms=self.engine.now,
+            engine_events=self._engine_events_base + self.engine.processed,
+            resumed_from_ms=self.resumed_from_ms,
+            windows=self.windows,
+            snapshots=self.snapshots,
+            wall_s=wall_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        snapshot: dict,
+        arrivals: ArrivalProcess,
+        **overrides,
+    ) -> "ServiceLoop":
+        """A fresh loop continuing a snapshotted run.
+
+        ``arrivals`` must be the same seeded process the snapshotted run
+        used (checked against the recorded description). Keyword
+        overrides replace constructor knobs; everything else — scheduler,
+        policy, seed, window/sketch parameters, submission cap — comes
+        from the snapshot, so an uninterrupted run and a
+        snapshot-plus-resume run produce byte-identical reports.
+        """
+        from repro.service.snapshot import restore_state
+
+        state, knobs = restore_state(snapshot, arrivals)
+        knobs.update(overrides)
+        return cls(arrivals, _resume_state=state, **knobs)

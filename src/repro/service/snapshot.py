@@ -1,0 +1,147 @@
+"""Checkpoint/resume for long service runs (:mod:`repro.service.loop`).
+
+A snapshot is captured only at a **quiescent window boundary**: the
+pending queue is empty, no application is running or in admission-retry
+limbo, and at most the loop's single one-ahead submission is in flight
+(its arrival lies in the future, so the resume replays it from the
+arrival stream instead of persisting hypervisor internals). That makes
+the checkpoint a small, plain-JSON payload — a stream cursor plus the
+accumulated windowed metrics and lifetime counters — rather than a pickle
+of live simulation state, and it is exactly why resume is deterministic:
+
+* the arrival stream is replayed via ``arrivals.events(skip=cursor)``,
+  which is byte-identical to the tail of an uninterrupted stream;
+* the windowed metrics are restored verbatim and keep accumulating;
+* the simulation clock continues at absolute times, so window indices,
+  arrival instants and response times all line up.
+
+An uninterrupted run and a snapshot-plus-resume run therefore produce
+byte-identical :meth:`~repro.service.loop.ServiceReport.to_dict`
+payloads (pinned by ``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Tuple
+
+from repro.errors import ServiceError
+from repro.service.windows import WindowedMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.loop import ServiceLoop
+    from repro.workload.arrivals import ArrivalProcess
+
+#: Snapshot payload format version.
+SNAPSHOT_FORMAT = 1
+
+
+def build_snapshot(loop: "ServiceLoop", now: float) -> dict:
+    """The JSON-serializable checkpoint of a quiescent service loop."""
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "clock_ms": now,
+        "cursor": loop._arrived,
+        "scheduler": loop.scheduler_name,
+        "policy": loop.policy_name,
+        "seed": loop.seed,
+        "window_ms": loop.window_ms,
+        "alpha": loop.alpha,
+        "max_submissions": loop.max_submissions,
+        "arrivals": loop.arrivals.describe(),
+        "windows_closed": loop._windows_closed,
+        "next_close_index": loop._next_close_index,
+        "completed": loop._completed,
+        "shed": loop._shed_total,
+        "dropped": loop._dropped_base + loop.admission.stats.dropped,
+        "rejections": (
+            loop._rejections_base + loop.admission.stats.rejections
+        ),
+        "engine_events": (
+            loop._engine_events_base + loop.engine.processed
+        ),
+        "windows": loop.windows.to_dict(),
+    }
+
+
+def validate_snapshot(payload: dict) -> dict:
+    """Check a snapshot payload's shape; returns it for chaining."""
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"snapshot payload must be a dict, got {type(payload).__name__}"
+        )
+    if payload.get("format") != SNAPSHOT_FORMAT:
+        raise ServiceError(
+            f"unsupported snapshot format {payload.get('format')!r} "
+            f"(this build reads format {SNAPSHOT_FORMAT})"
+        )
+    required = (
+        "clock_ms", "cursor", "scheduler", "policy", "seed", "window_ms",
+        "alpha", "max_submissions", "arrivals", "windows_closed",
+        "next_close_index", "completed", "shed", "dropped", "rejections",
+        "engine_events", "windows",
+    )
+    missing = [key for key in required if key not in payload]
+    if missing:
+        raise ServiceError(f"snapshot payload missing keys: {missing}")
+    return payload
+
+
+def restore_state(
+    payload: dict, arrivals: "ArrivalProcess"
+) -> Tuple[dict, dict]:
+    """Split a validated snapshot into (resume state, constructor knobs).
+
+    Cross-checks the arrival process against the snapshotted description
+    — resuming against a different stream would silently desynchronize
+    the cursor.
+    """
+    validate_snapshot(payload)
+    recorded = payload["arrivals"]
+    actual = arrivals.describe()
+    if recorded != actual:
+        raise ServiceError(
+            "snapshot was taken against a different arrival process: "
+            f"recorded {recorded!r}, got {actual!r}"
+        )
+    state = {
+        "cursor": payload["cursor"],
+        "clock_ms": payload["clock_ms"],
+        "windows": WindowedMetrics.from_dict(payload["windows"]),
+        "windows_closed": payload["windows_closed"],
+        "next_close_index": payload["next_close_index"],
+        "completed": payload["completed"],
+        "shed": payload["shed"],
+        "dropped": payload["dropped"],
+        "rejections": payload["rejections"],
+        "engine_events": payload["engine_events"],
+    }
+    knobs = {
+        "scheduler": payload["scheduler"],
+        "policy": payload["policy"],
+        "seed": payload["seed"],
+        "window_ms": payload["window_ms"],
+        "alpha": payload["alpha"],
+        "max_submissions": payload["max_submissions"],
+    }
+    return state, knobs
+
+
+def save_snapshot(payload: dict, path) -> None:
+    """Write one snapshot as deterministic (sorted-key) JSON."""
+    validate_snapshot(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+def load_snapshot(path) -> dict:
+    """Read a snapshot written by :func:`save_snapshot`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ServiceError(
+                f"snapshot file {path} is not valid JSON: {error}"
+            ) from None
+    return validate_snapshot(payload)

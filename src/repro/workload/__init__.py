@@ -3,9 +3,21 @@
 An *event* is the arrival of an application at the hypervisor: benchmark
 name, batch size, priority level and arrival time. Sequences of randomly
 generated events — under the standard / stress / real-time congestion
-scenarios — drive every experiment in the paper.
+scenarios — drive every experiment in the paper. The open-loop *arrival
+processes* (:mod:`repro.workload.arrivals`) are the service tier's lazy
+counterpart: seeded infinite streams for sustained-load runs.
 """
 
+from repro.workload.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceReplayArrivals,
+    make_arrivals,
+    service_rate_process,
+)
 from repro.workload.events import EventSequence, EventSpec
 from repro.workload.generator import EventGenerator
 from repro.workload.trace_io import (
@@ -34,9 +46,17 @@ from repro.workload.scenarios import (
 )
 
 __all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "DiurnalArrivals",
     "EventSequence",
     "EventSpec",
     "EventGenerator",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "TraceReplayArrivals",
+    "make_arrivals",
+    "service_rate_process",
     "ABLATION_BATCH_SIZES",
     "CHAOS_SCENARIOS",
     "ChaosScenario",

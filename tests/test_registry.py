@@ -31,9 +31,10 @@ CHEAP = ("fig2", "fig4", "table1", "table2")
 class TestRegistryContents:
     def test_every_cli_experiment_is_registered(self):
         names = experiment_names()
-        assert len(names) == 26
+        assert len(names) == 27
         for expected in ("fig2", "fig5", "fig11", "table1", "table3",
-                         "overhead", "report", "ext-faults", "ext-seeds"):
+                         "overhead", "report", "ext-faults", "ext-seeds",
+                         "ext-service"):
             assert expected in names
 
     def test_all_experiments_sorted_and_typed(self):
@@ -78,7 +79,7 @@ class TestUniformInvocation:
         assert "nimblock" in result.text
 
     def test_every_module_accepts_the_uniform_signature(self):
-        """run(settings, cache, *, jobs) must bind on all 26 modules."""
+        """run(settings, cache, *, jobs) must bind on every module."""
         import inspect
 
         for experiment in all_experiments():

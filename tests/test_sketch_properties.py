@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for the streaming quantile sketch.
+
+Pins the two guarantees the service tier's metrics rest on:
+
+* every sketch quantile is within the documented relative-error bound
+  ``alpha`` of the exact :func:`repro.metrics.response.percentile` over
+  the same samples (both use the numpy-'linear' rank convention, so the
+  bound survives the interpolation step);
+* merges are exact — associative and order-independent down to the
+  serialized payload — which is what makes ``--jobs N`` windowed metrics
+  byte-identical to serial runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.response import percentile
+from repro.service.sketch import (
+    DEFAULT_ALPHA,
+    QuantileSketch,
+    SketchError,
+    merge_sketches,
+)
+from repro.service.windows import WindowedMetrics
+
+#: In-range positive samples (the sketch's representable band).
+sample = st.floats(
+    min_value=0.01, max_value=1e9,
+    allow_nan=False, allow_infinity=False,
+)
+samples = st.lists(sample, min_size=1, max_size=300)
+
+#: Samples that may include exact zeros (handled outside the log buckets).
+maybe_zero_sample = st.one_of(st.just(0.0), sample)
+
+
+@settings(max_examples=120, suppress_health_check=[HealthCheck.too_slow])
+@given(values=samples, pct=st.floats(min_value=0.0, max_value=100.0))
+def test_percentile_within_documented_relative_error(values, pct):
+    sketch = QuantileSketch()
+    sketch.extend(values)
+    exact = percentile(values, pct)
+    estimate = sketch.percentile(pct)
+    # Relative error bound alpha, plus float-arithmetic headroom.
+    assert abs(estimate - exact) <= DEFAULT_ALPHA * exact + 1e-9
+
+
+@settings(max_examples=60)
+@given(values=st.lists(maybe_zero_sample, min_size=1, max_size=200),
+       pct=st.sampled_from([0.0, 25.0, 50.0, 90.0, 99.0, 100.0]))
+def test_zeros_are_exact_and_keep_the_bound(values, pct):
+    sketch = QuantileSketch()
+    sketch.extend(values)
+    exact = percentile(values, pct)
+    estimate = sketch.percentile(pct)
+    assert abs(estimate - exact) <= DEFAULT_ALPHA * exact + 1e-9
+
+
+@settings(max_examples=60)
+@given(a=samples, b=samples, c=samples)
+def test_merge_is_associative_and_commutative(a, b, c):
+    def sketch_of(*parts):
+        sketch = QuantileSketch()
+        for part in parts:
+            sketch.extend(part)
+        return sketch
+
+    left = sketch_of(a).merge(sketch_of(b)).merge(sketch_of(c))
+    right = sketch_of(a).merge(sketch_of(b).merge(sketch_of(c)))
+    swapped = sketch_of(c).merge(sketch_of(a)).merge(sketch_of(b))
+    assert left.to_dict() == right.to_dict() == swapped.to_dict()
+    # And a merged sketch equals one fed the concatenated stream.
+    assert left.to_dict() == sketch_of(a, b, c).to_dict()
+
+
+@settings(max_examples=60)
+@given(values=samples)
+def test_serialization_round_trips_bytes(values):
+    sketch = QuantileSketch()
+    sketch.extend(values)
+    clone = QuantileSketch.from_dict(sketch.to_dict())
+    assert clone == sketch
+    assert clone.to_dict() == sketch.to_dict()
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    observations=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=120_000.0,
+                      allow_nan=False, allow_infinity=False),
+            sample,
+        ),
+        min_size=1, max_size=120,
+    ),
+    split=st.integers(min_value=0, max_value=120),
+)
+def test_window_shard_merge_is_order_independent(observations, split):
+    """Two shards of one observation stream merge to the serial result,
+    whichever side is merged into which."""
+    split = min(split, len(observations))
+
+    def windowed(part):
+        metrics = WindowedMetrics(window_ms=10_000.0)
+        for t_ms, response_ms in part:
+            metrics.observe_arrival(t_ms)
+            metrics.observe_completion(t_ms, response_ms)
+        return metrics
+
+    serial = windowed(observations)
+    a, b = windowed(observations[:split]), windowed(observations[split:])
+    ab = windowed(observations[:split]).merge(b)
+    ba = windowed(observations[split:]).merge(a)
+    assert ab.to_dict() == serial.to_dict()
+    assert ba.to_dict() == serial.to_dict()
+
+
+class TestSketchValidation:
+    def test_rejects_bad_alpha_and_range(self):
+        with pytest.raises(SketchError, match="alpha"):
+            QuantileSketch(alpha=1.5)
+        with pytest.raises(SketchError, match="min_value"):
+            QuantileSketch(min_value=-1.0)
+
+    def test_rejects_negative_and_nan_samples(self):
+        sketch = QuantileSketch()
+        with pytest.raises(SketchError):
+            sketch.add(-1.0)
+        with pytest.raises(SketchError):
+            sketch.add(float("nan"))
+
+    def test_rejects_incompatible_merge(self):
+        with pytest.raises(SketchError, match="parameters"):
+            QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+
+    def test_empty_sketch_quantile_is_nan(self):
+        assert math.isnan(QuantileSketch().quantile(0.5))
+
+    def test_clamping_bounds_memory_not_correctness_elsewhere(self):
+        sketch = QuantileSketch(min_value=1.0, max_value=100.0)
+        sketch.add(0.5)
+        sketch.add(1e6)
+        assert sketch.clamped == 2
+        assert sketch.count == 2
+        assert 0.9 <= sketch.quantile(0.0) <= 1.1
+
+    def test_merge_sketches_helper(self):
+        parts = []
+        for base in (1.0, 10.0):
+            sketch = QuantileSketch()
+            sketch.extend([base, base * 2])
+            parts.append(sketch)
+        merged = merge_sketches(parts)
+        assert merged.count == 4
+        assert merge_sketches([]) is None
