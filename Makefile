@@ -5,7 +5,7 @@ PYTHON ?= python
 JOBS ?= 4
 CACHE_DIR ?= .runcache
 
-.PHONY: install test bench sweep perf chaos overload serve paranoid trace stats reproduce report examples clean
+.PHONY: install test bench sweep perf chaos overload serve cluster paranoid trace stats reproduce report examples clean
 
 install:
 	pip install -e . && pip install -e '.[test]'
@@ -45,6 +45,11 @@ overload:
 serve:
 	$(PYTHON) -m repro.cli serve --rate 2 --submissions 20000 --seed 1 \
 		--jobs $(JOBS)
+
+# Fleet drill: a heterogeneous 4-board cluster under the overload burst,
+# board simulation sharded over $(JOBS) workers (byte-identical to serial).
+cluster:
+	$(PYTHON) -m repro.cli cluster --boards 4 --seed 1 --jobs $(JOBS)
 
 # Paranoid sweep: every scheduler plus full-rate chaos scenarios with
 # the runtime invariant checker attached; any violation fails the target.

@@ -68,6 +68,16 @@ _LAZY_EXPORTS = {
     "SimulationRun": "repro.facade",
     "simulate": "repro.facade",
     "serve": "repro.facade",
+    "fleet": "repro.facade",
+    "cluster_report": "repro.facade",
+    "BoardProfile": "repro.cluster",
+    "Cluster": "repro.cluster",
+    "ClusterReport": "repro.cluster",
+    "PLACEMENT_POLICIES": "repro.cluster",
+    "PlacementDecision": "repro.cluster",
+    "board_profile": "repro.cluster",
+    "fleet_profiles": "repro.cluster",
+    "make_placement": "repro.cluster",
     "QuantileSketch": "repro.service",
     "ServiceLoop": "repro.service",
     "ServiceReport": "repro.service",
@@ -156,6 +166,16 @@ __all__ = [
     "SimulationRun",
     "simulate",
     "serve",
+    "fleet",
+    "cluster_report",
+    "BoardProfile",
+    "Cluster",
+    "ClusterReport",
+    "PLACEMENT_POLICIES",
+    "PlacementDecision",
+    "board_profile",
+    "fleet_profiles",
+    "make_placement",
     "QuantileSketch",
     "ServiceLoop",
     "ServiceReport",

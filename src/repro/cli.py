@@ -11,6 +11,7 @@ Examples
     nimblock-repro chaos --scenario transient --fault-rate 0.05 --seed 1
     nimblock-repro overload --rate-multiplier 4 --workload stress
     nimblock-repro serve --rate 2 --submissions 50000 --policy shed
+    nimblock-repro cluster --boards 8 --placement power_aware --jobs 4
     nimblock-repro trace --format chrome --output run.json
     nimblock-repro stats --fault-rate 0.02 --jobs 4
 
@@ -40,7 +41,7 @@ EXIT_ERROR = 1
 EXIT_USAGE = 2
 
 #: Non-experiment actions accepted in the positional slot.
-ACTIONS = ("all", "chaos", "overload", "serve", "stats", "trace")
+ACTIONS = ("all", "chaos", "cluster", "overload", "serve", "stats", "trace")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(experiment_names()) + list(ACTIONS),
         help=(
             "which table/figure to regenerate ('all' runs everything; "
-            "'chaos' runs a one-shot fault-injection drill; 'overload' "
+            "'chaos' runs a one-shot fault-injection drill; 'cluster' "
+            "runs a one-shot multi-board fleet drill; 'overload' "
             "runs a one-shot admission-policy drill; 'serve' runs an "
             "open-loop online-service drill; 'trace' "
             "exports one observed run as Chrome/Perfetto or JSONL; "
@@ -176,6 +178,42 @@ def build_parser() -> argparse.ArgumentParser:
             "(overridden by any explicit serve flag)"
         ),
     )
+    cluster = parser.add_argument_group(
+        "cluster", "options for the 'cluster' fleet drill"
+    )
+    cluster.add_argument(
+        "--boards", type=int, default=4,
+        help="fleet size for the 'cluster' drill (default: 4)",
+    )
+    cluster.add_argument(
+        "--placement", default="least_loaded",
+        help=(
+            "placement policy: round_robin, least_loaded, affinity or "
+            "power_aware (default: least_loaded)"
+        ),
+    )
+    cluster.add_argument(
+        "--mix", default=None,
+        help=(
+            "comma-separated board-profile rotation, e.g. "
+            "'zcu106,edge,hpc' (default: the heterogeneous mix; "
+            "'zcu106' gives a homogeneous fleet)"
+        ),
+    )
+    cluster.add_argument(
+        "--admission", default=None,
+        help=(
+            "fleet-boundary admission policy: unbounded, reject, shed "
+            "or degrade (default: none)"
+        ),
+    )
+    cluster.add_argument(
+        "--json", action="store_true",
+        help=(
+            "emit the merged cluster snapshot as canonical JSON instead "
+            "of the summary table (byte-identical at any --jobs)"
+        ),
+    )
     observe = parser.add_argument_group(
         "observe", "options for the 'trace' action"
     )
@@ -285,6 +323,39 @@ def _run_serve(args: argparse.Namespace, settings: ExperimentSettings) -> int:
     return EXIT_OK
 
 
+def _run_cluster(
+    args: argparse.Namespace, settings: ExperimentSettings
+) -> int:
+    """The one-shot multi-board fleet drill (``cluster``).
+
+    Everything on stdout is deterministic and independent of ``--jobs``
+    (the ``cluster-determinism`` CI job diffs ``--jobs 1`` against
+    ``--jobs 4``); wall-clock notes go to stderr.
+    """
+    from repro.facade import cluster_report as run_fleet
+
+    mix = None
+    if args.mix:
+        mix = tuple(
+            name.strip() for name in args.mix.split(",") if name.strip()
+        )
+    print(run_fleet(
+        num_boards=args.boards,
+        placement=args.placement,
+        scheduler=args.scheduler or "nimblock",
+        admission=args.admission,
+        mix=mix,
+        seed=args.seed,
+        num_events=args.events or settings.num_events * args.boards,
+        rate_multiplier=args.rate_multiplier * args.boards,
+        fault_rate=args.fault_rate or 0.0,
+        fault_scenario=args.scenario,
+        jobs=args.jobs,
+        as_json=args.json,
+    ), end="")
+    return EXIT_OK
+
+
 def _run_trace(args: argparse.Namespace, settings: ExperimentSettings) -> int:
     """Export one observed run (``trace``) as Chrome JSON or JSONL."""
     import json
@@ -360,6 +431,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.experiment == "chaos":
             return _run_chaos(args, settings)
+        if args.experiment == "cluster":
+            return _run_cluster(args, settings)
         if args.experiment == "overload":
             return _run_overload(args, settings)
         if args.experiment == "serve":

@@ -1,0 +1,73 @@
+"""Fleet-scale multi-FPGA cluster tier.
+
+>>> from repro.cluster import Cluster, fleet_profiles
+>>> from repro.workload.generator import EventGenerator
+>>> fleet = Cluster(fleet_profiles(4), placement="least_loaded")
+>>> events = EventGenerator(7).sequence(num_events=6, label="demo")
+>>> _ = fleet.submit_sequence(events)
+>>> report = fleet.run(jobs=1)  # jobs=N is byte-identical
+>>> report.retired
+6
+"""
+
+from repro.cluster.cluster import (
+    FLEET_ADMISSION_POLICIES,
+    Cluster,
+    ClusterReport,
+    PlacementDecision,
+)
+from repro.cluster.placement import (
+    PLACEMENT_POLICIES,
+    AffinityPlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    PowerAwarePlacement,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.cluster.profiles import (
+    BOARD_PROFILES,
+    DEFAULT_FLEET_MIX,
+    EDGE_BOARD,
+    HPC_BOARD,
+    ZCU106_BOARD,
+    BoardProfile,
+    board_profile,
+    fleet_profiles,
+)
+from repro.cluster.shard import (
+    BoardTask,
+    board_cells,
+    board_label,
+    derive_board_fault_config,
+    simulate_board,
+    trace_digest,
+)
+
+__all__ = [
+    "FLEET_ADMISSION_POLICIES",
+    "PLACEMENT_POLICIES",
+    "BOARD_PROFILES",
+    "DEFAULT_FLEET_MIX",
+    "ZCU106_BOARD",
+    "EDGE_BOARD",
+    "HPC_BOARD",
+    "AffinityPlacement",
+    "BoardProfile",
+    "BoardTask",
+    "Cluster",
+    "ClusterReport",
+    "LeastLoadedPlacement",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "PowerAwarePlacement",
+    "RoundRobinPlacement",
+    "board_cells",
+    "board_label",
+    "board_profile",
+    "derive_board_fault_config",
+    "fleet_profiles",
+    "make_placement",
+    "simulate_board",
+    "trace_digest",
+]

@@ -1,0 +1,172 @@
+"""Cluster placement policies: which board an arriving application joins.
+
+Placement runs *above* the per-board hypervisors: each application is
+dispatched whole to one board (tasks of one application never split
+across boards — there is no inter-board partial reconfiguration), and the
+board's own scheduler takes over from there.
+
+Four policies, all deterministic pure functions of the fleet view they
+are handed (ties always break toward the lowest board index):
+
+* ``round_robin`` — eligible boards in rotation; the rotation cursor
+  advances only on successful placements, so draining boards are skipped
+  without perturbing the cycle;
+* ``least_loaded`` — the board with the least outstanding estimated work
+  (the same HLS latency estimate the hypervisor schedules by, computed
+  with *that board's* reconfiguration latency), normalized by slot count
+  so heterogeneous fleets balance by capability;
+* ``affinity`` — bitstream locality: prefer boards already hosting the
+  same benchmark (their bitstream caches are warm and the per-app
+  configuration registrations amortize), least-loaded among those;
+  fall back to least-loaded when no board has the benchmark yet;
+* ``power_aware`` — least-loaded against each board's *power-limited
+  slot budget* (:meth:`~repro.cluster.profiles.BoardProfile.power_slot_budget`)
+  with an energy tiebreak toward cheaper boards, per "Power Aware
+  Scheduling of Tasks on FPGAs in Data Centers": a board whose envelope
+  cannot sustain its full slot complement is credited only the capacity
+  it can actually power.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, Sequence, Tuple
+
+from repro.errors import ClusterError
+
+
+class BoardView(Protocol):
+    """What a placement policy may read about one board."""
+
+    index: int
+
+    @property
+    def profile(self):  # pragma: no cover - protocol
+        ...
+
+    @property
+    def load_ms(self) -> float:  # pragma: no cover - protocol
+        ...
+
+    def hosts_benchmark(self, name: str) -> bool:  # pragma: no cover
+        ...
+
+
+class PlacementPolicy:
+    """Base class: a named, deterministic board chooser.
+
+    ``choose`` receives the eligible (non-draining, non-failed) boards,
+    the arriving benchmark name, and the per-board latency estimate of
+    the new application (indexed like ``boards``). It must return one of
+    the given boards' indices; the cluster validates the choice.
+    """
+
+    name = "abstract"
+
+    def choose(
+        self,
+        boards: Sequence[BoardView],
+        benchmark: str,
+        estimates_ms: Sequence[float],
+    ) -> int:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+def _normalized_load(
+    board: BoardView, estimate_ms: float, slots: int
+) -> float:
+    """Projected per-slot backlog if the application joined this board."""
+    return (board.load_ms + estimate_ms) / slots
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Eligible boards in rotation, skipping ineligible ones."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, boards, benchmark, estimates_ms) -> int:
+        indices = sorted(board.index for board in boards)
+        for index in indices:
+            if index >= self._cursor:
+                chosen = index
+                break
+        else:
+            chosen = indices[0]
+        self._cursor = chosen + 1
+        return chosen
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Minimum capability-normalized outstanding work, lowest index wins."""
+
+    name = "least_loaded"
+
+    def choose(self, boards, benchmark, estimates_ms) -> int:
+        return min(
+            boards,
+            key=lambda b: (
+                _normalized_load(
+                    b, estimates_ms[b.index], b.profile.num_slots
+                ),
+                b.index,
+            ),
+        ).index
+
+
+class AffinityPlacement(PlacementPolicy):
+    """Bitstream locality first, least-loaded within/without it."""
+
+    name = "affinity"
+
+    def __init__(self) -> None:
+        self._fallback = LeastLoadedPlacement()
+
+    def choose(self, boards, benchmark, estimates_ms) -> int:
+        warm = [b for b in boards if b.hosts_benchmark(benchmark)]
+        if warm:
+            return self._fallback.choose(warm, benchmark, estimates_ms)
+        return self._fallback.choose(boards, benchmark, estimates_ms)
+
+
+class PowerAwarePlacement(PlacementPolicy):
+    """Balance against power-limited capacity, prefer cheap joules."""
+
+    name = "power_aware"
+
+    def choose(self, boards, benchmark, estimates_ms) -> int:
+        return min(
+            boards,
+            key=lambda b: (
+                _normalized_load(
+                    b, estimates_ms[b.index],
+                    b.profile.power_slot_budget(),
+                ),
+                b.profile.slot_power_w,
+                b.index,
+            ),
+        ).index
+
+
+#: Policy registry, cheapest-signal-first.
+_POLICY_FACTORIES: Dict[str, Callable[[], PlacementPolicy]] = {
+    "round_robin": RoundRobinPlacement,
+    "least_loaded": LeastLoadedPlacement,
+    "affinity": AffinityPlacement,
+    "power_aware": PowerAwarePlacement,
+}
+
+#: Every placement policy name, in registry order.
+PLACEMENT_POLICIES: Tuple[str, ...] = tuple(_POLICY_FACTORIES)
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Build a placement policy by registry name."""
+    factory = _POLICY_FACTORIES.get(name)
+    if factory is None:
+        raise ClusterError(
+            f"unknown placement policy {name!r}; known: "
+            f"{', '.join(PLACEMENT_POLICIES)}"
+        )
+    return factory()

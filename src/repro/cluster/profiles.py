@@ -1,0 +1,160 @@
+"""Board profiles: the heterogeneity axis of the cluster tier.
+
+A :class:`BoardProfile` describes one physical FPGA in the fleet — its
+slot count, reconfiguration latency and power envelope. THEMIS (fair,
+heterogeneity/energy-minded multi-tenant FPGA scheduling) and "Power
+Aware Scheduling of Tasks on FPGAs in Data Centers" motivate the three
+knobs the placement tier consumes:
+
+* **capability** — ``num_slots`` and ``reconfig_ms`` feed the per-board
+  :class:`~repro.config.SystemConfig` and the capability-normalized
+  least-loaded placement;
+* **power envelope** — ``power_cap_w`` bounds the board's sustained
+  draw. ``idle_power_w + num_slots * slot_power_w`` may legally exceed
+  the cap (dark-silicon style): the *power-limited slot budget*
+  :meth:`BoardProfile.power_slot_budget` is then smaller than the
+  physical slot count and power-aware placement plans against it;
+* **energy accounting** — ``slot_power_w`` prices each busy slot
+  millisecond so merged cluster snapshots can report estimated joules
+  per board.
+
+Profiles are frozen dataclasses of primitives: picklable (they cross the
+worker-process boundary with each board's simulation task), hashable and
+trivially fingerprintable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.config import (
+    DEFAULT_NUM_SLOTS,
+    DEFAULT_RECONFIG_MS,
+    SystemConfig,
+)
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class BoardProfile:
+    """Immutable description of one FPGA board in the fleet."""
+
+    name: str
+    num_slots: int = DEFAULT_NUM_SLOTS
+    reconfig_ms: float = DEFAULT_RECONFIG_MS
+    power_cap_w: float = 45.0
+    idle_power_w: float = 8.0
+    slot_power_w: float = 3.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ClusterError("board profile needs a non-empty name")
+        if self.num_slots < 1:
+            raise ClusterError(
+                f"num_slots must be >= 1, got {self.num_slots}"
+            )
+        if self.reconfig_ms <= 0:
+            raise ClusterError(
+                f"reconfig_ms must be > 0, got {self.reconfig_ms}"
+            )
+        if self.idle_power_w < 0 or self.slot_power_w <= 0:
+            raise ClusterError(
+                "power model needs idle_power_w >= 0 and slot_power_w > 0, "
+                f"got {self.idle_power_w}/{self.slot_power_w}"
+            )
+        if self.power_cap_w <= self.idle_power_w:
+            raise ClusterError(
+                f"power_cap_w must exceed idle_power_w, got "
+                f"{self.power_cap_w} <= {self.idle_power_w}"
+            )
+
+    def power_slot_budget(self) -> int:
+        """Slots the power envelope sustains concurrently (>= 1).
+
+        ``floor((cap - idle) / slot_power)``, clamped to the physical
+        slot count. A board whose full complement would breach its cap
+        gets a smaller budget; power-aware placement balances against
+        this instead of the raw slot count.
+        """
+        budget = int((self.power_cap_w - self.idle_power_w)
+                     // self.slot_power_w)
+        return max(1, min(self.num_slots, budget))
+
+    def system_config(
+        self, base: Optional[SystemConfig] = None
+    ) -> SystemConfig:
+        """The per-board platform config this profile induces.
+
+        Scheduler knobs (token alpha, priority levels, intervals) come
+        from ``base`` — the fleet-wide policy configuration — while the
+        board-physical fields (slot count, reconfiguration latency) come
+        from the profile.
+        """
+        return replace(
+            base or SystemConfig(),
+            num_slots=self.num_slots,
+            reconfig_ms=self.reconfig_ms,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload (stable field order via dataclass order)."""
+        return asdict(self)
+
+
+#: The paper's evaluation board: a ZCU106 with ten uniform slots.
+ZCU106_BOARD = BoardProfile(
+    name="zcu106", num_slots=10, reconfig_ms=80.0,
+    power_cap_w=45.0, idle_power_w=8.0, slot_power_w=3.5,
+)
+
+#: An edge-scale board (Hetero-ViTAL's small end): few slots, a slower
+#: configuration port, a tight envelope.
+EDGE_BOARD = BoardProfile(
+    name="edge", num_slots=4, reconfig_ms=120.0,
+    power_cap_w=15.0, idle_power_w=3.0, slot_power_w=2.5,
+)
+
+#: A datacenter-scale board that is *power-capped*: sixteen physical
+#: slots but an envelope that sustains only ten at once, so power-aware
+#: placement credits it less capacity than least-loaded does.
+HPC_BOARD = BoardProfile(
+    name="hpc", num_slots=16, reconfig_ms=60.0,
+    power_cap_w=60.0, idle_power_w=15.0, slot_power_w=4.5,
+)
+
+#: Profile catalogue by name.
+BOARD_PROFILES: Tuple[BoardProfile, ...] = (
+    ZCU106_BOARD, EDGE_BOARD, HPC_BOARD,
+)
+
+#: Default heterogeneous rotation for generated fleets.
+DEFAULT_FLEET_MIX: Tuple[str, ...] = ("zcu106", "edge", "hpc")
+
+
+def board_profile(name: str) -> BoardProfile:
+    """Look one profile up by name."""
+    for profile in BOARD_PROFILES:
+        if profile.name == name:
+            return profile
+    known = sorted(p.name for p in BOARD_PROFILES)
+    raise ClusterError(f"unknown board profile {name!r}; known: {known}")
+
+
+def fleet_profiles(
+    num_boards: int,
+    mix: Sequence[str] = DEFAULT_FLEET_MIX,
+) -> Tuple[BoardProfile, ...]:
+    """A deterministic fleet: board ``i`` gets ``mix[i % len(mix)]``.
+
+    The assignment is a pure function of ``(num_boards, mix)`` — no RNG —
+    so fleet composition can never drift between a serial and a sharded
+    run, or between two processes. ``mix=("zcu106",)`` builds the
+    homogeneous fleet.
+    """
+    if num_boards < 1:
+        raise ClusterError(f"num_boards must be >= 1, got {num_boards}")
+    if not mix:
+        raise ClusterError("fleet mix must be non-empty")
+    profiles = [board_profile(name) for name in mix]
+    return tuple(profiles[i % len(profiles)] for i in range(num_boards))

@@ -1,0 +1,225 @@
+"""Sharded board simulation: the cluster tier's process-level fan-out.
+
+Between placement decisions the boards of a fleet are completely
+independent — each runs its own hypervisor over its own placed arrivals.
+That makes the *board* the natural sharding axis: the cluster serializes
+each board's work into a picklable :data:`BoardTask`, fans the tasks out
+over worker processes via :func:`repro.experiments.parallel.fanout`, and
+merges the returned payloads in board-index order.
+
+Three properties make ``--jobs N`` byte-identical to serial:
+
+* tasks carry only primitives (board index, profile, scheduler name,
+  event specs, fault/admission scalars) — every worker rebuilds its
+  hypervisor, fault injector and admission controller from scratch,
+  exactly as the serial path does, so the seeded draws are identical;
+* each payload's metrics are either integer counters or a
+  :class:`~repro.service.sketch.QuantileSketch` dump, both of which
+  merge associatively and serialize canonically;
+* ``fanout`` gathers results in task order and ``jobs=1`` short-circuits
+  through the *same* worker function, keeping one code path.
+
+The per-board trace never crosses the process boundary — only its sha256
+digest does, which is also what the golden-pin and
+single-board-equals-bare-hypervisor tests compare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.profiles import BoardProfile
+from repro.config import SystemConfig
+from repro.errors import ClusterError
+from repro.faults.models import FaultConfig
+from repro.sim.trace import Trace
+from repro.sim.trace_export import trace_to_dict
+from repro.workload.events import EventSpec
+
+#: One board's simulation input: (board index, profile, scheduler name,
+#: fleet-wide base config or None, placed event specs in arrival order,
+#: per-board fault config or None, per-board admission policy name or
+#: None, per-board seed). Everything is a primitive or a frozen
+#: dataclass of primitives, hence picklable.
+BoardTask = Tuple[
+    int, BoardProfile, str, Optional[SystemConfig],
+    Tuple[EventSpec, ...], Optional[FaultConfig], Optional[str], int,
+]
+
+
+def derive_board_fault_config(
+    faults: Optional[FaultConfig], board_index: int
+) -> Optional[FaultConfig]:
+    """Per-board fault stream: the fleet seed offset by the board index.
+
+    Boards must draw *independent* fault streams (identical seeds would
+    fault every board in lock-step), and the derivation must be a pure
+    function of (fleet config, board index) so serial and sharded runs
+    reconstruct identical injectors.
+    """
+    if faults is None or not faults.enabled:
+        return None
+    from dataclasses import replace
+
+    return replace(faults, seed=faults.seed + 1_000_003 * board_index)
+
+
+def trace_digest(trace: Trace, label: str = "") -> str:
+    """sha256 over the canonical JSON dump of a trace.
+
+    Shared by the board worker, the golden regression pins and the
+    single-board-fleet-equals-bare-hypervisor test — all three must hash
+    the same bytes for the comparisons to mean anything.
+    """
+    blob = json.dumps(trace_to_dict(trace, label=label), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def board_label(board_index: int) -> str:
+    """The trace label of one board's run."""
+    return f"board{board_index}"
+
+
+def _empty_payload(
+    board_index: int, profile: BoardProfile
+) -> dict:
+    """Payload for a board that was placed no work at all."""
+    from repro.service.sketch import QuantileSketch
+
+    return {
+        "board": board_index,
+        "profile": profile.to_dict(),
+        "submitted": 0,
+        "retired": 0,
+        "shed": 0,
+        "dropped": 0,
+        "items_done": 0,
+        "responses": QuantileSketch().to_dict(),
+        "first_arrival_ms": None,
+        "last_retire_ms": None,
+        "run_busy_ms": 0.0,
+        "reconfig_busy_ms": 0.0,
+        "energy_j": 0.0,
+        "faults": _fault_payload(None),
+        "trace_events": 0,
+        "trace_digest": trace_digest(Trace(), board_label(board_index)),
+    }
+
+
+def _fault_payload(stats) -> dict:
+    """FaultStats reduced to a JSON-safe counter dict."""
+    if stats is None:
+        return {
+            "transient": 0, "permanent": 0, "config_failures": 0,
+            "repairs": 0, "evictions": 0, "relocations": 0,
+            "items_lost": 0, "work_lost_ms": 0.0, "total": 0,
+        }
+    return {
+        "transient": stats.transient_faults,
+        "permanent": stats.permanent_faults,
+        "config_failures": stats.config_failures,
+        "repairs": stats.repairs,
+        "evictions": stats.evictions,
+        "relocations": stats.relocations,
+        "items_lost": stats.items_lost,
+        "work_lost_ms": stats.work_lost_ms,
+        "total": stats.total_faults,
+    }
+
+
+def simulate_board(task: BoardTask) -> dict:
+    """Worker: one board's full simulation reduced to its merge payload.
+
+    Top-level (picklable) so :func:`repro.experiments.parallel.fanout`
+    can ship it to worker processes. The returned payload contains only
+    associatively mergeable state: integer counters, float sums the
+    simulation computed deterministically, a quantile-sketch dump, and
+    the trace digest.
+    """
+    from repro.admission import AdmissionController, Watchdog
+    from repro.faults.injector import FaultInjector
+    from repro.hypervisor.hypervisor import Hypervisor
+    from repro.schedulers.registry import make_scheduler
+    from repro.service.sketch import QuantileSketch
+
+    (board_index, profile, scheduler_name, base_config, specs,
+     fault_config, admission_policy, seed) = task
+    if not specs:
+        return _empty_payload(board_index, profile)
+
+    injector = None
+    if fault_config is not None and fault_config.enabled:
+        injector = FaultInjector(fault_config)
+    controller = None
+    watchdog = None
+    if admission_policy is not None:
+        controller = AdmissionController(admission_policy, seed=seed)
+        watchdog = Watchdog()
+    hypervisor = Hypervisor(
+        make_scheduler(scheduler_name),
+        config=profile.system_config(base_config),
+        faults=injector,
+        admission=controller,
+        watchdog=watchdog,
+    )
+    for spec in specs:
+        hypervisor.submit(spec.to_request())
+    hypervisor.run()
+    if not hypervisor.all_retired:
+        raise ClusterError(
+            f"board {board_index} ({profile.name}) failed to drain: "
+            f"{len(hypervisor.retired)} retired + {len(hypervisor.shed)} "
+            f"shed of {len(hypervisor.apps)} admitted"
+        )
+
+    results = hypervisor.results()
+    sketch = QuantileSketch()
+    items_done = 0
+    for result in results:
+        sketch.add(result.response_ms)
+        items_done += result.batch_size
+    trace = hypervisor.trace
+    first_arrival = min(spec.arrival_ms for spec in specs)
+    last_retire = (
+        max(result.retire_ms for result in results) if results else None
+    )
+    span_ms = (last_retire - first_arrival) if results else 0.0
+    run_busy = trace.run_busy_ms()
+    # Energy model: idle draw over the board's active span plus the
+    # per-slot active draw over every busy slot-millisecond.
+    energy_j = (
+        profile.idle_power_w * span_ms
+        + profile.slot_power_w * run_busy
+    ) / 1000.0
+    dropped = 0
+    if controller is not None:
+        dropped = controller.stats.dropped
+    return {
+        "board": board_index,
+        "profile": profile.to_dict(),
+        "submitted": len(specs),
+        "retired": len(results),
+        "shed": len(hypervisor.shed),
+        "dropped": dropped,
+        "items_done": items_done,
+        "responses": sketch.to_dict(),
+        "first_arrival_ms": first_arrival,
+        "last_retire_ms": last_retire,
+        "run_busy_ms": run_busy,
+        "reconfig_busy_ms": trace.reconfig_busy_ms(),
+        "energy_j": energy_j,
+        "faults": _fault_payload(hypervisor.fault_stats),
+        "trace_events": len(trace),
+        "trace_digest": trace_digest(trace, board_label(board_index)),
+    }
+
+
+def board_cells(
+    tasks: Sequence[BoardTask], jobs: Optional[int] = None
+) -> List[dict]:
+    """Fan board simulations out; payloads in board-task order."""
+    from repro.experiments import parallel
+
+    return parallel.fanout(simulate_board, tasks, jobs=jobs)

@@ -76,6 +76,10 @@ class ServiceError(ReproError):
     """The online service tier (``repro.service``) was misconfigured."""
 
 
+class ClusterError(ReproError):
+    """The multi-board cluster tier (``repro.cluster``) was misdriven."""
+
+
 class InvariantViolation(ReproError):
     """The runtime invariant checker caught an illegal hypervisor state.
 

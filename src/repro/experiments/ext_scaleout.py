@@ -1,15 +1,22 @@
 """Extension study: scale-out across a fleet of virtualized FPGAs (§1).
 
-A cluster front-end dispatches whole applications to one of ``N``
-Nimblock-scheduled devices. We sweep fleet sizes under a heavy arrival
-stream and compare the two dispatch policies.
+The cluster tier (:mod:`repro.cluster`) dispatches whole applications to
+one of ``N`` Nimblock-scheduled boards. We sweep fleet sizes under a
+heavy arrival stream and compare placement policies on mean response.
 
-Expected shapes: mean response improves steeply from one to two devices
-and sub-linearly after. The dispatch policies trade blows: least-loaded
-(driven by the hypervisor's HLS work estimates) isolates kilosecond
-outliers onto their own devices, while round-robin's even spread can win
-on balanced streams — neither dominates across workloads, which is itself
-the finding.
+Historically this study ran on the toy ``FPGACluster`` front-end and
+capped out at four homogeneous devices; it now drives the real cluster
+tier — homogeneous zcu106 fleets for continuity with the old numbers —
+and sweeps to 64 boards, sharding board simulation over ``jobs`` worker
+processes.
+
+Expected shapes: mean response improves steeply from one to two boards
+and sub-linearly after (a fixed arrival stream can only be spread so
+thin — past the knee every extra board mostly idles). The dispatch
+policies trade blows: least-loaded (driven by the hypervisor's HLS work
+estimates) isolates kilosecond outliers onto their own boards, while
+round-robin's even spread can win on balanced streams — neither
+dominates across workloads, which is itself the finding.
 """
 
 from __future__ import annotations
@@ -17,17 +24,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.runner import ExperimentSettings, format_table, uniform_args
-from repro.hypervisor.cluster import DISPATCH_POLICIES, FPGACluster
+from repro.cluster import Cluster, fleet_profiles
+from repro.experiments.runner import (
+    ExperimentSettings,
+    format_table,
+    uniform_args,
+)
 from repro.workload.scenarios import STRESS, scenario_sequence
 
-#: Fleet sizes swept.
-FLEET_SIZES: Tuple[int, ...] = (1, 2, 3, 4)
+#: Fleet sizes swept: 1 -> 64, doubling (the old front-end stopped at 4).
+FLEET_SIZES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: Placement policies compared (the old study's two dispatch policies,
+#: now backed by the cluster tier's placement registry).
+DISPATCH_POLICIES: Tuple[str, ...] = ("round_robin", "least_loaded")
 
 
 @dataclass(frozen=True)
 class ScaleOutResult:
-    """Mean response per (fleet size, dispatch policy)."""
+    """Mean response per (fleet size, placement policy)."""
 
     scheduler: str
     mean_response_ms: Dict[Tuple[int, str], float]
@@ -38,7 +53,7 @@ class ScaleOutResult:
         return self.mean_response_ms[(devices, dispatch)]
 
     def speedup(self, devices: int, dispatch: str) -> float:
-        """Improvement over the single-device fleet (same dispatch)."""
+        """Improvement over the single-device fleet (same placement)."""
         return self.response(1, dispatch) / self.response(devices, dispatch)
 
 
@@ -50,9 +65,12 @@ def run(
     scheduler: str = "nimblock",
     fleet_sizes: Tuple[int, ...] = FLEET_SIZES,
 ) -> ScaleOutResult:
-    """Sweep fleet sizes and dispatch policies on one arrival stream."""
+    """Sweep fleet sizes and placement policies on one arrival stream."""
+    from repro.experiments import parallel
+
     settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
+    resolved_jobs = parallel.resolve_jobs(jobs, cache)
     sequences = [
         scenario_sequence(STRESS, seed, settings.num_events)
         for seed in settings.seeds()
@@ -64,17 +82,17 @@ def run(
             responses: List[float] = []
             balance = [0] * devices
             for sequence in sequences:
-                cluster = FPGACluster(
-                    devices, scheduler_name=scheduler, dispatch=dispatch
+                fleet = Cluster(
+                    fleet_profiles(devices, mix=("zcu106",)),
+                    placement=dispatch,
+                    scheduler=scheduler,
+                    seed=settings.base_seed,
                 )
-                for request in sequence.to_requests():
-                    cluster.submit(request)
-                cluster.run()
-                responses.extend(
-                    r.result.response_ms for r in cluster.results()
-                )
-                for index, count in enumerate(cluster.device_utilization()):
-                    balance[index] += count
+                fleet.submit_sequence(sequence)
+                report = fleet.run(jobs=resolved_jobs)
+                for payload in report.boards:
+                    balance[payload["board"]] += payload["submitted"]
+                responses.append(report.sketch.mean)
             means[(devices, dispatch)] = sum(responses) / len(responses)
             placements[(devices, dispatch)] = balance
     return ScaleOutResult(
@@ -83,7 +101,7 @@ def run(
 
 
 def format_result(result: ScaleOutResult) -> str:
-    """Extension table: fleet size vs mean response per dispatch policy."""
+    """Extension table: fleet size vs mean response per placement."""
     headers = ["devices"] + [
         f"{d} resp (s)" for d in DISPATCH_POLICIES
     ] + [f"{d} speedup" for d in DISPATCH_POLICIES]

@@ -111,6 +111,7 @@ class Experiment:
 _SPECS: Tuple[Tuple[str, str], ...] = (
     ("ext-batching", "repro.experiments.ext_batching"),
     ("ext-capacity", "repro.experiments.ext_capacity"),
+    ("ext-cluster", "repro.experiments.ext_cluster"),
     ("ext-estimates", "repro.experiments.ext_estimates"),
     ("ext-faults", "repro.experiments.ext_faults"),
     ("ext-hetero", "repro.experiments.ext_hetero"),

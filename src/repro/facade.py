@@ -158,3 +158,144 @@ def serve(
         watchdog=watchdog,
     )
     return loop.run()
+
+
+def fleet(
+    num_boards: int = 4,
+    *,
+    placement: str = "least_loaded",
+    scheduler: str = "nimblock",
+    admission: Optional[str] = None,
+    mix: Optional[Tuple[str, ...]] = None,
+    seed: int = 1,
+    num_events: Optional[int] = None,
+    rate_multiplier: float = 4.0,
+    fault_rate: float = 0.0,
+    fault_scenario: str = "mixed",
+    config: Optional[SystemConfig] = None,
+    jobs: Optional[int] = None,
+    sequence: Optional[EventSequence] = None,
+):
+    """Run one multi-board fleet under the burst workload; the report.
+
+    The fleet counterpart of :func:`simulate`: builds a
+    :class:`~repro.cluster.Cluster` over ``num_boards`` boards (rotating
+    the heterogeneous default mix unless ``mix`` is given), admits and
+    places the ext-overload burst stream, simulates every board (sharded
+    over ``jobs`` worker processes — any value is byte-identical) and
+    returns the merged :class:`~repro.cluster.ClusterReport`.
+
+    >>> from repro import fleet
+    >>> report = fleet(2, num_events=6, jobs=1)
+    >>> report.retired
+    6
+    """
+    from repro.cluster import Cluster, fleet_profiles
+    from repro.cluster.profiles import DEFAULT_FLEET_MIX
+    from repro.experiments.ext_overload import (
+        OVERLOAD_WORKLOAD,
+        study_sequence,
+    )
+    from repro.experiments.runner import ExperimentSettings
+    from repro.workload.scenarios import chaos_scenario
+
+    faults = None
+    if fault_rate > 0.0:
+        faults = chaos_scenario(fault_scenario).fault_config(
+            fault_rate, seed=seed
+        )
+    if sequence is None:
+        if num_events is None:
+            num_events = (
+                ExperimentSettings.from_env().num_events * num_boards
+            )
+        sequence = study_sequence(
+            OVERLOAD_WORKLOAD, seed, num_events, rate_multiplier
+        )
+    fleet = Cluster(
+        fleet_profiles(num_boards, mix or DEFAULT_FLEET_MIX),
+        placement=placement,
+        scheduler=scheduler,
+        config=config,
+        admission=admission,
+        faults=faults,
+        seed=seed,
+    )
+    fleet.submit_sequence(sequence)
+    return fleet.run(jobs=jobs)
+
+
+def cluster_report(
+    num_boards: int = 4,
+    *,
+    placement: str = "least_loaded",
+    scheduler: str = "nimblock",
+    admission: Optional[str] = None,
+    mix: Optional[Tuple[str, ...]] = None,
+    seed: int = 1,
+    num_events: Optional[int] = None,
+    rate_multiplier: float = 4.0,
+    fault_rate: float = 0.0,
+    fault_scenario: str = "mixed",
+    jobs: Optional[int] = None,
+    as_json: bool = False,
+) -> str:
+    """The ``repro cluster`` drill as deterministic text.
+
+    With ``as_json`` the merged snapshot is dumped as canonical JSON
+    (sorted keys, one trailing newline) — the byte stream the
+    ``cluster-determinism`` CI job diffs across ``--jobs`` values.
+    """
+    import json
+
+    from repro.experiments.runner import format_table
+
+    report = fleet(
+        num_boards,
+        placement=placement,
+        scheduler=scheduler,
+        admission=admission,
+        mix=mix,
+        seed=seed,
+        num_events=num_events,
+        rate_multiplier=rate_multiplier,
+        fault_rate=fault_rate,
+        fault_scenario=fault_scenario,
+        jobs=jobs,
+    )
+    if as_json:
+        return json.dumps(report.to_dict(), sort_keys=True) + "\n"
+    headers = ["board", "profile", "slots", "apps", "retired", "shed",
+               "items", "busy (s)", "energy (J)", "faults"]
+    rows: List[List[object]] = []
+    for payload in report.boards:
+        rows.append([
+            payload["board"],
+            payload["profile"]["name"],
+            payload["profile"]["num_slots"],
+            payload["submitted"],
+            payload["retired"],
+            payload["shed"],
+            payload["items_done"],
+            payload["run_busy_ms"] / 1000.0,
+            payload["energy_j"],
+            payload["faults"]["total"],
+        ])
+    title = (
+        f"Cluster drill: {num_boards} board(s), placement={placement}, "
+        f"scheduler={scheduler}, admission={admission or 'none'}, "
+        f"seed={seed}"
+    )
+    summary = (
+        f"fleet: retired={report.retired} shed={report.shed} "
+        f"items={report.items_done} "
+        f"throughput={report.throughput_items_per_s:.3f} items/s "
+        f"p50={report.quantile_ms(0.5):.1f} ms "
+        f"p99={report.quantile_ms(0.99):.1f} ms "
+        f"makespan={report.makespan_ms:.1f} ms "
+        f"energy={report.energy_j:.1f} J\n"
+        f"snapshot sha256: {report.snapshot_digest()}"
+    )
+    return (
+        f"{title}\n{format_table(headers, rows)}\n{summary}\n"
+    )

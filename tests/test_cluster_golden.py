@@ -1,0 +1,83 @@
+"""Golden regression pins for the cluster tier.
+
+Extends the `test_perf_equivalence.py` / `test_golden_regression.py`
+idiom to the fleet: a 4-board heterogeneous run (zcu106/edge/hpc/zcu106)
+under full-rate mixed chaos faults is pinned down to the sha256 digest
+of every per-board trace dump and of the merged cluster snapshot.
+
+Any behavioural drift anywhere in the stack — placement, per-board fault
+seed derivation, hypervisor scheduling, sketch serialization, payload
+merge — changes a digest. If a change is *intended*, regenerate the pins
+by printing ``report.snapshot_digest()`` and the per-board
+``trace_digest`` fields from this exact configuration.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster, fleet_profiles
+from repro.workload.generator import EventGenerator
+from repro.workload.scenarios import chaos_scenario
+
+#: sha256 of the merged cluster snapshot (``ClusterReport.to_dict``).
+SNAPSHOT_DIGEST = (
+    "fcedd0dff65fd2d3070184ccd02c347418304fba21a017bb1cf6b88f859dfe93"
+)
+
+#: sha256 of each board's trace dump, by board index.
+BOARD_TRACE_DIGESTS = {
+    0: "76fc8150d485578e45f50f5ddb97328148901057b8fe8083a166568495280519",
+    1: "bfc69b80107aa24eb0704b35f5715aecf4b780a10e2238d68e532c719028dd21",
+    2: "ec581c168baea4c4fb3087d7a8bae19ecb81064fd490362156ac68447e510740",
+    3: "17df86cd01e959e2e3d10eb131379c5fda38919d6447a1a813519d52126daeae",
+}
+
+#: Scalar invariants of the pinned run (diagnosable failure messages
+#: before the digests are even compared).
+EXPECTED_RETIRED = 12
+EXPECTED_TOTAL_FAULTS = 75
+
+
+def golden_fleet() -> Cluster:
+    """The pinned configuration: heterogeneous fleet, full-rate chaos."""
+    events = EventGenerator(
+        99, benchmarks=("lenet", "imgc", "3dr", "of")
+    ).sequence(
+        num_events=12, delay_range_ms=(200, 200), batch_range=(2, 6),
+        label="cluster-golden",
+    )
+    faults = chaos_scenario("mixed").fault_config(1.0, seed=7)
+    fleet = Cluster(
+        fleet_profiles(4), placement="least_loaded",
+        scheduler="nimblock", faults=faults, seed=11,
+    )
+    fleet.submit_sequence(events)
+    return fleet
+
+
+class TestClusterGoldenPins:
+    def test_serial_run_matches_all_pins(self):
+        report = golden_fleet().run(jobs=1)
+        assert report.retired == EXPECTED_RETIRED
+        assert report.fault_totals["total"] == EXPECTED_TOTAL_FAULTS
+        for payload in report.boards:
+            assert (
+                payload["trace_digest"]
+                == BOARD_TRACE_DIGESTS[payload["board"]]
+            ), f"board {payload['board']} trace drifted"
+        assert report.snapshot_digest() == SNAPSHOT_DIGEST
+
+    def test_sharded_run_matches_the_same_pins(self):
+        report = golden_fleet().run(jobs=3)
+        for payload in report.boards:
+            assert (
+                payload["trace_digest"]
+                == BOARD_TRACE_DIGESTS[payload["board"]]
+            )
+        assert report.snapshot_digest() == SNAPSHOT_DIGEST
+
+    def test_per_board_fault_streams_are_independent(self):
+        # Same chaos config, different per-board seeds: if the derived
+        # streams collapsed to one, every zcu106 board would fault
+        # identically; the pinned digests of boards 0 and 3 differ even
+        # though their profiles are identical.
+        assert BOARD_TRACE_DIGESTS[0] != BOARD_TRACE_DIGESTS[3]

@@ -1,0 +1,138 @@
+"""Property-based determinism suite (hypothesis) for the cluster tier.
+
+Two guarantees, spelled out as properties over random fleets and
+arrival streams:
+
+* **placement purity** — placement decisions are a pure function of
+  (seed, policy, board profiles, arrival stream): rebuilding the same
+  cluster and replaying the same stream reproduces the decision list
+  exactly, and the decisions never depend on ``jobs`` (placement runs
+  strictly before the sharded simulation);
+* **merge invariance** — serial and sharded cluster runs merge to
+  ``to_dict``-exact metrics at any ``--jobs``, and the merged response
+  sketch is independent of the order the per-board payloads are merged
+  in (associativity carried up from the quantile sketch).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    PLACEMENT_POLICIES,
+    Cluster,
+    fleet_profiles,
+)
+from repro.cluster.profiles import DEFAULT_FLEET_MIX
+from repro.service.sketch import QuantileSketch
+from repro.workload.events import EventSpec
+
+#: The lightweight end of the benchmark catalogue — property tests run
+#: hundreds of simulations, so the kiloseconds-long outliers stay out.
+BENCHMARKS = ("lenet", "imgc", "3dr", "of")
+
+policy_names = st.sampled_from(PLACEMENT_POLICIES)
+mixes = st.sampled_from([
+    ("zcu106",), ("edge",), ("hpc",), DEFAULT_FLEET_MIX,
+    ("hpc", "edge"),
+])
+
+
+@st.composite
+def arrival_streams(draw, max_events: int = 10):
+    """A short, valid (arrival-ordered) burst of application events."""
+    count = draw(st.integers(min_value=1, max_value=max_events))
+    arrival = 0.0
+    events = []
+    for _ in range(count):
+        arrival += draw(
+            st.floats(min_value=0.0, max_value=500.0,
+                      allow_nan=False, allow_infinity=False)
+        )
+        events.append(EventSpec(
+            benchmark=draw(st.sampled_from(BENCHMARKS)),
+            batch_size=draw(st.integers(min_value=1, max_value=4)),
+            priority=draw(st.integers(min_value=1, max_value=3)),
+            arrival_ms=arrival,
+        ))
+    return events
+
+
+def build(events, policy, num_boards, mix, seed):
+    fleet = Cluster(
+        fleet_profiles(num_boards, mix),
+        placement=policy,
+        seed=seed,
+    )
+    fleet.submit_sequence(events)
+    return fleet
+
+
+@settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    events=arrival_streams(max_events=12),
+    policy=policy_names,
+    num_boards=st.integers(min_value=1, max_value=5),
+    mix=mixes,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_placement_is_a_pure_function_of_inputs(
+    events, policy, num_boards, mix, seed
+):
+    first = build(events, policy, num_boards, mix, seed)
+    second = build(events, policy, num_boards, mix, seed)
+    assert first.decisions == second.decisions
+    for index in range(num_boards):
+        assert first.board_queue(index) == second.board_queue(index)
+    # Decisions target real, eligible boards and cover every admission.
+    assert len(first.decisions) == len(events)
+    assert all(0 <= d.board < num_boards for d in first.decisions)
+
+
+@settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    events=arrival_streams(max_events=6),
+    policy=policy_names,
+    num_boards=st.integers(min_value=1, max_value=3),
+    mix=mixes,
+    seed=st.integers(min_value=0, max_value=2**16),
+    jobs=st.integers(min_value=2, max_value=4),
+)
+def test_serial_and_sharded_runs_merge_to_dict_exact(
+    events, policy, num_boards, mix, seed, jobs
+):
+    serial = build(events, policy, num_boards, mix, seed).run(jobs=1)
+    sharded = build(events, policy, num_boards, mix, seed).run(jobs=jobs)
+    assert serial.to_dict() == sharded.to_dict()
+    assert serial.snapshot_digest() == sharded.snapshot_digest()
+
+
+@settings(
+    max_examples=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    events=arrival_streams(max_events=8),
+    policy=policy_names,
+    seed=st.integers(min_value=0, max_value=2**16),
+    shuffle_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_merged_sketch_is_shard_order_invariant(
+    events, policy, seed, shuffle_seed
+):
+    report = build(events, policy, 4, DEFAULT_FLEET_MIX, seed).run(jobs=1)
+    payloads = list(report.boards)
+    random.Random(shuffle_seed).shuffle(payloads)
+    merged = QuantileSketch()
+    for payload in payloads:
+        merged = merged.merge(QuantileSketch.from_dict(payload["responses"]))
+    assert merged.to_dict() == report.sketch.to_dict()
