@@ -5,13 +5,20 @@ PYTHON ?= python
 JOBS ?= 4
 CACHE_DIR ?= .runcache
 
-.PHONY: install test bench sweep perf chaos overload serve cluster paranoid trace stats reproduce report examples clean
+.PHONY: install test fast bench sweep perf chaos overload serve cluster paranoid trace stats reproduce report examples clean
 
 install:
 	pip install -e . && pip install -e '.[test]'
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Fastest full regeneration: every experiment in metrics mode (streaming
+# counters, no trace rows) at reduced scale, fanned out over $(JOBS).
+# Output is byte-identical to the same scale in full mode.
+fast:
+	REPRO_SEQUENCES=2 REPRO_EVENTS=8 $(PYTHON) -m repro.cli all \
+		--mode metrics --jobs $(JOBS)
 
 # One regeneration pass over every table/figure bench (3 sequences).
 # Fans cold simulations out over $(JOBS) workers and persists them under

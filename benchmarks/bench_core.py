@@ -2,19 +2,24 @@
 
 Where ``bench_sweep`` times the experiment *harness* (cache, process
 fan-out), this bench isolates the simulation *core*: the event heap, the
-hypervisor decision passes and the trace recorder. Two rates are
-reported:
+hypervisor decision passes and the trace recorder. The rates reported
+(schema 2 entries in BENCH_core.json):
 
-* **engine events/sec** — an empty-callback timer storm through
-  :class:`~repro.sim.engine.SimulationEngine`: the per-event overhead
-  floor of the heap itself;
-* **sim events/sec** — full hypervisor simulations (every registry
-  scheduler over deterministic generated sequences), counting the events
-  the engine actually processed.
+* **engine schedule/sec** and **engine fire/sec** — an empty-callback
+  timer storm through the raw array-native
+  :meth:`~repro.sim.engine.SimulationEngine.schedule` path, with the
+  enqueue phase and the dispatch (``run``) phase timed separately. The
+  fire rate is the per-event overhead floor of the heap itself and the
+  number held to the >=1M events/sec target;
+* **sim events/sec** (``mode="full"``) and **sim metrics events/sec**
+  (``mode="metrics"``) — full hypervisor simulations (every registry
+  scheduler over deterministic generated sequences), counting the
+  events the engine actually processed. Both run the same sequences,
+  so the pair doubles as a coarse mode-overhead comparison.
 
 Standalone usage::
 
-    # print both rates at the default scale
+    # print all rates at the default scale
     python benchmarks/bench_core.py
 
     # cProfile breakdown of the simulation hot path
@@ -23,15 +28,18 @@ Standalone usage::
     # append a trajectory entry to BENCH_core.json (repo root)
     python benchmarks/bench_core.py --bench
 
-    # CI regression guard: fail if sim events/sec drops >30% below the
-    # last committed BENCH_core.json entry
+    # CI regression guard: fail if any guarded rate drops >30% below
+    # the last committed BENCH_core.json entry
     python benchmarks/bench_core.py --guard
 
 The guard compares *rates*, not totals. Per-run fixed costs make the
 rate scale-sensitive, so CI guards at the same (default) scale the
 committed baseline was recorded at; the 30% tolerance absorbs
 machine-to-machine noise while still catching the order-of-magnitude
-regressions the optimization work targets.
+regressions the optimization work targets. Every rate key the baseline
+entry carries is guarded; keys the baseline predates (schema 1 entries
+lack the metrics-mode and phase-split rates) are skipped, so the guard
+works against both old and new baselines.
 """
 
 from __future__ import annotations
@@ -54,15 +62,31 @@ from repro.workload.generator import EventGenerator
 #: Default output of ``--bench`` mode: the core bench trajectory.
 DEFAULT_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
-#: Maximum tolerated drop in sim events/sec before --guard fails.
+#: Maximum tolerated drop in any guarded rate before --guard fails.
 GUARD_TOLERANCE = 0.30
+
+#: Rate keys --guard compares when the baseline entry carries them.
+#: ``sim_events_per_sec`` is present in every schema; the rest appear
+#: from schema 2 on.
+GUARD_KEYS = (
+    "sim_events_per_sec",
+    "sim_metrics_events_per_sec",
+    "engine_fire_events_per_sec",
+)
 
 #: Timer events for the raw-engine measurement.
 ENGINE_STORM_EVENTS = 200_000
 
 
-def engine_storm(num_events: int = ENGINE_STORM_EVENTS) -> float:
-    """Raw engine throughput: ``num_events`` empty timers, events/sec."""
+def engine_storm(num_events: int = ENGINE_STORM_EVENTS) -> Dict:
+    """Raw engine throughput with the two phases timed separately.
+
+    The storm goes through the raw array-native ``schedule`` path (plain
+    4-tuple entries, no handle allocation) — the same path the
+    hypervisor's hot loop uses. Returns per-phase and combined
+    events/sec: ``schedule`` is pure enqueue cost, ``fire`` is the heap
+    pop + dispatch cost of ``run()``.
+    """
     from repro.sim.engine import SimulationEngine
 
     engine = SimulationEngine()
@@ -71,13 +95,21 @@ def engine_storm(num_events: int = ENGINE_STORM_EVENTS) -> float:
         pass
 
     # Interleave two priorities so heap sifts exercise the tuple compare.
+    schedule = engine.schedule
     start = time.perf_counter()
     for i in range(num_events):
-        engine.schedule_at(float(i % 1024), noop, priority=i & 1)
+        schedule(float(i % 1024), noop, i & 1)
+    scheduled = time.perf_counter()
     engine.run()
-    elapsed = time.perf_counter() - start
+    fired = time.perf_counter()
     assert engine.processed == num_events
-    return num_events / elapsed
+    schedule_s = scheduled - start
+    fire_s = fired - scheduled
+    return {
+        "engine_schedule_events_per_sec": round(num_events / schedule_s),
+        "engine_fire_events_per_sec": round(num_events / fire_s),
+        "engine_events_per_sec": round(num_events / (fired - start)),
+    }
 
 
 class _StubApp:
@@ -154,11 +186,14 @@ def _sequences(num_sequences: int, num_events: int) -> List:
 
 
 def sim_throughput(
-    num_sequences: int, num_events: int
+    num_sequences: int, num_events: int, mode: str = "full"
 ) -> Tuple[float, int, float]:
     """Full-simulation throughput over every registry scheduler.
 
     Returns ``(events_per_sec, total_engine_events, wall_seconds)``.
+    The two run modes process identical event counts (pinned by
+    ``tests/test_mode_equivalence.py``), so their rates compare the
+    per-event trace cost directly.
     """
     sequences = _sequences(num_sequences, num_events)
     requests = [seq.to_requests() for seq in sequences]
@@ -166,7 +201,7 @@ def sim_throughput(
     start = time.perf_counter()
     for name in ALL_SCHEDULERS:
         for reqs in requests:
-            hv = Hypervisor(make_scheduler(name))
+            hv = Hypervisor(make_scheduler(name), mode=mode)
             for request in reqs:
                 hv.submit(request)
             hv.run()
@@ -176,13 +211,21 @@ def sim_throughput(
 
 
 def measure(num_sequences: int, num_events: int) -> Dict:
-    """One full measurement: both rates plus the scale that produced them."""
-    engine_rate = engine_storm()
+    """One full measurement: every rate plus the scale that produced it."""
+    engine_rates = engine_storm()
     queue_stats = queue_scaling()
     sim_rate, sim_events, sim_wall = sim_throughput(
-        num_sequences, num_events
+        num_sequences, num_events, mode="full"
+    )
+    metrics_rate, metrics_events, metrics_wall = sim_throughput(
+        num_sequences, num_events, mode="metrics"
+    )
+    assert metrics_events == sim_events, (
+        f"mode drift: full processed {sim_events} events, "
+        f"metrics processed {metrics_events}"
     )
     return {
+        "schema": 2,
         **queue_stats,
         "scale": {
             "schedulers": len(ALL_SCHEDULERS),
@@ -191,10 +234,12 @@ def measure(num_sequences: int, num_events: int) -> Dict:
             "engine_storm_events": ENGINE_STORM_EVENTS,
         },
         "cpu_count": os.cpu_count(),
-        "engine_events_per_sec": round(engine_rate),
+        **engine_rates,
         "sim_events_per_sec": round(sim_rate),
+        "sim_metrics_events_per_sec": round(metrics_rate),
         "sim_events": sim_events,
         "sim_wall_s": round(sim_wall, 3),
+        "sim_metrics_wall_s": round(metrics_wall, 3),
     }
 
 
@@ -204,13 +249,25 @@ def print_measurement(entry: Dict) -> None:
         f"core bench: {scale['schedulers']} schedulers x "
         f"{scale['sequences']} sequences x {scale['events']} events"
     )
-    print(f"engine storm:  {entry['engine_events_per_sec']:>10,} events/sec")
     print(
-        f"full sim:      {entry['sim_events_per_sec']:>10,} events/sec "
+        f"engine schedule: {entry['engine_schedule_events_per_sec']:>10,} "
+        f"events/sec"
+    )
+    print(
+        f"engine fire:     {entry['engine_fire_events_per_sec']:>10,} "
+        f"events/sec"
+    )
+    print(
+        f"full sim:        {entry['sim_events_per_sec']:>10,} events/sec "
         f"({entry['sim_events']:,} events in {entry['sim_wall_s']}s)"
     )
     print(
-        f"queue remove:  {entry['queue_remove_ns_large']:>10,.0f} ns/op "
+        f"metrics sim:     {entry['sim_metrics_events_per_sec']:>10,} "
+        f"events/sec ({entry['sim_events']:,} events in "
+        f"{entry['sim_metrics_wall_s']}s)"
+    )
+    print(
+        f"queue remove:    {entry['queue_remove_ns_large']:>10,.0f} ns/op "
         f"at {QUEUE_SCALING_SIZES[1]:,} apps "
         f"({entry['queue_remove_scaling']}x vs {QUEUE_SCALING_SIZES[0]:,}; "
         f"O(1) limit {QUEUE_SCALING_MAX_RATIO}x)"
@@ -258,17 +315,27 @@ def _guard(num_sequences: int, num_events: int, baseline_path: Path) -> int:
     if not history:
         print(f"guard: {baseline_path} has an empty history")
         return 1
-    baseline = history[-1]["sim_events_per_sec"]
+    baseline_entry = history[-1]
     entry = measure(num_sequences, num_events)
     print_measurement(entry)
-    current = entry["sim_events_per_sec"]
-    floor = baseline * (1.0 - GUARD_TOLERANCE)
-    verdict = "OK" if current >= floor else "REGRESSION"
-    print(
-        f"\nguard: current {current:,} vs baseline {baseline:,} events/sec "
-        f"(floor {floor:,.0f}, tolerance {GUARD_TOLERANCE:.0%}) -> {verdict}"
-    )
-    return 0 if current >= floor else 1
+    print()
+    failed = False
+    for key in GUARD_KEYS:
+        baseline = baseline_entry.get(key)
+        if baseline is None:
+            # Schema-1 baselines predate this rate; nothing to hold.
+            print(f"guard: {key}: no baseline, skipped")
+            continue
+        current = entry[key]
+        floor = baseline * (1.0 - GUARD_TOLERANCE)
+        verdict = "OK" if current >= floor else "REGRESSION"
+        failed = failed or current < floor
+        print(
+            f"guard: {key}: current {current:,} vs baseline {baseline:,} "
+            f"(floor {floor:,.0f}, tolerance {GUARD_TOLERANCE:.0%}) "
+            f"-> {verdict}"
+        )
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -291,8 +358,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--guard", action="store_true",
-        help="fail (exit 1) if sim events/sec drops >30%% below the last "
-             "BENCH_core.json entry",
+        help="fail (exit 1) if any guarded rate (full sim, metrics sim, "
+             "engine fire) drops >30%% below the last BENCH_core.json entry",
     )
     parser.add_argument(
         "--bench-out", default=str(DEFAULT_BENCH_PATH),

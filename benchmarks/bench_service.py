@@ -62,18 +62,20 @@ def run_service(
     rate_per_s: float = DRILL_RATE_PER_S,
     window_ms: float = 60_000.0,
     scheduler: str = "nimblock",
-    policy: str = "shed",
+    admission: str = "shed",
     seed: int = 1,
+    mode: str = "full",
 ):
     """One measured service run; returns the finished report."""
     arrivals = service_rate_process(rate_per_s, seed=seed)
     loop = ServiceLoop(
         arrivals,
         scheduler,
-        policy=policy,
+        admission=admission,
         seed=seed,
         max_submissions=submissions,
         window_ms=window_ms,
+        mode=mode,
     )
     return loop.run()
 
@@ -87,17 +89,23 @@ def _check_shapes(report, submissions: int) -> None:
     assert report.windows_closed > 0
 
 
-def measure(submissions: int, rate_per_s: float = DRILL_RATE_PER_S) -> Dict:
+def measure(
+    submissions: int,
+    rate_per_s: float = DRILL_RATE_PER_S,
+    mode: str = "full",
+) -> Dict:
     """One full measurement: throughput rates plus peak RSS."""
-    report = run_service(submissions, rate_per_s=rate_per_s)
+    report = run_service(submissions, rate_per_s=rate_per_s, mode=mode)
     _check_shapes(report, submissions)
     peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     return {
+        "schema": 2,
+        "mode": mode,
         "scale": {
             "submissions": submissions,
             "rate_per_s": rate_per_s,
             "scheduler": report.scheduler,
-            "policy": report.policy,
+            "admission": report.admission,
             "window_ms": report.window_ms,
         },
         "engine_events": report.engine_events,
@@ -117,7 +125,7 @@ def print_measurement(entry: Dict) -> None:
     print(
         f"service bench: {scale['submissions']:,} submissions at "
         f"{scale['rate_per_s']:g}/s ({scale['scheduler']}, "
-        f"{scale['policy']})"
+        f"{scale['admission']}, mode={entry.get('mode', 'full')})"
     )
     print(
         f"engine:     {entry['engine_events_per_sec']:>12,} events/sec "
@@ -147,8 +155,8 @@ def test_service_throughput(benchmark):
 
 
 # -- standalone modes -------------------------------------------------------
-def _bench(submissions: int, out: Path) -> int:
-    entry = measure(submissions)
+def _bench(submissions: int, out: Path, mode: str = "full") -> int:
+    entry = measure(submissions, mode=mode)
     print_measurement(entry)
     entry = {
         "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(
@@ -221,13 +229,19 @@ def main(argv=None) -> int:
         "--bench-out", default=str(DEFAULT_BENCH_PATH),
         help="trajectory file (default: repo-root BENCH_core.json)",
     )
+    parser.add_argument(
+        "--mode", choices=("full", "metrics"), default="full",
+        help="run mode: full records trace rows, metrics streams "
+             "counters only (the fast path)",
+    )
     args = parser.parse_args(argv)
 
     if args.fast:
         return _fast_smoke()
     if args.bench:
-        return _bench(DRILL_SUBMISSIONS, Path(args.bench_out))
-    entry = measure(args.submissions)
+        return _bench(DRILL_SUBMISSIONS, Path(args.bench_out),
+                      mode=args.mode)
+    entry = measure(args.submissions, mode=args.mode)
     print_measurement(entry)
     return 0
 

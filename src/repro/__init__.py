@@ -59,7 +59,6 @@ from repro.workload import (
 _LAZY_EXPORTS = {
     "ExperimentSettings": "repro.experiments.runner",
     "RunCache": "repro.experiments.runner",
-    "uniform_args": "repro.experiments.runner",
     "Experiment": "repro.experiments.registry",
     "ExperimentResult": "repro.experiments.registry",
     "experiment_names": "repro.experiments.registry",
@@ -157,7 +156,6 @@ __all__ = [
     "ExperimentError",
     "ExperimentSettings",
     "RunCache",
-    "uniform_args",
     "Experiment",
     "ExperimentResult",
     "experiment_names",

@@ -101,6 +101,11 @@ class AdmissionController:
         high, low = policy.watermarks()
         self._high_watermark = high
         self._low_watermark = low
+        # Policy kind, resolved once: these isinstance checks sit on the
+        # per-pass (and per-arrival) hot paths and the policy object never
+        # changes after construction.
+        self._is_shed = isinstance(policy, ShedPolicy)
+        self._is_degrade = isinstance(policy, DegradePolicy)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -157,12 +162,12 @@ class AdmissionController:
         )
         delay = policy.backoff_ms(attempt) * (1.0 + self._jitter(app_id, attempt))
         hv._arrivals_outstanding += 1
-        hv.engine.schedule_after(
+        hv.engine.schedule_delay(
             delay,
             lambda retry_now, a=app_id, r=request: hv._on_arrival(
                 retry_now, a, r
             ),
-            priority=-5,
+            -5,
         )
         return False
 
@@ -181,13 +186,15 @@ class AdmissionController:
         """Refresh pressure and (for the shed policy) evict victims."""
         if self._high_watermark is None:
             return
-        self._update_pressure(now)
-        if isinstance(self.policy, ShedPolicy):
-            self._shed_victims(now)
-            self._update_pressure(now)
-
-    def _update_pressure(self, now: float) -> None:
         hv = self._require_hv()
+        self._update_pressure(hv, now)
+        if self._is_shed:
+            if self._shed_victims(hv, now):
+                # Depth only changed if someone was actually evicted; a
+                # second refresh with identical state is a no-op, skip it.
+                self._update_pressure(hv, now)
+
+    def _update_pressure(self, hv: "Hypervisor", now: float) -> None:
         depth = len(hv.pending)
         if self._overload_since is None:
             if depth >= self._high_watermark or self._wait_high(hv, now):
@@ -216,11 +223,11 @@ class AdmissionController:
         stay pending until they retire, so the oldest unretired app's age
         would count normal service time and flag an idle board.
         """
-        if not isinstance(self.policy, DegradePolicy):
+        if not self._is_degrade:
             return False
         waited = 0.0
         for app in hv.pending.in_arrival_order():
-            if app.first_item_start_ms is None and app.slots_used == 0:
+            if app.first_item_start_ms is None and app._slots_used == 0:
                 waited = now - app.arrival_ms
                 break
         threshold = self.policy.wait_high_ms
@@ -228,12 +235,11 @@ class AdmissionController:
             threshold /= 2.0
         return waited >= threshold
 
-    def _shed_victims(self, now: float) -> None:
-        hv = self._require_hv()
+    def _shed_victims(self, hv: "Hypervisor", now: float) -> int:
         policy = self.policy
         assert isinstance(policy, ShedPolicy)
         if len(hv.pending) <= policy.queue_capacity:
-            return
+            return 0
         low = policy.effective_low_watermark()
         victims = [
             app for app in hv.pending.in_arrival_order()
@@ -242,29 +248,32 @@ class AdmissionController:
         # Lowest priority first; within a priority the youngest goes first
         # (it has waited least, so dropping it wastes the least patience).
         victims.sort(key=lambda app: (app.priority, -app.arrival_ms, -app.app_id))
+        shed = 0
         for app in victims:
             if len(hv.pending) <= low:
                 break
             hv._shed_app(app, now)
             self.stats.shed += 1
+            shed += 1
+        return shed
 
     @staticmethod
     def _sheddable(app: "AppRun") -> bool:
         """Only applications with zero progress may be shed."""
-        return app.slots_used == 0 and app.first_item_start_ms is None
+        return app._slots_used == 0 and app.first_item_start_ms is None
 
     # ------------------------------------------------------------------
     # Degradation signals consumed by the scheduler / launch loop
     # ------------------------------------------------------------------
     def slot_cap(self) -> Optional[int]:
         """Per-application slot-allocation cap, or None outside overload."""
-        if isinstance(self.policy, DegradePolicy) and self.overload_active:
+        if self._is_degrade and self._overload_since is not None:
             return self.policy.slot_cap
         return None
 
     def pipelining_allowed(self) -> bool:
         """False while the degrade policy throttles pipelining depth."""
-        if isinstance(self.policy, DegradePolicy) and self.overload_active:
+        if self._is_degrade and self._overload_since is not None:
             return not self.policy.cap_pipelining
         return True
 

@@ -42,6 +42,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hypervisor.application import AppRun
     from repro.hypervisor.hypervisor import Hypervisor
 
+#: Progress-signature kinds, resolved once (the enum attribute lookups
+#: sit on the per-pass hot path).
+_ITEM_DONE = TraceKind.ITEM_DONE
+_CONFIG_DONE = TraceKind.TASK_CONFIG_DONE
+_PREEMPTED = TraceKind.TASK_PREEMPTED
+
 
 @dataclass(frozen=True)
 class WatchdogConfig:
@@ -87,8 +93,10 @@ class Watchdog:
         self._progress_sig: Optional[Tuple[int, int, int, int, int]] = None
         self._stalled_passes = 0
         self._last_kick_pass = -(10**9)
-        self._app_progress: Dict[int, Tuple[float, int, int]] = {}
-        self._app_stalled: Dict[int, int] = {}
+        #: Per-app ``[token, slots_used, stalled_passes]`` — one mutable
+        #: entry per never-started pending app (hot path: one dict probe
+        #: per app per pass).
+        self._app_progress: Dict[int, list] = {}
         self._app_last_kick: Dict[int, int] = {}
         #: Recovery-action counters (diagnostics and SLO metrics).
         self.stall_kicks = 0
@@ -108,10 +116,11 @@ class Watchdog:
     def on_pass(self, hv: "Hypervisor", now: float) -> None:
         """End-of-pass hook: update counters, fire recovery when due."""
         trace = hv.trace
+        count = trace.count
         sig = (
-            trace.count(TraceKind.ITEM_DONE),
-            trace.count(TraceKind.TASK_CONFIG_DONE),
-            trace.count(TraceKind.TASK_PREEMPTED),
+            count(_ITEM_DONE),
+            count(_CONFIG_DONE),
+            count(_PREEMPTED),
             len(hv.retired),
             len(hv.shed),
         )
@@ -167,54 +176,69 @@ class Watchdog:
     # ------------------------------------------------------------------
     def _check_starvation(self, hv: "Hypervisor", now: float) -> None:
         cfg = self.config
-        pending = hv.pending.in_arrival_order()
-        live_ids = set()
-        max_token = 0.0
-        for app in pending:
-            live_ids.add(app.app_id)
-            if app.token > max_token:
-                max_token = app.token
-        for app in pending:
-            progress = (
-                app.token,
-                app.slots_used,
-                sum(run.items_done for run in app.tasks.values()),
-            )
-            if self._app_progress.get(app.app_id) != progress:
-                self._app_progress[app.app_id] = progress
-                self._app_stalled[app.app_id] = 0
-                continue
-            stalled = self._app_stalled.get(app.app_id, 0) + 1
-            self._app_stalled[app.app_id] = stalled
-            if stalled < cfg.starvation_passes:
-                continue
+        starvation_passes = cfg.starvation_passes
+        app_progress = self._app_progress
+        live = 0
+        # Max pending token, computed lazily on the first starvation hit
+        # of the pass (over pre-boost tokens, as the eager version did —
+        # boosts within a pass all reach the same target).
+        max_token: Optional[float] = None
+        for app in hv.pending.in_arrival_order():
             if app.first_item_start_ms is not None:
-                continue  # it has run before; waiting, not starving
-            last = self._app_last_kick.get(app.app_id, -(10**9))
+                # The app has run before: waiting at a batch boundary is
+                # not starvation, and the field never resets, so no
+                # starvation record can ever fire for it again. Skip its
+                # progress tracking entirely; any stale entry from before
+                # its first item falls to the sweep below.
+                continue
+            app_id = app.app_id
+            live += 1
+            # Items done is identically 0 for a never-started app (an
+            # item completion implies an earlier first item start), so
+            # token and held slots are the whole progress signal.
+            token = app.token
+            used = app._slots_used
+            entry = app_progress.get(app_id)
+            if entry is None or entry[0] != token or entry[1] != used:
+                app_progress[app_id] = [token, used, 0]
+                continue
+            stalled = entry[2] + 1
+            entry[2] = stalled
+            if stalled < starvation_passes:
+                continue
+            last = self._app_last_kick.get(app_id, -(10**9))
             if hv.scheduler_passes - last < cfg.cooldown_passes:
                 continue
             self.starvations_detected += 1
             hv.trace.record(
-                now, TraceKind.WATCHDOG_STALL, app_id=app.app_id,
+                now, TraceKind.WATCHDOG_STALL, app_id=app_id,
                 detail=float(stalled),
             )
+            if max_token is None:
+                max_token = 0.0
+                for other in hv.pending.in_arrival_order():
+                    if other.token > max_token:
+                        max_token = other.token
             if cfg.boost_tokens and max_token > app.token:
                 old_token = app.token
                 app.token = max_token
                 self.starvation_boosts += 1
                 hv.trace.record(
-                    now, TraceKind.WATCHDOG_KICK, app_id=app.app_id,
+                    now, TraceKind.WATCHDOG_KICK, app_id=app_id,
                     detail=old_token,
                 )
                 hv._request_pass()
-            self._app_last_kick[app.app_id] = hv.scheduler_passes
-            self._app_stalled[app.app_id] = 0
-        # Drop bookkeeping for retired/shed apps so state stays bounded.
-        for app_id in list(self._app_progress):
-            if app_id not in live_ids:
-                self._app_progress.pop(app_id, None)
-                self._app_stalled.pop(app_id, None)
-                self._app_last_kick.pop(app_id, None)
+            self._app_last_kick[app_id] = hv.scheduler_passes
+            entry[2] = 0
+        # Drop bookkeeping for retired/shed/started apps so state stays
+        # bounded.
+        if len(app_progress) > live:
+            pending = hv.pending
+            for app_id in list(app_progress):
+                app = pending.get(app_id)
+                if app is None or app.first_item_start_ms is not None:
+                    del app_progress[app_id]
+                    self._app_last_kick.pop(app_id, None)
 
 
 def _slot_is_idle_resident(slot) -> bool:

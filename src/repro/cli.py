@@ -10,7 +10,7 @@ Examples
     nimblock-repro report --jobs 4 --cache-dir .runcache
     nimblock-repro chaos --scenario transient --fault-rate 0.05 --seed 1
     nimblock-repro overload --rate-multiplier 4 --workload stress
-    nimblock-repro serve --rate 2 --submissions 50000 --policy shed
+    nimblock-repro serve --rate 2 --submissions 50000 --admission shed
     nimblock-repro cluster --boards 8 --placement power_aware --jobs 4
     nimblock-repro trace --format chrome --output run.json
     nimblock-repro stats --fault-rate 0.02 --jobs 4
@@ -84,6 +84,21 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for the parallel sweep executor "
             "(default: REPRO_JOBS or 1; results are identical at any "
             "worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--mode", choices=("full", "metrics"), default="full",
+        help=(
+            "run mode: 'full' records trace rows for debugging/export; "
+            "'metrics' folds events straight into counters and sketches "
+            "— same numbers, fastest path (default: full)"
+        ),
+    )
+    parser.add_argument(
+        "--admission", default=None,
+        help=(
+            "admission policy: unbounded, reject, shed or degrade "
+            "(default: shed for 'serve', none for 'cluster')"
         ),
     )
     parser.add_argument(
@@ -168,10 +183,6 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
-        "--policy", default="shed",
-        help="admission policy of the service runs (default: shed)",
-    )
-    serve.add_argument(
         "--fast", action="store_true",
         help=(
             "reduced-scale serve drill for CI smoke "
@@ -198,13 +209,6 @@ def build_parser() -> argparse.ArgumentParser:
             "comma-separated board-profile rotation, e.g. "
             "'zcu106,edge,hpc' (default: the heterogeneous mix; "
             "'zcu106' gives a homogeneous fleet)"
-        ),
-    )
-    cluster.add_argument(
-        "--admission", default=None,
-        help=(
-            "fleet-boundary admission policy: unbounded, reject, shed "
-            "or degrade (default: none)"
         ),
     )
     cluster.add_argument(
@@ -310,9 +314,10 @@ def _run_serve(args: argparse.Namespace, settings: ExperimentSettings) -> int:
         submissions=submissions,
         window_ms=window_s * 1000.0,
         schedulers=[name.strip() for name in schedulers if name.strip()],
-        policy=args.policy,
+        admission=args.admission or "shed",
         seed=args.seed,
         jobs=args.jobs,
+        mode=args.mode,
     ))
     wall_s = time.perf_counter() - started
     print(
@@ -352,6 +357,7 @@ def _run_cluster(
         fault_scenario=args.scenario,
         jobs=args.jobs,
         as_json=args.json,
+        mode=args.mode,
     ), end="")
     return EXIT_OK
 
@@ -449,7 +455,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for name in names:
             result = get_experiment(name).run(
-                settings, cache=cache, jobs=args.jobs
+                settings, cache=cache, jobs=args.jobs, mode=args.mode
             )
             print(result.text)
             print()

@@ -475,7 +475,7 @@ class Cluster:
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
-    def board_tasks(self) -> List[BoardTask]:
+    def board_tasks(self, mode: str = "full") -> List[BoardTask]:
         """The picklable per-board simulation inputs, one per board."""
         tasks: List[BoardTask] = []
         for board in self._boards:
@@ -495,14 +495,24 @@ class Cluster:
                 if not board.failed else None,
                 self._board_admission,
                 self._seed + board.index,
+                mode,
             ))
         return tasks
 
-    def run(self, jobs: Optional[int] = None) -> "ClusterReport":
+    def run(
+        self, jobs: Optional[int] = None, mode: str = "full"
+    ) -> "ClusterReport":
         """Simulate every board (sharded over ``jobs`` processes) and
         merge the per-board payloads into one :class:`ClusterReport`.
+
+        ``mode="metrics"`` runs each board without trace rows: counters,
+        sketches and busy-time sums stay exact, but the per-board
+        ``trace_digest`` fields are ``None`` (nothing to hash).
         """
-        payloads = board_cells(self.board_tasks(), jobs=jobs)
+        from repro.modes import normalize_mode
+
+        mode = normalize_mode(mode)
+        payloads = board_cells(self.board_tasks(mode), jobs=jobs)
         return ClusterReport(
             boards=payloads,
             placement=self._placement.name,

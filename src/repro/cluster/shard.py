@@ -41,11 +41,11 @@ from repro.workload.events import EventSpec
 #: One board's simulation input: (board index, profile, scheduler name,
 #: fleet-wide base config or None, placed event specs in arrival order,
 #: per-board fault config or None, per-board admission policy name or
-#: None, per-board seed). Everything is a primitive or a frozen
-#: dataclass of primitives, hence picklable.
+#: None, per-board seed, run mode). Everything is a primitive or a
+#: frozen dataclass of primitives, hence picklable.
 BoardTask = Tuple[
     int, BoardProfile, str, Optional[SystemConfig],
-    Tuple[EventSpec, ...], Optional[FaultConfig], Optional[str], int,
+    Tuple[EventSpec, ...], Optional[FaultConfig], Optional[str], int, str,
 ]
 
 
@@ -83,7 +83,7 @@ def board_label(board_index: int) -> str:
 
 
 def _empty_payload(
-    board_index: int, profile: BoardProfile
+    board_index: int, profile: BoardProfile, mode: str = "full"
 ) -> dict:
     """Payload for a board that was placed no work at all."""
     from repro.service.sketch import QuantileSketch
@@ -104,7 +104,10 @@ def _empty_payload(
         "energy_j": 0.0,
         "faults": _fault_payload(None),
         "trace_events": 0,
-        "trace_digest": trace_digest(Trace(), board_label(board_index)),
+        "trace_digest": (
+            trace_digest(Trace(), board_label(board_index))
+            if mode == "full" else None
+        ),
     }
 
 
@@ -145,9 +148,9 @@ def simulate_board(task: BoardTask) -> dict:
     from repro.service.sketch import QuantileSketch
 
     (board_index, profile, scheduler_name, base_config, specs,
-     fault_config, admission_policy, seed) = task
+     fault_config, admission_policy, seed, mode) = task
     if not specs:
-        return _empty_payload(board_index, profile)
+        return _empty_payload(board_index, profile, mode)
 
     injector = None
     if fault_config is not None and fault_config.enabled:
@@ -163,6 +166,7 @@ def simulate_board(task: BoardTask) -> dict:
         faults=injector,
         admission=controller,
         watchdog=watchdog,
+        mode=mode,
     )
     for spec in specs:
         hypervisor.submit(spec.to_request())
@@ -212,7 +216,12 @@ def simulate_board(task: BoardTask) -> dict:
         "energy_j": energy_j,
         "faults": _fault_payload(hypervisor.fault_stats),
         "trace_events": len(trace),
-        "trace_digest": trace_digest(trace, board_label(board_index)),
+        # Digests hash trace rows, which metrics mode never records; the
+        # counters above stay exact either way.
+        "trace_digest": (
+            trace_digest(trace, board_label(board_index))
+            if mode == "full" else None
+        ),
     }
 
 

@@ -168,7 +168,7 @@ class NimblockScheduler(SchedulerPolicy):
 
         # Task selection (§4.3): oldest candidate below its allocation.
         for app in candidates:
-            if app.slots_used >= app.slots_allocated:
+            if app._slots_used >= app.slots_allocated:
                 continue
             task_id = app.first_configurable_task(prefetch=self.prefetch)
             if task_id is None:

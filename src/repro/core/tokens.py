@@ -39,14 +39,28 @@ class TokenAccounting:
 
     def accumulate(self, apps: Iterable[AppRun], now: float) -> None:
         """One accumulation round over the pending queue (Alg. 1 line 6)."""
-        pairs = [(app, self.degradation(app, now)) for app in apps]
-        if not pairs:
+        apps = list(apps)
+        if not apps:
             return
-        max_degradation = max(degradation for _, degradation in pairs)
+        # Single fused pass: degradation per app plus the running max,
+        # with the same float expressions (and addition order) as the
+        # original pair-list construction.
+        degradations = []
+        append = degradations.append
+        max_degradation = 0.0
+        for app in apps:
+            waited = now - app.arrival_ms
+            if waited < 0.0:
+                waited = 0.0
+            estimate = app.latency_estimate_ms
+            degradation = (waited + estimate) / estimate
+            append(degradation)
+            if degradation > max_degradation:
+                max_degradation = degradation
         if max_degradation <= 0:
             return
         alpha = self._config.token_alpha
-        for app, degradation in pairs:
+        for app, degradation in zip(apps, degradations):
             app.token += alpha * app.priority * (
                 degradation / max_degradation
             )
@@ -55,9 +69,15 @@ class TokenAccounting:
         """Candidate threshold (Alg. 1 line 8)."""
         if not apps:
             return 0.0
-        return max(
-            self._config.floor_priority(app.token) for app in apps
-        )
+        # ``floor_priority`` is monotone non-decreasing, so the max of
+        # the floors is the floor of the max token — one floor call
+        # instead of one per app.
+        max_token = None
+        for app in apps:
+            token = app.token
+            if max_token is None or token > max_token:
+                max_token = token
+        return self._config.floor_priority(max_token)
 
     def candidates(self, apps: Sequence[AppRun]) -> List[AppRun]:
         """Applications whose tokens clear the threshold, oldest first."""

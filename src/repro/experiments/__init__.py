@@ -19,7 +19,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     run_sequence,
-    uniform_args,
 )
 from repro.experiments import (
     parallel,
@@ -60,7 +59,6 @@ __all__ = [
     "get_experiment",
     "run_experiment",
     "run_sequence",
-    "uniform_args",
     "parallel",
     "ext_batching",
     "ext_capacity",

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.catalog import get_benchmark
-from repro.experiments.runner import format_table, uniform_args
+from repro.experiments.runner import format_table
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.schedulers.registry import make_scheduler
 from repro.workload.batching import (
@@ -68,12 +68,12 @@ def run(
     cache=None,  # harness uniformity
     *,
     jobs=None,
+    mode: str = "full",
     benchmarks: Sequence[str] = STUDY_BENCHMARKS,
     total_items: int = TOTAL_ITEMS,
     strategies: Optional[List[BatchingStrategy]] = None,
 ) -> BatchingResult:
     """Measure every (benchmark, strategy) cell on an idle board."""
-    settings, cache = uniform_args(settings, cache)
     strategies = strategies or default_strategies()
     completion: Dict[Tuple[str, str], float] = {}
     reconfigs: Dict[Tuple[str, str], int] = {}

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
-from repro.experiments.runner import ExperimentSettings, format_table, uniform_args
+from repro.experiments.runner import ExperimentSettings, format_table
 from repro.workload.scenarios import STRESS, scenario_sequence
 
 #: Slot counts swept (the paper's platform is 10).
@@ -61,13 +61,13 @@ def run(
     cache=None,  # per-slot-count configs cannot share the default cache
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     scheduler: str = "nimblock",
     slot_counts: Sequence[int] = DEFAULT_SLOT_COUNTS,
 ) -> CapacityResult:
     """Sweep the overlay slot count for one workload."""
     from repro.experiments import parallel
 
-    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STRESS, seed, settings.num_events)
@@ -76,7 +76,7 @@ def run(
     # One task per (slot count, sequence) cell; each cell carries its own
     # platform config, reconstructed worker-side.
     tasks = [
-        (scheduler, sequence, SystemConfig(num_slots=slots))
+        (scheduler, sequence, SystemConfig(num_slots=slots), mode)
         for slots in slot_counts
         for sequence in sequences
     ]

@@ -38,7 +38,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
-    uniform_args,
 )
 
 #: Fleet sizes swept: 1 -> 64 boards, doubling.
@@ -86,6 +85,7 @@ def run(
     cache: Optional[RunCache] = None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     scheduler: str = "nimblock",
     placements: Sequence[str] = PLACEMENT_POLICIES,
     fleet_sizes: Sequence[int] = FLEET_SIZES,
@@ -103,7 +103,6 @@ def run(
     """
     from repro.experiments import parallel
 
-    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     if not placements:
         raise ExperimentError("placements must be non-empty")

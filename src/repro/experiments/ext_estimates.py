@@ -24,7 +24,6 @@ from repro.config import SystemConfig
 from repro.experiments.runner import (
     ExperimentSettings,
     format_table,
-    uniform_args,
 )
 from repro.metrics.response import mean_reduction_factor
 from repro.workload.scenarios import STRESS, scenario_sequence
@@ -60,13 +59,13 @@ def run(
     cache=None,  # accepted for harness uniformity; config varies per cell
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     error_levels: Sequence[float] = ERROR_LEVELS,
     schedulers: Sequence[str] = STUDIED,
 ) -> EstimateSensitivityResult:
     """Sweep estimation error for each studied scheduler."""
     from repro.experiments import parallel
 
-    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STRESS, seed, settings.num_events)
@@ -79,7 +78,7 @@ def run(
         config = SystemConfig(hls_estimation_error=error)
         for name in ("baseline", *schedulers):
             for sequence in sequences:
-                tasks.append((name, sequence, config))
+                tasks.append((name, sequence, config, mode))
     runs = iter(
         parallel.map_runs(tasks, jobs=parallel.resolve_jobs(jobs, cache))
     )

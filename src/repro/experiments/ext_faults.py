@@ -24,7 +24,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
-    uniform_args,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultConfig, FaultStats
@@ -110,6 +109,7 @@ def run(
     cache: Optional[RunCache] = None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     scenario: ChaosScenario = MIXED_FAULTS,
     workload: Scenario = STRESS,
     fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
@@ -125,7 +125,6 @@ def run(
     """
     from repro.experiments import parallel
 
-    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     config = cache.config if cache is not None else SystemConfig()
     rates = tuple(fault_rates)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
-from repro.experiments.runner import ExperimentSettings, format_table, uniform_args
+from repro.experiments.runner import ExperimentSettings, format_table
 from repro.hypervisor.cluster import FPGACluster
 from repro.workload.scenarios import STRESS, scenario_sequence
 
@@ -53,10 +53,10 @@ def run(
     cache=None,  # harness uniformity
     *,
     jobs=None,
+    mode: str = "full",
     scheduler: str = "nimblock",
 ) -> HeteroResult:
     """Run the arrival stream on each fleet definition."""
-    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STRESS, seed, settings.num_events)

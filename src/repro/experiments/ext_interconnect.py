@@ -19,7 +19,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.runner import (
     ExperimentSettings,
     format_table,
-    uniform_args,
 )
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.overlay.interconnect import make_interconnect
@@ -59,10 +58,10 @@ def run(
     cache=None,  # accepted for harness uniformity; runs are not cacheable
     *,
     jobs=None,
+    mode: str = "full",
     scheduler: str = "nimblock",
 ) -> InterconnectResult:
     """Run the same stimuli under each interconnect model."""
-    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         EventGenerator(seed, benchmarks=STUDY_BENCHMARKS).sequence(

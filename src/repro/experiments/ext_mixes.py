@@ -23,7 +23,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
-    uniform_args,
 )
 from repro.metrics.response import mean_reduction_factor
 from repro.workload.mixes import mix_sequence
@@ -60,12 +59,12 @@ def run(
     cache: Optional[RunCache] = None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     mixes: Sequence[str] = MIX_NAMES,
     schedulers: Sequence[str] = COMPARED,
 ) -> MixResult:
     """Run every mix under the baseline plus each compared scheduler."""
-    settings, cache = uniform_args(settings, cache)
-    cache = cache or RunCache(jobs=jobs)
+    cache = cache or RunCache(jobs=jobs, mode=mode)
     settings = settings or ExperimentSettings.from_env()
     per_mix = {
         mix: [

@@ -36,7 +36,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
-    uniform_args,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultConfig
@@ -174,6 +173,7 @@ def run(
     cache: Optional[RunCache] = None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     workload: Scenario = OVERLOAD_WORKLOAD,
     scheduler: str = "fcfs",
     rate_multipliers: Sequence[float] = DEFAULT_RATE_MULTIPLIERS,
@@ -203,7 +203,6 @@ def run(
     """
     from repro.experiments import parallel
 
-    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     config = cache.config if cache is not None else SystemConfig()
     rates = tuple(rate_multipliers)

@@ -28,7 +28,6 @@ from repro.cluster import Cluster, fleet_profiles
 from repro.experiments.runner import (
     ExperimentSettings,
     format_table,
-    uniform_args,
 )
 from repro.workload.scenarios import STRESS, scenario_sequence
 
@@ -62,13 +61,13 @@ def run(
     cache=None,  # accepted for harness uniformity
     *,
     jobs=None,
+    mode: str = "full",
     scheduler: str = "nimblock",
     fleet_sizes: Tuple[int, ...] = FLEET_SIZES,
 ) -> ScaleOutResult:
     """Sweep fleet sizes and placement policies on one arrival stream."""
     from repro.experiments import parallel
 
-    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     resolved_jobs = parallel.resolve_jobs(jobs, cache)
     sequences = [

@@ -24,7 +24,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
-    uniform_args,
 )
 from repro.metrics.deadlines import violation_rate
 from repro.metrics.response import mean_reduction_factor
@@ -64,12 +63,12 @@ def run(
     cache: Optional[RunCache] = None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     scenarios: Sequence[Scenario] = SCENARIOS,
     schedulers: Sequence[str] = COMPARED,
 ) -> SchedulerStudyResult:
     """Run the extended scheduler set over all three scenarios."""
-    settings, cache = uniform_args(settings, cache)
-    cache = cache or RunCache(jobs=jobs)
+    cache = cache or RunCache(jobs=jobs, mode=mode)
     settings = settings or ExperimentSettings.from_env()
     priorities = (1, 3, 9)
     per_scenario = {

@@ -23,7 +23,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
-    uniform_args,
 )
 from repro.metrics.response import mean_reduction_factor
 from repro.workload.scenarios import STRESS, scenario_sequence
@@ -84,12 +83,12 @@ def run(
     cache: Optional[RunCache] = None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     blocks: int = DEFAULT_BLOCKS,
     schedulers: Tuple[str, ...] = STUDIED,
 ) -> SeedStudyResult:
     """Replicate the stress experiment over disjoint seed blocks."""
-    settings, cache = uniform_args(settings, cache)
-    cache = cache or RunCache(jobs=jobs)
+    cache = cache or RunCache(jobs=jobs, mode=mode)
     settings = settings or ExperimentSettings.from_env()
     per_block_count = max(1, settings.num_sequences // 2)
     per_block = {}

@@ -69,7 +69,7 @@ def _evaluate_cell(payload: dict, slo: SloTarget) -> dict:
     loss_frac = (lost / arrived) if arrived else 0.0
     return {
         "scheduler": payload["scheduler"],
-        "policy": payload["policy"],
+        "admission": payload["admission"],
         "arrived": arrived,
         "completed": payload["completed"],
         "shed": payload["shed"],
@@ -85,6 +85,7 @@ def run(
     cache=None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     schedulers: Sequence[str] = CAPACITY_SCHEDULERS,
     policies: Sequence[str] = CAPACITY_POLICIES,
     rates: Sequence[float] = CAPACITY_RATES,
@@ -116,7 +117,8 @@ def run(
         for scheduler in schedulers:
             for policy in policies:
                 tasks.append(
-                    (scheduler, policy, rate, 0.0, seed, per_cell, window_ms)
+                    (scheduler, policy, rate, 0.0, seed, per_cell,
+                     window_ms, mode)
                 )
     jobs = jobs if jobs is not None else getattr(cache, "jobs", None)
     payloads = service_cells(tasks, jobs=jobs)
@@ -200,9 +202,10 @@ def serve_report(
     submissions: int = 20_000,
     window_ms: float = 60_000.0,
     schedulers: Sequence[str] = ("nimblock",),
-    policy: str = "shed",
+    admission: str = "shed",
     seed: int = 1,
     jobs: Optional[int] = None,
+    mode: str = "full",
 ) -> str:
     """The one-shot ``nimblock-repro serve`` drill.
 
@@ -212,7 +215,8 @@ def serve_report(
     ``service-smoke`` CI job diffs.
     """
     tasks: List[ServiceTask] = [
-        (scheduler, policy, rate, burstiness, seed, submissions, window_ms)
+        (scheduler, admission, rate, burstiness, seed, submissions,
+         window_ms, mode)
         for scheduler in schedulers
     ]
     payloads = service_cells(tasks, jobs=jobs)

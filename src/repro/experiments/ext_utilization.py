@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ExperimentSettings, format_table, uniform_args
+from repro.experiments.runner import ExperimentSettings, format_table
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.metrics.utilization import UtilizationReport, board_utilization
 from repro.schedulers.registry import ALL_SCHEDULERS, make_scheduler
@@ -53,10 +53,10 @@ def run(
     cache=None,  # traces are needed, so runs are not shareable
     *,
     jobs=None,
+    mode: str = "full",
     schedulers: Sequence[str] = ALL_SCHEDULERS,
 ) -> UtilizationResult:
     """Measure slot-time shares for every scheduler on the same stimuli."""
-    settings, cache = uniform_args(settings, cache)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STRESS, seed, settings.num_events)

@@ -19,7 +19,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
-    uniform_args,
 )
 from repro.workload.scenarios import ABLATION_BATCH_SIZES
 
@@ -46,12 +45,12 @@ def run(
     cache: Optional[RunCache] = None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     batch_sizes: Sequence[int] = ABLATION_BATCH_SIZES,
     variants: Sequence[str] = ABLATION_NAMES,
 ) -> Fig10Result:
     """Collect AlexNet responses from the ablation runs."""
-    settings, cache = uniform_args(settings, cache)
-    cache = cache or RunCache(jobs=jobs)
+    cache = cache or RunCache(jobs=jobs, mode=mode)
     settings = settings or ExperimentSettings.from_env()
     per_batch = {
         batch_size: _ablation_sequences(settings, batch_size)

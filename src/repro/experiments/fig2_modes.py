@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.runner import uniform_args
 from repro.config import SystemConfig
 from repro.hypervisor.application import AppRequest
 from repro.hypervisor.hypervisor import Hypervisor
@@ -54,13 +53,12 @@ def _demo_requests() -> List[AppRequest]:
     ]
 
 
-def run(settings=None, cache=None, *, jobs=None) -> Fig2Result:
+def run(settings=None, cache=None, *, jobs=None, mode="full") -> Fig2Result:
     """Execute the demo workload under each sharing mode.
 
     Uniform experiment signature; the fixed two-app demo ignores
     ``settings``, ``cache`` and ``jobs``.
     """
-    settings, cache = uniform_args(settings, cache)
     makespans: Dict[str, float] = {}
     timelines: Dict[str, str] = {}
     for label, scheduler, slots in MODES:

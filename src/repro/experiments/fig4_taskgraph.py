@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.apps.catalog import get_benchmark
-from repro.experiments.runner import format_table, uniform_args
+from repro.experiments.runner import format_table
 from repro.taskgraph.dot import stage_summary, to_dot
 from repro.taskgraph.graph import TaskGraph
 
@@ -36,14 +36,18 @@ class Fig4Result:
 
 
 def run(
-    settings=None, cache=None, *, jobs=None, benchmark: str = "alexnet"
+    settings=None,
+    cache=None,
+    *,
+    jobs=None,
+    mode: str = "full",
+    benchmark: str = "alexnet",
 ) -> Fig4Result:
     """Summarize one benchmark's task graph (AlexNet by default).
 
     Uniform experiment signature; a structural study, so ``settings``,
     ``cache`` and ``jobs`` are ignored.
     """
-    settings, cache = uniform_args(settings, cache)
     graph = get_benchmark(benchmark).graph
     return Fig4Result(
         graph=graph,

@@ -18,7 +18,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
-    uniform_args,
 )
 from repro.metrics.deadlines import (
     DEFAULT_DS_VALUES,
@@ -66,14 +65,14 @@ def run(
     cache: Optional[RunCache] = None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     scenarios: Sequence[Scenario] = SCENARIOS,
     schedulers: Sequence[str] = ALL_SCHEDULERS,
     priority: Optional[int] = ANALYZED_PRIORITY,
     ds_values: Sequence[float] = DEFAULT_DS_VALUES,
 ) -> Fig7Result:
     """Sweep deadline scaling factors over the scenario runs."""
-    settings, cache = uniform_args(settings, cache)
-    cache = cache or RunCache(jobs=jobs)
+    cache = cache or RunCache(jobs=jobs, mode=mode)
     settings = settings or ExperimentSettings.from_env()
     per_scenario = {
         scenario.name: [

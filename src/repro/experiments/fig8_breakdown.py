@@ -16,7 +16,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
-    uniform_args,
 )
 from repro.metrics.breakdown import TimeBreakdown, breakdown_by_benchmark
 from repro.workload.scenarios import STANDARD, scenario_sequence
@@ -40,11 +39,11 @@ def run(
     cache: Optional[RunCache] = None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     scheduler: str = "nimblock",
 ) -> Fig8Result:
     """Break down application time under one scheduler (standard test)."""
-    settings, cache = uniform_args(settings, cache)
-    cache = cache or RunCache(jobs=jobs)
+    cache = cache or RunCache(jobs=jobs, mode=mode)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         scenario_sequence(STANDARD, seed, settings.num_events)

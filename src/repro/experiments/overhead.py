@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from repro.experiments.runner import uniform_args
 from repro.apps.catalog import get_benchmark
 from repro.config import SystemConfig
 from repro.hypervisor.application import AppRequest
@@ -93,15 +92,15 @@ def run(
     cache=None,
     *,
     jobs=None,
+    mode: str = "full",
     num_apps: int = 12,
     iterations: int = 200,
 ) -> OverheadResult:
     """Measure both costs and report the gap.
 
     Uniform experiment signature; the micro-benchmark ignores
-    ``settings``, ``cache`` and ``jobs``.
+    ``settings``, ``cache``, ``jobs`` and ``mode``.
     """
-    settings, cache = uniform_args(settings, cache)
     decision = measure_decision_cost(num_apps, iterations)
     solve_s, nodes = measure_exact_solve_cost()
     return OverheadResult(

@@ -38,8 +38,11 @@ from repro.workload.events import EventSequence
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
 
-#: A plain simulation task: (scheduler name, stimulus, platform config).
-RunTask = Tuple[str, EventSequence, Optional[SystemConfig]]
+#: A plain simulation task: (scheduler name, stimulus, platform config,
+#: run mode). Chaos/overload/observed tasks have no mode leg: their
+#: workers reduce *trace rows* to scalars, which only mode="full"
+#: records.
+RunTask = Tuple[str, EventSequence, Optional[SystemConfig], str]
 
 #: A chaos task: (scheduler, stimulus, fault config, platform config).
 ChaosTask = Tuple[
@@ -67,8 +70,8 @@ def resolve_jobs(jobs: Optional[int], cache=None) -> int:
 
 def _simulate(task: RunTask) -> List[AppResult]:
     """Worker: one plain simulation run (top-level for pickling)."""
-    scheduler_name, sequence, config = task
-    return run_sequence(scheduler_name, sequence, config)
+    scheduler_name, sequence, config, mode = task
+    return run_sequence(scheduler_name, sequence, config, mode)
 
 
 @dataclass(frozen=True)
@@ -249,11 +252,12 @@ def observed_snapshots(
 
 
 #: A service task: (scheduler, admission policy name, arrival rate /s,
-#: burstiness, seed, max submissions, window ms). The arrival process,
-#: controller and watchdog are all rebuilt inside the worker from these
-#: picklable scalars — identical reconstruction to the serial path, so
-#: the returned report payloads are byte-identical at any jobs count.
-ServiceTask = Tuple[str, str, float, float, int, int, float]
+#: burstiness, seed, max submissions, window ms, run mode). The arrival
+#: process, controller and watchdog are all rebuilt inside the worker
+#: from these picklable scalars — identical reconstruction to the serial
+#: path, so the returned report payloads are byte-identical at any jobs
+#: count (and, since the payload carries no rows, at either run mode).
+ServiceTask = Tuple[str, str, float, float, int, int, float, str]
 
 
 def _simulate_service(task: ServiceTask) -> dict:
@@ -267,15 +271,17 @@ def _simulate_service(task: ServiceTask) -> dict:
     from repro.service.loop import ServiceLoop
     from repro.workload.arrivals import service_rate_process
 
-    scheduler, policy, rate, burstiness, seed, submissions, window_ms = task
+    (scheduler, admission, rate, burstiness, seed, submissions,
+     window_ms, mode) = task
     arrivals = service_rate_process(rate, seed=seed, burstiness=burstiness)
     loop = ServiceLoop(
         arrivals,
         scheduler=scheduler,
-        policy=policy,
+        admission=admission,
         seed=seed,
         max_submissions=submissions,
         window_ms=window_ms,
+        mode=mode,
     )
     return loop.run().to_dict()
 

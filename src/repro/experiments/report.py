@@ -37,7 +37,7 @@ from repro.experiments import (
     table2,
     table3,
 )
-from repro.experiments.runner import ExperimentSettings, RunCache, uniform_args
+from repro.experiments.runner import ExperimentSettings, RunCache
 
 
 @dataclass(frozen=True)
@@ -372,9 +372,10 @@ def generate_findings(
     cache: Optional[RunCache] = None,
     settings: Optional[ExperimentSettings] = None,
     jobs=None,
+    mode: str = "full",
 ) -> List[Finding]:
     """Run every experiment and compare against the paper's claims."""
-    cache = cache or RunCache(jobs=jobs)
+    cache = cache or RunCache(jobs=jobs, mode=mode)
     settings = settings or ExperimentSettings.from_env()
     _prewarm_shared_runs(cache, settings, jobs=jobs)
     findings: List[Finding] = []
@@ -409,10 +410,11 @@ def format_findings(findings: List[Finding]) -> str:
 
 
 # CLI adapter: `nimblock-repro report`.
-def run(settings=None, cache=None, *, jobs=None) -> List[Finding]:
+def run(settings=None, cache=None, *, jobs=None, mode="full") -> List[Finding]:
     """Experiment-module interface used by the CLI."""
-    settings, cache = uniform_args(settings, cache)
-    return generate_findings(cache=cache, settings=settings, jobs=jobs)
+    return generate_findings(
+        cache=cache, settings=settings, jobs=jobs, mode=mode
+    )
 
 
 def format_result(findings: List[Finding]) -> str:

@@ -27,7 +27,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -36,6 +35,7 @@ from repro.config import SystemConfig
 from repro.errors import ExperimentError
 from repro.hypervisor.hypervisor import Hypervisor
 from repro.hypervisor.results import AppResult
+from repro.modes import normalize_mode
 from repro.schedulers.registry import make_scheduler
 from repro.workload.events import EventSequence
 
@@ -89,38 +89,21 @@ class ExperimentSettings:
         return [self.base_seed + i for i in range(self.num_sequences)]
 
 
-def uniform_args(
-    settings: Optional["ExperimentSettings"] = None,
-    cache: Optional["RunCache"] = None,
-) -> Tuple[Optional["ExperimentSettings"], Optional["RunCache"]]:
-    """Thin deprecation shim behind the uniform experiment signature.
-
-    Every experiment module now takes ``run(settings, cache, *, jobs)``;
-    the historical order was ``run(cache, settings)``. Callers that still
-    pass positionally in the old order are detected by type and swapped,
-    with a :class:`DeprecationWarning`, so pre-registry call sites keep
-    working unchanged.
-    """
-    if isinstance(settings, RunCache) or isinstance(
-        cache, ExperimentSettings
-    ):
-        warnings.warn(
-            "experiment run(cache, settings) positional order is "
-            "deprecated; call run(settings, cache) or use keywords",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        settings, cache = cache, settings
-    return settings, cache
-
-
 def run_sequence(
     scheduler_name: str,
     sequence: EventSequence,
     config: Optional[SystemConfig] = None,
+    mode: str = "full",
 ) -> List[AppResult]:
-    """Run one event sequence under one scheduler to completion."""
-    hypervisor = Hypervisor(make_scheduler(scheduler_name), config=config)
+    """Run one event sequence under one scheduler to completion.
+
+    ``mode="metrics"`` skips trace-row recording; the returned
+    :class:`AppResult` list is identical in either mode (results are
+    derived from hypervisor state, never from trace rows).
+    """
+    hypervisor = Hypervisor(
+        make_scheduler(scheduler_name), config=config, mode=mode
+    )
     for request in sequence.to_requests():
         hypervisor.submit(request)
     hypervisor.run()
@@ -176,11 +159,17 @@ class RunCache:
         config: Optional[SystemConfig] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         jobs: Optional[int] = None,
+        mode: str = "full",
     ) -> None:
         self.config = config or SystemConfig()
         self.cache_dir = Path(cache_dir) if cache_dir else None
         #: Default worker count for :meth:`prewarm` (None = REPRO_JOBS or 1).
         self.jobs = jobs
+        #: Engine run mode for fresh simulations. Deliberately NOT part of
+        #: the disk-cache key: results are mode-independent (pinned by
+        #: ``tests/test_mode_equivalence.py``), so either mode may satisfy
+        #: a lookup recorded by the other.
+        self.mode = normalize_mode(mode)
         self._runs: Dict[Tuple[str, str], List[AppResult]] = {}
         self._label_fingerprints: Dict[str, str] = {}
         self._config_fingerprint = config_fingerprint(self.config)
@@ -283,7 +272,9 @@ class RunCache:
             self.disk_hits += 1
             self._runs[key] = loaded
             return loaded
-        results = run_sequence(scheduler_name, sequence, self.config)
+        results = run_sequence(
+            scheduler_name, sequence, self.config, self.mode
+        )
         self.simulations += 1
         self._runs[key] = results
         self._disk_store(scheduler_name, sequence, results)
@@ -336,7 +327,8 @@ class RunCache:
             return 0
         effective = jobs if jobs is not None else self.jobs
         tasks = [
-            (name, sequence, self.config) for _, name, sequence in pending
+            (name, sequence, self.config, self.mode)
+            for _, name, sequence in pending
         ]
         for (key, name, sequence), results in zip(
             pending, parallel.map_runs(tasks, jobs=effective)

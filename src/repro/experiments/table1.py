@@ -15,7 +15,7 @@ from repro.overlay.resources import (
     SLOT_UTILIZATION_RANGE,
     STATIC_REGION_UTILIZATION,
 )
-from repro.experiments.runner import format_table, uniform_args
+from repro.experiments.runner import format_table
 
 
 @dataclass(frozen=True)
@@ -29,14 +29,18 @@ class Table1Result:
 
 
 def run(
-    settings=None, cache=None, *, jobs=None, num_slots: int = 10
+    settings=None,
+    cache=None,
+    *,
+    jobs=None,
+    mode: str = "full",
+    num_slots: int = 10,
 ) -> Table1Result:
     """Build the overlay floorplan and report utilization.
 
     Uniform experiment signature; a static study, so ``settings``,
     ``cache`` and ``jobs`` are ignored.
     """
-    settings, cache = uniform_args(settings, cache)
     plan = Floorplan.zcu106(num_slots=num_slots)
     plan.validate()
     report = plan.utilization_report()

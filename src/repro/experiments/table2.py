@@ -10,7 +10,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.apps.catalog import BENCHMARK_NAMES, get_benchmark
-from repro.experiments.runner import format_table, uniform_args
+from repro.experiments.runner import format_table
 
 #: The paper's Table 2, for verification: name -> (tasks, edges).
 PAPER_TABLE2: Dict[str, Tuple[int, int]] = {
@@ -38,13 +38,12 @@ class Table2Result:
         )
 
 
-def run(settings=None, cache=None, *, jobs=None) -> Table2Result:
+def run(settings=None, cache=None, *, jobs=None, mode="full") -> Table2Result:
     """Measure every catalog benchmark's task/edge counts.
 
     Uniform experiment signature; a static study, so ``settings``,
     ``cache`` and ``jobs`` are ignored.
     """
-    settings, cache = uniform_args(settings, cache)
     rows = []
     for name in BENCHMARK_NAMES:
         app = get_benchmark(name)

@@ -22,7 +22,6 @@ from repro.experiments.runner import (
     ExperimentSettings,
     RunCache,
     format_table,
-    uniform_args,
 )
 from repro.hypervisor.results import AppResult
 from repro.schedulers.registry import ALL_SCHEDULERS
@@ -62,11 +61,11 @@ def run(
     cache: Optional[RunCache] = None,
     *,
     jobs: Optional[int] = None,
+    mode: str = "full",
     schedulers: Sequence[str] = ALL_SCHEDULERS,
 ) -> Table3Result:
     """Run the Table 3 workload under every algorithm."""
-    settings, cache = uniform_args(settings, cache)
-    cache = cache or RunCache(jobs=jobs)
+    cache = cache or RunCache(jobs=jobs, mode=mode)
     settings = settings or ExperimentSettings.from_env()
     sequences = [
         fixed_batch_sequence(

@@ -60,6 +60,7 @@ def simulate(
     config: Optional[SystemConfig] = None,
     faults: Optional[FaultConfig] = None,
     observe: bool = False,
+    mode: str = "full",
 ) -> SimulationRun:
     """Run one workload under one scheduler and return everything.
 
@@ -67,6 +68,9 @@ def simulate(
     workload generation; ``faults`` attaches a seeded fault injector;
     ``observe=True`` attaches :class:`~repro.observe.Instrumentation`
     (never changing simulation behaviour — traces stay byte-identical).
+    ``mode="metrics"`` skips trace rows entirely: counters and observer
+    metrics stay exact, while row-reading accessors (``run.trace.events``,
+    ``run.spans()``) raise :class:`~repro.errors.ExperimentError`.
     """
     from repro.experiments.runner import ExperimentSettings
     from repro.hypervisor.hypervisor import Hypervisor
@@ -98,7 +102,7 @@ def simulate(
 
     hypervisor = Hypervisor(
         make_scheduler(scheduler), config=config,
-        faults=injector, observer=observer,
+        faults=injector, observer=observer, mode=mode,
     )
     for request in sequence.to_requests():
         hypervisor.submit(request)
@@ -115,47 +119,49 @@ def simulate(
 def serve(
     scheduler: str = "nimblock",
     *,
-    rate_per_s: float = 2.0,
+    rate: float = 2.0,
     burstiness: float = 0.0,
     seed: int = 1,
     submissions: int = 5_000,
     window_ms: float = 30_000.0,
-    policy: str = "shed",
+    admission: str = "shed",
     config: Optional[SystemConfig] = None,
     snapshot_every_windows: Optional[int] = None,
     watchdog: bool = True,
+    mode: str = "full",
 ):
     """Run one open-loop online service and return its report.
 
     The service counterpart of :func:`simulate`: seeded Poisson (or, with
-    ``burstiness > 0``, MMPP) arrivals at ``rate_per_s`` drive a
+    ``burstiness > 0``, MMPP) arrivals at ``rate`` per second drive a
     :class:`~repro.service.loop.ServiceLoop` for ``submissions``
-    arrivals under ``policy`` admission control, with memory O(1) in the
+    arrivals under ``admission`` control, with memory O(1) in the
     submission count. Returns the
     :class:`~repro.service.loop.ServiceReport` (streaming windowed
     metrics, lifetime counters, any quiescent-boundary snapshots).
+    ``mode="metrics"`` drops the debugging trace ring for the fastest
+    path; the report payload is byte-identical either way.
 
     >>> from repro import serve
-    >>> report = serve("nimblock", rate_per_s=1.0, submissions=50)
+    >>> report = serve("nimblock", rate=1.0, submissions=50)
     >>> report.completed + report.shed + report.dropped == report.arrived
     True
     """
     from repro.service.loop import ServiceLoop
     from repro.workload.arrivals import service_rate_process
 
-    arrivals = service_rate_process(
-        rate_per_s, seed=seed, burstiness=burstiness
-    )
+    arrivals = service_rate_process(rate, seed=seed, burstiness=burstiness)
     loop = ServiceLoop(
         arrivals,
         scheduler=scheduler,
-        policy=policy,
+        admission=admission,
         seed=seed,
         max_submissions=submissions,
         window_ms=window_ms,
         config=config,
         snapshot_every_windows=snapshot_every_windows,
         watchdog=watchdog,
+        mode=mode,
     )
     return loop.run()
 
@@ -175,6 +181,7 @@ def fleet(
     config: Optional[SystemConfig] = None,
     jobs: Optional[int] = None,
     sequence: Optional[EventSequence] = None,
+    mode: str = "full",
 ):
     """Run one multi-board fleet under the burst workload; the report.
 
@@ -222,7 +229,7 @@ def fleet(
         seed=seed,
     )
     fleet.submit_sequence(sequence)
-    return fleet.run(jobs=jobs)
+    return fleet.run(jobs=jobs, mode=mode)
 
 
 def cluster_report(
@@ -239,6 +246,7 @@ def cluster_report(
     fault_scenario: str = "mixed",
     jobs: Optional[int] = None,
     as_json: bool = False,
+    mode: str = "full",
 ) -> str:
     """The ``repro cluster`` drill as deterministic text.
 
@@ -262,6 +270,7 @@ def cluster_report(
         fault_rate=fault_rate,
         fault_scenario=fault_scenario,
         jobs=jobs,
+        mode=mode,
     )
     if as_json:
         return json.dumps(report.to_dict(), sort_keys=True) + "\n"

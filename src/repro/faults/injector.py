@@ -91,10 +91,10 @@ class FaultInjector:
         delta = self._transient_rngs[slot_index].expovariate(
             1.0 / self.config.transient_mtbf_ms
         )
-        hv.engine.schedule_after(
+        hv.engine.schedule_delay(
             delta,
             lambda now, i=slot_index: self._on_transient(now, i),
-            priority=FAULT_EVENT_PRIORITY,
+            FAULT_EVENT_PRIORITY,
         )
 
     def _on_transient(self, now: float, slot_index: int) -> None:
@@ -105,10 +105,10 @@ class FaultInjector:
             return  # permanently failed; this timeline is over
         injected = hv.inject_slot_fault(now, slot_index, permanent=False)
         if injected:
-            hv.engine.schedule_after(
+            hv.engine.schedule_delay(
                 self.config.transient_repair_ms,
                 lambda done, i=slot_index: hv.repair_slot(done, i),
-                priority=FAULT_EVENT_PRIORITY,
+                FAULT_EVENT_PRIORITY,
             )
         self._arm_transient(slot_index)
 
@@ -120,10 +120,10 @@ class FaultInjector:
         delta = self._permanent_rngs[slot_index].expovariate(
             1.0 / self.config.permanent_mtbf_ms
         )
-        hv.engine.schedule_after(
+        hv.engine.schedule_delay(
             delta,
             lambda now, i=slot_index: self._on_permanent(now, i),
-            priority=FAULT_EVENT_PRIORITY,
+            FAULT_EVENT_PRIORITY,
         )
 
     def _on_permanent(self, now: float, slot_index: int) -> None:

@@ -114,6 +114,11 @@ class AppRun:
         self.age_key: Tuple[float, int] = (request.arrival_ms, app_id)
         self.token: float = float(request.priority)
         self.slots_allocated: int = 0
+        #: Slot-occupancy counter maintained by the hypervisor at every
+        #: TaskRun state transition; mirrors :attr:`slots_used` (which
+        #: recounts) on the hot scheduling paths. The runtime invariant
+        #: checker cross-validates the two.
+        self._slots_used: int = 0
         self.first_item_start_ms: Optional[float] = None
         self.last_item_done_ms: Optional[float] = None
         self.retire_ms: Optional[float] = None
@@ -141,6 +146,11 @@ class AppRun:
             )
             for task_id in graph.topological_order
         }
+        #: Achievable-concurrency bound for :meth:`max_useful_slots`;
+        #: batch size and graph shape never change after construction.
+        self._concurrency_cap: int = (
+            request.batch_size * graph.max_width()
+        )
 
     # ------------------------------------------------------------------
     # Progress
@@ -160,7 +170,10 @@ class AppRun:
     def slots_used(self) -> int:
         """Slots currently consumed (configured or being configured).
 
-        This is ``a.slots_used`` in Algorithm 2 line 4.
+        This is ``a.slots_used`` in Algorithm 2 line 4. Recounted from
+        task states so direct state manipulation (tests, drills) always
+        reads true; the hypervisor-maintained :attr:`_slots_used` mirror
+        serves the per-pass hot paths.
         """
         used = 0
         configuring = TaskRunState.CONFIGURING
@@ -313,12 +326,13 @@ class AppRun:
         slot busy — granting it more would only create idle prefetched
         tasks that preemption has to claw back.
         """
-        incomplete = sum(
-            1 for run in self.tasks.values()
-            if run.items_done < self.batch_size
-        )
-        concurrency = self.batch_size * self.graph.max_width()
-        return min(incomplete, concurrency)
+        batch = self.batch_size
+        incomplete = 0
+        for run in self._topo_runs:
+            if run.items_done < batch:
+                incomplete += 1
+        cap = self._concurrency_cap
+        return incomplete if incomplete < cap else cap
 
     def __repr__(self) -> str:
         return (

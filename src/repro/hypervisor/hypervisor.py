@@ -25,7 +25,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.admission.controller import AdmissionController
     from repro.admission.watchdog import Watchdog
     from repro.faults.injector import FaultInjector
-    from repro.sim.engine import Event
 
 from repro.apps.hls import application_latency_estimate_ms, reports_for_benchmark
 from repro.config import SystemConfig
@@ -50,8 +49,9 @@ from repro.schedulers.base import (
     PreemptAction,
     SchedulerPolicy,
 )
+from repro.modes import normalize_mode
 from repro.sim.engine import SimulationEngine
-from repro.sim.trace import Trace, TraceKind
+from repro.sim.trace import MetricsTrace, Trace, TraceKind
 
 #: Nominal size of one task-output buffer (per batch item).
 ITEM_BUFFER_BYTES = 256 * 1024
@@ -154,14 +154,19 @@ class Hypervisor:
         observer: Optional[object] = None,
         admission: Optional["AdmissionController"] = None,
         watchdog: Optional["Watchdog"] = None,
+        mode: str = "full",
     ) -> None:
         self.config = config or SystemConfig()
-        self.engine = engine or SimulationEngine()
+        #: Run mode ("full" records trace rows; "metrics" folds straight
+        #: into counters). Threaded into the engine so every layer reads
+        #: one source of truth.
+        self.mode = normalize_mode(mode)
+        self.engine = engine or SimulationEngine(mode=self.mode)
         self.scheduler = scheduler
         self.device = FPGADevice(self.engine, self.config.num_slots)
         self.store = BitstreamStore(self.config.num_slots)
         self.buffers = BufferManager(buffer_capacity_bytes)
-        self.trace = Trace()
+        self.trace = Trace() if self.mode == "full" else MetricsTrace()
         self.pending = PendingQueue()
         self.apps: Dict[int, AppRun] = {}
         self.retired: List[AppRun] = []
@@ -189,7 +194,8 @@ class Hypervisor:
         # pre-fault-subsystem simulator.
         self.recovery = recovery or RecoveryPolicy()
         self.fault_stats = FaultStats()
-        self._item_events: Dict[int, Tuple["Event", float]] = {}
+        #: In-flight item completions per slot: (engine seq, start ms).
+        self._item_events: Dict[int, Tuple[int, float]] = {}
         self._corrupted_configs: set = set()
         self._config_failures: Dict[Tuple[int, str], int] = {}
         self.faults = faults
@@ -217,6 +223,11 @@ class Hypervisor:
         #: Pass number at which the fault stall-breaker last detached
         #: residents; the watchdog stands down for that pass.
         self._last_stall_break_pass = -1
+        # Per-pass hot-path constants (config and device are fixed for
+        # the hypervisor's lifetime).
+        self._guard_limit = 4 * self.config.num_slots + 4
+        self._port = self.device.port
+        self._slots = self.device.slots
 
     def add_retire_listener(self, callback) -> None:
         """Register ``callback(app_run, now)`` to fire on each retirement.
@@ -235,10 +246,10 @@ class Hypervisor:
         app_id = self._next_app_id
         self._next_app_id += 1
         self._arrivals_outstanding += 1
-        self.engine.schedule_at(
+        self.engine.schedule(
             request.arrival_ms,
             lambda now, r=request, a=app_id: self._on_arrival(now, a, r),
-            priority=-5,
+            -5,
         )
         return app_id
 
@@ -302,8 +313,8 @@ class Hypervisor:
         if self._tick_scheduled or not len(self.pending):
             return
         self._tick_scheduled = True
-        self.engine.schedule_after(
-            self.config.scheduling_interval_ms, self._on_tick, priority=5
+        self.engine.schedule_delay(
+            self.config.scheduling_interval_ms, self._on_tick, 5
         )
 
     def _on_tick(self, now: float) -> None:
@@ -321,7 +332,7 @@ class Hypervisor:
         if self._pass_pending:
             return
         self._pass_pending = True
-        self.engine.schedule_after(0.0, self._run_pass, priority=10)
+        self.engine.schedule_delay(0.0, self._run_pass, 10)
 
     def _run_pass(self, now: float) -> None:
         self._pass_pending = False
@@ -335,8 +346,8 @@ class Hypervisor:
             # boundary for every shed victim (it has nothing in flight).
             self.admission.on_pass(now)
         guard = 0
-        guard_limit = 4 * self.config.num_slots + 4
-        port = self.device.port
+        guard_limit = self._guard_limit
+        port = self._port
         decide = self.scheduler.decide
         ctx = self._ctx
         configured = False
@@ -399,6 +410,7 @@ class Hypervisor:
                 continue
             app, task = slot.occupant  # type: ignore[misc]
             task.detach()
+            app._slots_used -= 1
             slot.clear()
             detached += 1
             self.trace.record(
@@ -452,6 +464,7 @@ class Hypervisor:
             )
             duration += jitter_ms
         task.state = TaskRunState.CONFIGURING
+        app._slots_used += 1
         task.slot_index = slot.index
         task.configure_count += 1
         app.reconfig_busy_ms += duration
@@ -511,6 +524,7 @@ class Hypervisor:
         """
         slot.abort_reconfig()
         task.state = TaskRunState.PENDING
+        app._slots_used -= 1
         task.slot_index = None
         self.fault_stats.config_failures += 1
         self.fault_stats.work_lost_ms += duration
@@ -522,10 +536,10 @@ class Hypervisor:
         key = (app.app_id, task.task_id)
         attempt = self._config_failures.get(key, 0) + 1
         self._config_failures[key] = attempt
-        self.engine.schedule_after(
+        self.engine.schedule_delay(
             self.recovery.backoff_ms(attempt),
             lambda _now: self._request_pass(),
-            priority=8,
+            8,
         )
 
     def _apply_preempt(self, action: PreemptAction, now: float) -> None:
@@ -541,6 +555,7 @@ class Hypervisor:
             )
         app, task = slot.occupant  # type: ignore[misc]
         task.detach()
+        app._slots_used -= 1
         slot.clear()
         self.trace.record(
             now, TraceKind.TASK_PREEMPTED,
@@ -559,8 +574,8 @@ class Hypervisor:
             pipelined = self.admission.pipelining_allowed()
         occupied = SlotPhase.OCCUPIED
         record = self.trace.record
-        schedule_after = self.engine.schedule_after
-        for slot in self.device.slots:
+        schedule_delay = self.engine.schedule_delay
+        for slot in self._slots:
             if slot.phase is not occupied or slot.busy:
                 continue
             app, task = slot.occupant  # type: ignore[misc]
@@ -579,16 +594,18 @@ class Hypervisor:
             duration = task.latency_ms
             if not self._zero_cost_interconnect:
                 duration += self._transfer_in_ms(app, task, item, slot.index)
-            event = schedule_after(
+            seq = schedule_delay(
                 duration,
                 lambda done_now, a=app, t=task, s=slot: self._on_item_done(
                     done_now, a, t, s
                 ),
-                priority=-2,
+                -2,
             )
             # Remember the in-flight completion so a slot fault can cancel
-            # it and account the partial item as lost work.
-            self._item_events[slot.index] = (event, now)
+            # it and account the partial item as lost work. The seq is
+            # popped here before any cancel can target it once the item
+            # completes, so the raw no-handle cancel path is safe.
+            self._item_events[slot.index] = (seq, now)
 
     def _transfer_in_ms(
         self, app: AppRun, task: TaskRun, item: int, slot_index: int
@@ -639,6 +656,7 @@ class Hypervisor:
 
         if task.items_done >= app.batch_size:
             task.state = TaskRunState.DONE
+            app._slots_used -= 1
             task.slot_index = None
             slot.clear()
             self.trace.record(
@@ -716,12 +734,13 @@ class Hypervisor:
             if slot.busy:
                 pending = self._item_events.pop(slot.index, None)
                 if pending is not None:
-                    event, started = pending
-                    event.cancel()
+                    seq, started = pending
+                    self.engine.cancel(seq)
                     work_lost = now - started
                 self.fault_stats.items_lost += 1
                 slot.interrupt_item()
             task.detach()  # batch-boundary rollback (core/preemption)
+            app._slots_used -= 1
             task.relocated_from = slot.index
             slot.clear()
             self.fault_stats.evictions += 1

@@ -175,6 +175,12 @@ class InvariantChecker:
         usage: Dict[int, Tuple[int, int]] = {}
         for app in pending:
             used = app.slots_used
+            if used != app._slots_used:
+                self._fail(
+                    hv, "allocation-discipline",
+                    f"app {app.app_id} slot-occupancy mirror drifted: "
+                    f"counter {app._slots_used}, recount {used}",
+                )
             allocated = app.slots_allocated
             usage[app.app_id] = (used, allocated)
             if used <= allocated:

@@ -36,6 +36,7 @@ def observed_run(
     fault_config: Optional[FaultConfig] = None,
     config: Optional[SystemConfig] = None,
     profile: bool = False,
+    mode: str = "full",
 ) -> Tuple["Hypervisor", "Instrumentation"]:
     """Run one sequence with instrumentation attached.
 
@@ -55,7 +56,7 @@ def observed_run(
     observer = Instrumentation(profile=profile)
     hypervisor = Hypervisor(
         make_scheduler(scheduler_name), config=config,
-        faults=injector, observer=observer,
+        faults=injector, observer=observer, mode=mode,
     )
     for request in sequence.to_requests():
         hypervisor.submit(request)

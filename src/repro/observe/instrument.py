@@ -27,19 +27,13 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Optional
 
-from repro.metrics.reliability import recovery_times_ms
 from repro.observe.metrics import (
     LATENCY_BUCKETS_S,
     MS_BUCKETS,
     MetricsRegistry,
     TOKEN_BUCKETS,
 )
-from repro.observe.spans import (
-    CATEGORY_COMPUTE,
-    CATEGORY_DPR,
-    CATEGORY_WAIT,
-    build_spans,
-)
+from repro.sim.fold import fold_rows
 from repro.sim.trace import TraceKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -125,20 +119,6 @@ class Instrumentation:
         return snapshot
 
 
-def _peak_concurrency(spans) -> int:
-    """Maximum number of simultaneously open spans (slot busy peak)."""
-    edges = []
-    for span in spans:
-        edges.append((span.start_ms, 1))
-        edges.append((span.end_ms, -1))
-    edges.sort()
-    peak = depth = 0
-    for _, delta in edges:
-        depth += delta
-        peak = max(peak, depth)
-    return peak
-
-
 def observe_run(
     hypervisor: "Hypervisor",
     registry: Optional[MetricsRegistry] = None,
@@ -146,8 +126,9 @@ def observe_run(
     """Fold one finished run into a metrics registry.
 
     Usable standalone on any completed hypervisor (no live observer
-    needed) — every value below is a pure function of the trace, the
-    fault counters and the engine's event count.
+    needed) — every value below is a pure function of the trace stream,
+    the fault counters and the engine's event count, in either run mode
+    (``mode="metrics"`` snapshots equal full-mode folds exactly).
     """
     registry = registry or MetricsRegistry()
     trace = hypervisor.trace
@@ -236,74 +217,68 @@ def observe_run(
     for name, help_text, value in counters:
         registry.counter(name, help_text).inc(float(value))
 
-    spans = build_spans(trace)
-    dpr_hist = registry.histogram(
+    # Interval metrics come from the streaming fold shared by both run
+    # modes: a metrics-mode trace carries one fed live by ``record``; a
+    # full-mode trace replays its stored rows through the identical code
+    # in the identical order, so the two snapshots agree bit-for-bit
+    # (including float sums). See repro.sim.fold.
+    horizon = trace.end_ms if len(trace) else 0.0
+    fold = getattr(trace, "fold", None)
+    if fold is None:
+        fold = fold_rows(trace._rows)
+    folded = fold.aggregates(horizon)
+
+    registry.histogram(
         "nimblock_dpr_duration_ms",
         "Duration of each partial reconfiguration (config-port hold time)",
         MS_BUCKETS,
-    )
-    item_hist = registry.histogram(
+    ).absorb(folded.dpr.count, folded.dpr.sum, folded.dpr.bucket_counts)
+    registry.histogram(
         "nimblock_item_duration_ms",
         "Execution time of each batch item",
         MS_BUCKETS,
-    )
-    wait_hist = registry.histogram(
+    ).absorb(folded.item.count, folded.item.sum, folded.item.bucket_counts)
+    registry.histogram(
         "nimblock_wait_duration_ms",
         "Off-board wait of each preempted/evicted task until resumption",
         MS_BUCKETS,
-    )
-    recovery_hist = registry.histogram(
+    ).absorb(folded.wait.count, folded.wait.sum, folded.wait.bucket_counts)
+    recovery = folded.recovery
+    registry.histogram(
         "nimblock_recovery_ms",
         "Fault-to-recovery intervals (slot repairs and DPR retries)",
         MS_BUCKETS,
-    )
-    dpr_busy = compute_busy = 0.0
-    compute_spans = []
-    for span in spans:
-        if span.category == CATEGORY_DPR:
-            dpr_hist.observe(span.duration_ms)
-            dpr_busy += span.duration_ms
-        elif span.category == CATEGORY_COMPUTE:
-            item_hist.observe(span.duration_ms)
-            compute_busy += span.duration_ms
-            compute_spans.append(span)
-        elif span.category == CATEGORY_WAIT:
-            wait_hist.observe(span.duration_ms)
-    recoveries = recovery_times_ms(trace)
-    for interval in recoveries:
-        recovery_hist.observe(interval)
+    ).absorb(recovery.count, recovery.sum, recovery.bucket_counts)
 
     registry.counter(
         "nimblock_dpr_busy_ms_total",
         "Total simulated time the configuration port was held",
-    ).inc(dpr_busy)
+    ).inc(folded.dpr_busy_ms)
     registry.counter(
         "nimblock_compute_busy_ms_total",
         "Total simulated slot-busy time across batch items",
-    ).inc(compute_busy)
+    ).inc(folded.compute_busy_ms)
 
-    horizon = trace.end_ms if len(trace) else 0.0
     registry.gauge(
         "nimblock_sim_time_ms", "Simulated horizon of the run",
     ).set(horizon)
     registry.gauge(
         "nimblock_slots", "Reconfigurable slots on the platform",
     ).set(config.num_slots)
-    peak = _peak_concurrency(compute_spans)
     registry.gauge(
         "nimblock_slots_busy_peak",
         "Peak number of slots executing items simultaneously",
-    ).set(peak)
+    ).set(folded.peak_compute)
     if horizon > 0 and config.num_slots > 0:
         registry.gauge(
             "nimblock_slot_utilization_ratio",
             "Slot-time fraction spent executing items (allocated vs used)",
-        ).set(compute_busy / (config.num_slots * horizon))
-    if recoveries:
+        ).set(folded.compute_busy_ms / (config.num_slots * horizon))
+    if recovery.count:
         registry.gauge(
             "nimblock_mttr_ms",
             "Mean time to recovery over every observed recovery edge",
-        ).set(sum(recoveries) / len(recoveries))
+        ).set(recovery.sum / recovery.count)
     return registry
 
 

@@ -242,9 +242,7 @@ class ReconfigurationPort:
         self._active = request
         self.total_reconfigs += 1
         self.busy_ms += request.duration_ms
-        self._engine.schedule_after(
-            request.duration_ms, self._complete, priority=-1
-        )
+        self._engine.schedule_delay(request.duration_ms, self._complete, -1)
 
     def _complete(self, now: float) -> None:
         if self._active is None:

@@ -49,7 +49,7 @@ class DMLStaticScheduler(SchedulerPolicy):
             budget = self._budgets.get(app.app_id)
             if budget is None:
                 continue  # arrival notification not yet delivered
-            if app.slots_used >= budget:
+            if app._slots_used >= budget:
                 continue
             task_id = app.first_configurable_task(prefetch=self.prefetch)
             if task_id is not None:

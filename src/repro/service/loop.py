@@ -47,6 +47,7 @@ from repro.admission.controller import AdmissionController
 from repro.admission.watchdog import Watchdog
 from repro.config import SystemConfig
 from repro.errors import ServiceError
+from repro.modes import normalize_mode
 from repro.schedulers.registry import make_scheduler
 from repro.service.sketch import DEFAULT_ALPHA
 from repro.service.windows import (
@@ -82,7 +83,7 @@ class ServiceReport:
     """
 
     scheduler: str
-    policy: str
+    admission: str
     arrivals: str
     window_ms: float
     alpha: float
@@ -101,6 +102,11 @@ class ServiceReport:
     windows: WindowedMetrics
     snapshots: List[dict] = field(default_factory=list)
     wall_s: float = 0.0
+    #: Run mode the loop executed under. Like ``wall_s`` it is excluded
+    #: from :meth:`to_dict` — the deterministic payload is identical
+    #: across modes (and across ``--jobs``), which is exactly what the
+    #: mode-equivalence CI diff asserts.
+    mode: str = "full"
 
     # -- derived --------------------------------------------------------
     def totals(self) -> WindowStats:
@@ -134,7 +140,7 @@ class ServiceReport:
         """The deterministic payload (no wall-clock, no snapshots)."""
         return {
             "scheduler": self.scheduler,
-            "policy": self.policy,
+            "admission": self.admission,
             "arrivals": self.arrivals,
             "window_ms": self.window_ms,
             "alpha": self.alpha,
@@ -169,7 +175,7 @@ def format_report(payload: dict, window_rows: int = 12) -> str:
     sketch = total.sketch
     lines = [
         f"service run: scheduler={payload['scheduler']} "
-        f"policy={payload['policy']} arrivals={payload['arrivals']}",
+        f"admission={payload['admission']} arrivals={payload['arrivals']}",
         f"  windows: {payload['windows_closed']} closed x "
         f"{payload['window_ms'] / 1000.0:g}s "
         f"({len(windows)} non-empty), span {payload['span_ms'] / 1000.0:.1f}s"
@@ -217,14 +223,15 @@ class ServiceLoop:
         horizon_ms: Optional[float] = None,
         window_ms: float = DEFAULT_WINDOW_MS,
         alpha: float = DEFAULT_ALPHA,
-        policy: str = "unbounded",
-        policy_knobs: Optional[dict] = None,
+        admission: str = "unbounded",
+        admission_knobs: Optional[dict] = None,
         watchdog: Union[bool, Watchdog] = True,
         seed: int = 0,
         config: Optional[SystemConfig] = None,
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
         snapshot_every_windows: Optional[int] = None,
         observer: Optional[object] = None,
+        mode: str = "full",
         _resume_state: Optional[dict] = None,
     ) -> None:
         from repro.hypervisor.hypervisor import Hypervisor
@@ -240,7 +247,8 @@ class ServiceLoop:
             )
         self.arrivals = arrivals
         self.scheduler_name = scheduler
-        self.policy_name = policy
+        self.admission_name = admission
+        self.mode = normalize_mode(mode)
         self.seed = seed
         self.max_submissions = max_submissions
         self.horizon_ms = horizon_ms
@@ -249,7 +257,7 @@ class ServiceLoop:
         self.snapshot_every_windows = snapshot_every_windows
 
         self.admission = AdmissionController(
-            policy, seed=seed, **(policy_knobs or {})
+            admission, seed=seed, **(admission_knobs or {})
         )
         if watchdog is True:
             watchdog = Watchdog()
@@ -261,10 +269,15 @@ class ServiceLoop:
             admission=self.admission,
             watchdog=watchdog,
             observer=observer,
+            mode=self.mode,
         )
-        # Swap the append-only trace for a bounded ring before anything
-        # records into it — lifetime counters stay exact, rows stay O(1).
-        self.hv.trace = BoundedTrace(trace_capacity)
+        if self.mode == "full":
+            # Swap the append-only trace for a bounded ring before
+            # anything records into it — lifetime counters stay exact,
+            # rows stay O(1) as a debugging tail.
+            self.hv.trace = BoundedTrace(trace_capacity)
+        # (metrics mode keeps the hypervisor's MetricsTrace: exact
+        # lifetime counters, zero rows — strictly cheaper than the ring.)
         self.hv.add_retire_listener(self._on_retire)
         self.engine = self.hv.engine
 
@@ -328,9 +341,7 @@ class ServiceLoop:
         self._consumed += 1
         self._next_spec = nxt
         self.hv.submit(nxt.to_request())
-        self.engine.schedule_at(
-            nxt.arrival_ms, self._pump, priority=_PUMP_PRIORITY
-        )
+        self.engine.schedule(nxt.arrival_ms, self._pump, _PUMP_PRIORITY)
 
     # ------------------------------------------------------------------
     # State discard
@@ -386,13 +397,34 @@ class ServiceLoop:
         self._fold_deltas(index)
         self.windows.note_pending_depth(index, len(self.hv.pending))
         self._windows_closed += 1
-        self._next_close_index = index + 1
+        next_index = index + 1
+        # Batch-advance over quiescent gaps: when the board is fully
+        # drained and the only future work is the one-ahead arrival,
+        # every window boundary before that arrival would close an empty
+        # window (the sparse WindowedMetrics never materialises them and
+        # no deltas can accrue with no events in between), so jump the
+        # close chain straight to the arrival's window. Observable only
+        # as fewer ``windows_closed``/``engine_events`` — identically in
+        # both run modes. Disabled while periodic snapshots are armed,
+        # which count boundaries.
+        if (
+            self.snapshot_every_windows is None
+            and self._next_spec is not None
+            and not self.hv.apps
+            and self.hv._arrivals_outstanding == 1
+        ):
+            arrival_window = int(
+                self._next_spec.arrival_ms // self.window_ms
+            )
+            if arrival_window > next_index:
+                next_index = arrival_window
+        self._next_close_index = next_index
         self._maybe_snapshot(now)
         if not self._finished():
-            self.engine.schedule_at(
-                (index + 2) * self.window_ms,
+            self.engine.schedule(
+                (next_index + 1) * self.window_ms,
                 self._on_window_close,
-                priority=_CLOSE_PRIORITY,
+                _CLOSE_PRIORITY,
             )
 
     def _finished(self) -> bool:
@@ -448,10 +480,10 @@ class ServiceLoop:
         # Prime the one-ahead feeder (submits the first arrival, if any).
         self._pump(0.0)
         if not self._stream_done or self._next_spec is not None:
-            self.engine.schedule_at(
+            self.engine.schedule(
                 (self._next_close_index + 1) * self.window_ms,
                 self._on_window_close,
-                priority=_CLOSE_PRIORITY,
+                _CLOSE_PRIORITY,
             )
         self.engine.run()
         # Safety net: fold anything after the last boundary (only tiny
@@ -465,7 +497,7 @@ class ServiceLoop:
         stats = self.admission.stats
         return ServiceReport(
             scheduler=self.scheduler_name,
-            policy=self.policy_name,
+            admission=self.admission_name,
             arrivals=self.arrivals.describe(),
             window_ms=self.window_ms,
             alpha=self.alpha,
@@ -482,6 +514,7 @@ class ServiceLoop:
             windows=self.windows,
             snapshots=self.snapshots,
             wall_s=wall_s,
+            mode=self.mode,
         )
 
     # ------------------------------------------------------------------
@@ -499,9 +532,10 @@ class ServiceLoop:
         ``arrivals`` must be the same seeded process the snapshotted run
         used (checked against the recorded description). Keyword
         overrides replace constructor knobs; everything else — scheduler,
-        policy, seed, window/sketch parameters, submission cap — comes
-        from the snapshot, so an uninterrupted run and a
-        snapshot-plus-resume run produce byte-identical reports.
+        admission, seed, window/sketch parameters, submission cap,
+        snapshot cadence — comes from the snapshot, so an uninterrupted
+        run and a snapshot-plus-resume run produce byte-identical
+        reports.
         """
         from repro.service.snapshot import restore_state
 

@@ -32,8 +32,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.loop import ServiceLoop
     from repro.workload.arrivals import ArrivalProcess
 
-#: Snapshot payload format version.
-SNAPSHOT_FORMAT = 1
+#: Snapshot payload format version. Format 2 renamed the ``policy`` key
+#: to ``admission`` (matching the unified run API vocabulary) and added
+#: ``snapshot_every_windows`` so a resumed loop keeps the original's
+#: checkpoint cadence — and therefore its window-boundary schedule.
+SNAPSHOT_FORMAT = 2
 
 
 def build_snapshot(loop: "ServiceLoop", now: float) -> dict:
@@ -43,11 +46,12 @@ def build_snapshot(loop: "ServiceLoop", now: float) -> dict:
         "clock_ms": now,
         "cursor": loop._arrived,
         "scheduler": loop.scheduler_name,
-        "policy": loop.policy_name,
+        "admission": loop.admission_name,
         "seed": loop.seed,
         "window_ms": loop.window_ms,
         "alpha": loop.alpha,
         "max_submissions": loop.max_submissions,
+        "snapshot_every_windows": loop.snapshot_every_windows,
         "arrivals": loop.arrivals.describe(),
         "windows_closed": loop._windows_closed,
         "next_close_index": loop._next_close_index,
@@ -76,8 +80,9 @@ def validate_snapshot(payload: dict) -> dict:
             f"(this build reads format {SNAPSHOT_FORMAT})"
         )
     required = (
-        "clock_ms", "cursor", "scheduler", "policy", "seed", "window_ms",
-        "alpha", "max_submissions", "arrivals", "windows_closed",
+        "clock_ms", "cursor", "scheduler", "admission", "seed", "window_ms",
+        "alpha", "max_submissions", "snapshot_every_windows",
+        "arrivals", "windows_closed",
         "next_close_index", "completed", "shed", "dropped", "rejections",
         "engine_events", "windows",
     )
@@ -118,11 +123,12 @@ def restore_state(
     }
     knobs = {
         "scheduler": payload["scheduler"],
-        "policy": payload["policy"],
+        "admission": payload["admission"],
         "seed": payload["seed"],
         "window_ms": payload["window_ms"],
         "alpha": payload["alpha"],
         "max_submissions": payload["max_submissions"],
+        "snapshot_every_windows": payload["snapshot_every_windows"],
     }
     return state, knobs
 

@@ -109,7 +109,10 @@ class TestParallelDeterminism:
     @given(seed=st.integers(0, 10**6), num_events=st.integers(3, 8))
     def test_property_serial_equals_parallel(self, seed, num_events):
         sequence = scenario_sequence(STRESS, seed, num_events)
-        tasks = [("fcfs", sequence, None), ("nimblock", sequence, None)]
+        tasks = [
+            ("fcfs", sequence, None, "full"),
+            ("nimblock", sequence, None, "metrics"),
+        ]
         assert parallel.map_runs(tasks, jobs=2) == parallel.map_runs(
             tasks, jobs=1
         )
@@ -118,7 +121,9 @@ class TestParallelDeterminism:
         events = [EventSpec("lenet", 1, 3, 0.0)]
         bad = EventSequence(events, label="bad-scheduler-seq")
         with pytest.raises(Exception):
-            parallel.map_runs([("no_such_policy", bad, None)], jobs=2)
+            parallel.map_runs(
+                [("no_such_policy", bad, None, "full")], jobs=2
+            )
 
     def test_effective_jobs_validation(self):
         assert parallel.effective_jobs(3) == 3

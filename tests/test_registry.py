@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
-
 import pytest
 
 from repro.errors import ExperimentError
@@ -16,11 +14,7 @@ from repro.experiments.registry import (
     get_experiment,
     run_experiment,
 )
-from repro.experiments.runner import (
-    ExperimentSettings,
-    RunCache,
-    uniform_args,
-)
+from repro.experiments.runner import ExperimentSettings, RunCache
 
 TINY = ExperimentSettings(num_sequences=1, num_events=5)
 
@@ -79,41 +73,38 @@ class TestUniformInvocation:
         assert "nimblock" in result.text
 
     def test_every_module_accepts_the_uniform_signature(self):
-        """run(settings, cache, *, jobs) must bind on every module."""
+        """run(settings, cache, *, jobs, mode) must bind everywhere."""
         import inspect
 
         for experiment in all_experiments():
             signature = inspect.signature(experiment.module().run)
-            signature.bind(TINY, RunCache(), jobs=None)
+            signature.bind(TINY, RunCache(), jobs=None, mode="metrics")
 
 
-class TestLegacyShim:
-    def test_legacy_positional_order_swaps_and_warns(self):
+class TestShimRetired:
+    def test_swapped_positional_order_now_fails_loudly(self):
+        """The PR-3 ``uniform_args`` swap shim is gone: passing the
+        cache first is a plain error, not a silently-reordered call."""
         from repro.experiments import fig5_response
 
-        cache = RunCache()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            result = fig5_response.run(cache, TINY)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        assert result.reductions
+        with pytest.raises((TypeError, AttributeError)):
+            fig5_response.run(RunCache(), TINY)
 
-    def test_uniform_args_passthrough_is_silent(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            settings, cache = uniform_args(TINY, None)
-        assert settings is TINY
-        assert cache is None
+    def test_uniform_args_is_gone(self):
+        import repro
+        import repro.experiments
+        import repro.experiments.runner as runner
 
-    def test_uniform_args_swaps_both_positions(self):
-        cache_in = RunCache()
-        with warnings.catch_warnings(record=True):
-            warnings.simplefilter("always")
-            settings, cache = uniform_args(cache_in, TINY)
-        assert settings is TINY
-        assert cache is cache_in
+        assert not hasattr(runner, "uniform_args")
+        assert "uniform_args" not in repro.experiments.__all__
+        with pytest.raises(AttributeError):
+            repro.uniform_args
+
+    def test_unknown_mode_rejected(self):
+        from repro.experiments import fig5_response
+
+        with pytest.raises(ExperimentError, match="unknown run mode"):
+            fig5_response.run(TINY, jobs=1, mode="fast")
 
 
 class TestPublicApi:

@@ -184,7 +184,7 @@ class TestSloTarget:
 def run_loop(**overrides):
     knobs = dict(
         scheduler="nimblock",
-        policy="shed",
+        admission="shed",
         seed=3,
         max_submissions=60,
         window_ms=15_000.0,
@@ -222,7 +222,7 @@ class TestServiceLoop:
         # ext-service cell that first exposed it:
         arrivals = service_rate_process(2.0, seed=20230620)
         report = ServiceLoop(
-            arrivals, "rr", policy="shed", max_submissions=100,
+            arrivals, "rr", admission="shed", max_submissions=100,
             window_ms=20_000.0,
         ).run()
         assert report.shed > 0
@@ -294,7 +294,7 @@ class TestServiceLoop:
             ServiceLoop(arrivals, snapshot_every_windows=0)
 
     def test_unbounded_policy_completes_everything(self):
-        report = run_loop(policy="unbounded", max_submissions=40).run()
+        report = run_loop(admission="unbounded", max_submissions=40).run()
         assert report.completed == report.arrived == 40
         assert report.shed == report.dropped == 0
 
@@ -303,7 +303,7 @@ def slow_loop(**overrides):
     """A lightly loaded loop: quiescent boundaries, hence snapshots."""
     knobs = dict(
         scheduler="nimblock",
-        policy="unbounded",
+        admission="unbounded",
         max_submissions=24,
         window_ms=20_000.0,
         snapshot_every_windows=2,
@@ -380,8 +380,8 @@ class TestParallelAndFacade:
         from repro.experiments.parallel import service_cells
 
         tasks = [
-            ("nimblock", "shed", 2.0, 0.0, 1, 40, 15_000.0),
-            ("prema", "unbounded", 2.0, 0.0, 1, 40, 15_000.0),
+            ("nimblock", "shed", 2.0, 0.0, 1, 40, 15_000.0, "full"),
+            ("prema", "unbounded", 2.0, 0.0, 1, 40, 15_000.0, "metrics"),
         ]
         serial = service_cells(tasks, jobs=1)
         fanned = service_cells(tasks, jobs=2)
@@ -391,7 +391,7 @@ class TestParallelAndFacade:
     def test_serve_facade_round_trip(self):
         import repro
 
-        report = repro.serve("nimblock", rate_per_s=2.0, submissions=30,
+        report = repro.serve("nimblock", rate=2.0, submissions=30,
                              window_ms=15_000.0)
         assert report.completed + report.shed + report.dropped \
             == report.arrived == 30
