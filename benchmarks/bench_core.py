@@ -74,6 +74,32 @@ GUARD_KEYS = (
     "engine_fire_events_per_sec",
 )
 
+#: Scale of the service-tier guard proxy: a metrics-mode service run
+#: small enough for CI but long enough to reach replay steady state.
+#: Guarded only when the committed ``service_history`` carries a
+#: schema-3 entry recorded at exactly this scale (older baselines are
+#: skipped, keeping --guard backward-compatible).
+SERVICE_GUARD_SUBMISSIONS = 20_000
+SERVICE_GUARD_RATE_PER_S = 4.0
+SERVICE_GUARD_MODE = "metrics"
+
+#: Rate keys guarded in the matching service_history baseline entry.
+SERVICE_GUARD_KEYS = ("engine_events_per_sec",)
+
+
+def _service_guard_baseline(trajectory: Dict) -> Dict:
+    """Latest schema-3 service entry recorded at the guard scale."""
+    for entry in reversed(trajectory.get("service_history", [])):
+        scale = entry.get("scale", {})
+        if (
+            entry.get("schema", 0) >= 3
+            and entry.get("mode") == SERVICE_GUARD_MODE
+            and scale.get("submissions") == SERVICE_GUARD_SUBMISSIONS
+            and scale.get("rate_per_s") == SERVICE_GUARD_RATE_PER_S
+        ):
+            return entry
+    return {}
+
 #: Timer events for the raw-engine measurement.
 ENGINE_STORM_EVENTS = 200_000
 
@@ -85,7 +111,9 @@ def engine_storm(num_events: int = ENGINE_STORM_EVENTS) -> Dict:
     4-tuple entries, no handle allocation) — the same path the
     hypervisor's hot loop uses. Returns per-phase and combined
     events/sec: ``schedule`` is pure enqueue cost, ``fire`` is the heap
-    pop + dispatch cost of ``run()``.
+    pop + dispatch cost of ``run()``. Event arguments are materialized
+    before the clock starts so the timed region holds only engine work,
+    not the bench's own arithmetic.
     """
     from repro.sim.engine import SimulationEngine
 
@@ -95,10 +123,11 @@ def engine_storm(num_events: int = ENGINE_STORM_EVENTS) -> Dict:
         pass
 
     # Interleave two priorities so heap sifts exercise the tuple compare.
+    events = [(float(i % 1024), i & 1) for i in range(num_events)]
     schedule = engine.schedule
     start = time.perf_counter()
-    for i in range(num_events):
-        schedule(float(i % 1024), noop, i & 1)
+    for event_time, priority in events:
+        schedule(event_time, noop, priority)
     scheduled = time.perf_counter()
     engine.run()
     fired = time.perf_counter()
@@ -115,11 +144,12 @@ def engine_storm(num_events: int = ENGINE_STORM_EVENTS) -> Dict:
 class _StubApp:
     """Minimal stand-in carrying the attributes PendingQueue touches."""
 
-    __slots__ = ("app_id", "age_key")
+    __slots__ = ("app_id", "age_key", "first_item_start_ms")
 
     def __init__(self, app_id: int) -> None:
         self.app_id = app_id
         self.age_key = (float(app_id), app_id)
+        self.first_item_start_ms = None
 
 
 def queue_removal_per_op(num_apps: int) -> float:
@@ -320,13 +350,9 @@ def _guard(num_sequences: int, num_events: int, baseline_path: Path) -> int:
     print_measurement(entry)
     print()
     failed = False
-    for key in GUARD_KEYS:
-        baseline = baseline_entry.get(key)
-        if baseline is None:
-            # Schema-1 baselines predate this rate; nothing to hold.
-            print(f"guard: {key}: no baseline, skipped")
-            continue
-        current = entry[key]
+
+    def hold(key: str, baseline, current) -> None:
+        nonlocal failed
         floor = baseline * (1.0 - GUARD_TOLERANCE)
         verdict = "OK" if current >= floor else "REGRESSION"
         failed = failed or current < floor
@@ -335,6 +361,40 @@ def _guard(num_sequences: int, num_events: int, baseline_path: Path) -> int:
             f"(floor {floor:,.0f}, tolerance {GUARD_TOLERANCE:.0%}) "
             f"-> {verdict}"
         )
+
+    for key in GUARD_KEYS:
+        baseline = baseline_entry.get(key)
+        if baseline is None:
+            # Schema-1 baselines predate this rate; nothing to hold.
+            print(f"guard: {key}: no baseline, skipped")
+            continue
+        hold(key, baseline, entry[key])
+
+    service_baseline = _service_guard_baseline(trajectory)
+    if not service_baseline:
+        # Pre-schema-3 trajectory (or no proxy-scale entry): nothing to
+        # hold on the service tier.
+        print("guard: service tier: no schema-3 baseline entry, skipped")
+        return 1 if failed else 0
+    import bench_service
+
+    service_entry = bench_service.measure(
+        SERVICE_GUARD_SUBMISSIONS,
+        rate_per_s=SERVICE_GUARD_RATE_PER_S,
+        mode=SERVICE_GUARD_MODE,
+    )
+    print()
+    bench_service.print_measurement(service_entry)
+    print()
+    for key in SERVICE_GUARD_KEYS:
+        hold(f"service {key}", service_baseline[key], service_entry[key])
+    # Informational (not guarded: the rate key above already moves if
+    # replay stops engaging).
+    print(
+        f"guard: service replay hit rate: current "
+        f"{service_entry['replay_hit_rate']:.2%} vs baseline "
+        f"{service_baseline.get('replay_hit_rate', 0.0):.2%}"
+    )
     return 1 if failed else 0
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import datetime
+import gc
 import json
 import resource
 import sys
@@ -65,8 +66,18 @@ def run_service(
     admission: str = "shed",
     seed: int = 1,
     mode: str = "full",
+    disable_gc: bool = False,
+    replay: bool = True,
 ):
-    """One measured service run; returns the finished report."""
+    """One measured service run; returns the finished report.
+
+    ``disable_gc`` suspends the cyclic collector for the measured run
+    (restoring its previous state afterwards): the service tier's
+    steady-state object population is refcount-managed — app runs and
+    engine entries drop to zero references at retirement — so collector
+    sweeps only add jitter to throughput measurements. Memory smokes
+    must keep it off so leaks stay observable.
+    """
     arrivals = service_rate_process(rate_per_s, seed=seed)
     loop = ServiceLoop(
         arrivals,
@@ -76,8 +87,17 @@ def run_service(
         max_submissions=submissions,
         window_ms=window_ms,
         mode=mode,
+        replay=replay,
     )
-    return loop.run()
+    if not disable_gc:
+        return loop.run()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return loop.run()
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def _check_shapes(report, submissions: int) -> None:
@@ -93,14 +113,25 @@ def measure(
     submissions: int,
     rate_per_s: float = DRILL_RATE_PER_S,
     mode: str = "full",
+    replay: bool = True,
 ) -> Dict:
     """One full measurement: throughput rates plus peak RSS."""
-    report = run_service(submissions, rate_per_s=rate_per_s, mode=mode)
+    report = run_service(
+        submissions, rate_per_s=rate_per_s, mode=mode, disable_gc=True,
+        replay=replay,
+    )
     _check_shapes(report, submissions)
     peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    attempts = report.replay_hits + report.replay_misses
     return {
-        "schema": 2,
+        "schema": 3,
         "mode": mode,
+        "replay": replay,
+        "replay_hits": report.replay_hits,
+        "replay_misses": report.replay_misses,
+        "replay_hit_rate": round(
+            report.replay_hits / attempts if attempts else 0.0, 4
+        ),
         "scale": {
             "submissions": submissions,
             "rate_per_s": rate_per_s,
@@ -127,6 +158,12 @@ def print_measurement(entry: Dict) -> None:
         f"{scale['rate_per_s']:g}/s ({scale['scheduler']}, "
         f"{scale['admission']}, mode={entry.get('mode', 'full')})"
     )
+    if entry.get("schema", 2) >= 3:
+        print(
+            f"replay:     {entry['replay_hits']:>12,} hits / "
+            f"{entry['replay_misses']:,} misses "
+            f"(hit rate {entry['replay_hit_rate']:.2%})"
+        )
     print(
         f"engine:     {entry['engine_events_per_sec']:>12,} events/sec "
         f"({entry['engine_events']:,} events in {entry['wall_s']}s)"

@@ -106,6 +106,16 @@ class AdmissionController:
         # changes after construction.
         self._is_shed = isinstance(policy, ShedPolicy)
         self._is_degrade = isinstance(policy, DegradePolicy)
+        # Pass-skip memo: for depth-driven policies the whole ``on_pass``
+        # body is a pure function of queue depth, and depth cannot change
+        # without a ``pending.version`` bump. ``_pass_skip_ok`` records
+        # whether the last live pass ended in a state where an unchanged
+        # version guarantees a no-op (never true for the degrade policy,
+        # whose wait-time leg moves with the clock, and not while the
+        # shed policy sits above capacity, where a victim can become
+        # sheddable via a ``_slots_used`` decrement that bumps nothing).
+        self._pass_version: int = -1
+        self._pass_skip_ok = False
 
     # ------------------------------------------------------------------
     # Wiring
@@ -187,12 +197,21 @@ class AdmissionController:
         if self._high_watermark is None:
             return
         hv = self._require_hv()
+        version = hv.pending.version
+        if version == self._pass_version and self._pass_skip_ok:
+            return
         self._update_pressure(hv, now)
         if self._is_shed:
             if self._shed_victims(hv, now):
                 # Depth only changed if someone was actually evicted; a
                 # second refresh with identical state is a no-op, skip it.
                 self._update_pressure(hv, now)
+            self._pass_skip_ok = (
+                len(hv.pending) <= self.policy.queue_capacity
+            )
+        else:
+            self._pass_skip_ok = not self._is_degrade
+        self._pass_version = hv.pending.version
 
     def _update_pressure(self, hv: "Hypervisor", now: float) -> None:
         depth = len(hv.pending)
@@ -226,8 +245,8 @@ class AdmissionController:
         if not self._is_degrade:
             return False
         waited = 0.0
-        for app in hv.pending.in_arrival_order():
-            if app.first_item_start_ms is None and app._slots_used == 0:
+        for app in hv.pending.never_started_in_arrival_order():
+            if app._slots_used == 0:
                 waited = now - app.arrival_ms
                 break
         threshold = self.policy.wait_high_ms
@@ -241,9 +260,13 @@ class AdmissionController:
         if len(hv.pending) <= policy.queue_capacity:
             return 0
         low = policy.effective_low_watermark()
+        # Only never-started apps are sheddable; the registry hands the
+        # subset over directly (an app can hold configured slots without
+        # having launched an item, hence the residual ``_slots_used``
+        # filter).
         victims = [
-            app for app in hv.pending.in_arrival_order()
-            if self._sheddable(app)
+            app for app in hv.pending.never_started_in_arrival_order()
+            if app._slots_used == 0
         ]
         # Lowest priority first; within a priority the youngest goes first
         # (it has waited least, so dropping it wastes the least patience).

@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: sit on the per-pass hot path).
 _ITEM_DONE = TraceKind.ITEM_DONE
 _CONFIG_DONE = TraceKind.TASK_CONFIG_DONE
+_CONFIG_START = TraceKind.TASK_CONFIG_START
 _PREEMPTED = TraceKind.TASK_PREEMPTED
 
 
@@ -98,6 +99,22 @@ class Watchdog:
         #: per app per pass).
         self._app_progress: Dict[int, list] = {}
         self._app_last_kick: Dict[int, int] = {}
+        #: Starvation pass clock: increments once per pass that reaches
+        #: the starvation check. Entries store the clock value at their
+        #: last reset, so a quiet pass ages every entry implicitly
+        #: without touching it.
+        self._ns_clock = 0
+        #: Clock value at which the earliest entry can reach the
+        #: starvation threshold (None with no entries).
+        self._ns_next_fire: Optional[int] = None
+        #: Change signature of everything the per-app walk reads; while
+        #: it holds still the walk is skipped (see _check_starvation).
+        self._ns_sig: Optional[tuple] = None
+        #: Per-trace resolved counter source: the metrics/bounded traces
+        #: expose their per-kind totals dict, saving four method calls
+        #: per pass; the row-storing Trace falls back to ``count``.
+        self._counts_trace: Optional[object] = None
+        self._by_kind_counts: Optional[dict] = None
         #: Recovery-action counters (diagnostics and SLO metrics).
         self.stall_kicks = 0
         self.starvation_boosts = 0
@@ -116,11 +133,26 @@ class Watchdog:
     def on_pass(self, hv: "Hypervisor", now: float) -> None:
         """End-of-pass hook: update counters, fire recovery when due."""
         trace = hv.trace
-        count = trace.count
+        if trace is not self._counts_trace:
+            self._counts_trace = trace
+            self._by_kind_counts = getattr(trace, "_total_by_kind", None)
+        by_kind = self._by_kind_counts
+        if by_kind is not None:
+            get = by_kind.get
+            item_done = get(_ITEM_DONE, 0)
+            config_done = get(_CONFIG_DONE, 0)
+            preempted = get(_PREEMPTED, 0)
+            config_start = get(_CONFIG_START, 0)
+        else:
+            count = trace.count
+            item_done = count(_ITEM_DONE)
+            config_done = count(_CONFIG_DONE)
+            preempted = count(_PREEMPTED)
+            config_start = count(_CONFIG_START)
         sig = (
-            count(_ITEM_DONE),
-            count(_CONFIG_DONE),
-            count(_PREEMPTED),
+            item_done,
+            config_done,
+            preempted,
             len(hv.retired),
             len(hv.shed),
         )
@@ -131,25 +163,37 @@ class Watchdog:
             self._stalled_passes += 1
         else:
             self._stalled_passes = 0
-        self._check_stall(hv, now)
-        self._check_starvation(hv, now)
+        if (
+            self._stalled_passes >= self.config.stall_passes
+            and self._check_stall(hv, now)
+        ):
+            # The stall kick just detached residents: re-read the counts
+            # it moved so the starvation signature stays exact.
+            if by_kind is not None:
+                preempted = by_kind.get(_PREEMPTED, 0)
+                config_start = by_kind.get(_CONFIG_START, 0)
+            else:
+                preempted = trace.count(_PREEMPTED)
+                config_start = trace.count(_CONFIG_START)
+        self._check_starvation(hv, now, config_start, preempted)
 
     # ------------------------------------------------------------------
     # Global stall
     # ------------------------------------------------------------------
-    def _check_stall(self, hv: "Hypervisor", now: float) -> None:
+    def _check_stall(self, hv: "Hypervisor", now: float) -> bool:
+        """Returns True when a recovery action recorded trace events."""
         cfg = self.config
         if self._stalled_passes < cfg.stall_passes:
-            return
+            return False
         if hv.scheduler_passes - self._last_kick_pass < cfg.cooldown_passes:
-            return
+            return False
         if not self._wedged(hv):
-            return
+            return False
         # The PR-1 fault stall-breaker already acted in this very pass:
         # it owns the recovery, the watchdog stands down.
         if hv._last_stall_break_pass == hv.scheduler_passes:
             self._stalled_passes = 0
-            return
+            return False
         self.stalls_detected += 1
         hv.trace.record(
             now, TraceKind.WATCHDOG_STALL, detail=float(self._stalled_passes)
@@ -163,6 +207,7 @@ class Watchdog:
             hv._request_pass()
         self._last_kick_pass = hv.scheduler_passes
         self._stalled_passes = 0
+        return True
 
     @staticmethod
     def _wedged(hv: "Hypervisor") -> bool:
@@ -174,25 +219,59 @@ class Watchdog:
     # ------------------------------------------------------------------
     # Per-app starvation
     # ------------------------------------------------------------------
-    def _check_starvation(self, hv: "Hypervisor", now: float) -> None:
+    def _check_starvation(
+        self, hv: "Hypervisor", now: float,
+        config_starts: int, preemptions: int,
+    ) -> None:
         cfg = self.config
-        starvation_passes = cfg.starvation_passes
         app_progress = self._app_progress
-        live = 0
+        # Apps that ran before are excluded structurally: waiting at a
+        # batch boundary is not starvation, and ``first_item_start_ms``
+        # never resets, so the never-started registry is exactly the set
+        # that can ever be starved. Stale entries for started apps fall
+        # to the sweep below.
+        never_started = hv.pending.never_started_in_arrival_order()
+        if not never_started and not app_progress:
+            return
+        clock = self._ns_clock + 1
+        self._ns_clock = clock
+        # Fast path: per-app starvation state only moves when a token, a
+        # held-slot count or the queue membership changes, and every one
+        # of those transitions bumps a monotone counter — queue version,
+        # token generation, boost count, TASK_CONFIG_START (the
+        # ``_slots_used`` increment site) and TASK_PREEMPTED (the
+        # decrement sites, including watchdog detaches). While that
+        # signature holds still, every entry just ages by one pass —
+        # tracked implicitly by the clock — and the per-app walk is
+        # deferred until the earliest entry could reach the threshold.
+        # Fault injection moves ``_slots_used`` through paths outside
+        # the signature (config failures, slot faults), so it disables
+        # the fast path wholesale.
+        if hv.faults is None:
+            sig = (
+                hv.pending.version,
+                hv.scheduler.token_gen(),
+                self.starvation_boosts,
+                config_starts,
+                preemptions,
+            )
+            if sig == self._ns_sig:
+                next_fire = self._ns_next_fire
+                if next_fire is None or clock < next_fire:
+                    return
+            else:
+                self._ns_sig = sig
+        else:
+            self._ns_sig = None
+        starvation_passes = cfg.starvation_passes
+        live = len(never_started)
         # Max pending token, computed lazily on the first starvation hit
         # of the pass (over pre-boost tokens, as the eager version did —
         # boosts within a pass all reach the same target).
         max_token: Optional[float] = None
-        for app in hv.pending.in_arrival_order():
-            if app.first_item_start_ms is not None:
-                # The app has run before: waiting at a batch boundary is
-                # not starvation, and the field never resets, so no
-                # starvation record can ever fire for it again. Skip its
-                # progress tracking entirely; any stale entry from before
-                # its first item falls to the sweep below.
-                continue
+        min_base: Optional[int] = None
+        for app in never_started:
             app_id = app.app_id
-            live += 1
             # Items done is identically 0 for a never-started app (an
             # item completion implies an earlier first item start), so
             # token and held slots are the whole progress signal.
@@ -200,36 +279,41 @@ class Watchdog:
             used = app._slots_used
             entry = app_progress.get(app_id)
             if entry is None or entry[0] != token or entry[1] != used:
-                app_progress[app_id] = [token, used, 0]
+                app_progress[app_id] = [token, used, clock]
+                if min_base is None or clock < min_base:
+                    min_base = clock
                 continue
-            stalled = entry[2] + 1
-            entry[2] = stalled
-            if stalled < starvation_passes:
-                continue
-            last = self._app_last_kick.get(app_id, -(10**9))
-            if hv.scheduler_passes - last < cfg.cooldown_passes:
-                continue
-            self.starvations_detected += 1
-            hv.trace.record(
-                now, TraceKind.WATCHDOG_STALL, app_id=app_id,
-                detail=float(stalled),
-            )
-            if max_token is None:
-                max_token = 0.0
-                for other in hv.pending.in_arrival_order():
-                    if other.token > max_token:
-                        max_token = other.token
-            if cfg.boost_tokens and max_token > app.token:
-                old_token = app.token
-                app.token = max_token
-                self.starvation_boosts += 1
-                hv.trace.record(
-                    now, TraceKind.WATCHDOG_KICK, app_id=app_id,
-                    detail=old_token,
-                )
-                hv._request_pass()
-            self._app_last_kick[app_id] = hv.scheduler_passes
-            entry[2] = 0
+            base = entry[2]
+            stalled = clock - base
+            if stalled >= starvation_passes:
+                last = self._app_last_kick.get(app_id, -(10**9))
+                if hv.scheduler_passes - last >= cfg.cooldown_passes:
+                    self.starvations_detected += 1
+                    hv.trace.record(
+                        now, TraceKind.WATCHDOG_STALL, app_id=app_id,
+                        detail=float(stalled),
+                    )
+                    if max_token is None:
+                        max_token = 0.0
+                        for other in hv.pending.in_arrival_order():
+                            if other.token > max_token:
+                                max_token = other.token
+                    if cfg.boost_tokens and max_token > app.token:
+                        old_token = app.token
+                        app.token = max_token
+                        self.starvation_boosts += 1
+                        hv.trace.record(
+                            now, TraceKind.WATCHDOG_KICK, app_id=app_id,
+                            detail=old_token,
+                        )
+                        hv._request_pass()
+                    self._app_last_kick[app_id] = hv.scheduler_passes
+                    entry[2] = base = clock
+            if min_base is None or base < min_base:
+                min_base = base
+        self._ns_next_fire = (
+            None if min_base is None else min_base + starvation_passes
+        )
         # Drop bookkeeping for retired/shed/started apps so state stays
         # bounded.
         if len(app_progress) > live:

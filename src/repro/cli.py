@@ -95,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-replay", action="store_true",
+        help=(
+            "disable the steady-state macro-event replay cache in the "
+            "'serve' and 'cluster' drills (output is byte-identical "
+            "either way; the flag exists for A/B verification and the "
+            "replay-equivalence CI diff)"
+        ),
+    )
+    parser.add_argument(
         "--admission", default=None,
         help=(
             "admission policy: unbounded, reject, shed or degrade "
@@ -318,6 +327,7 @@ def _run_serve(args: argparse.Namespace, settings: ExperimentSettings) -> int:
         seed=args.seed,
         jobs=args.jobs,
         mode=args.mode,
+        replay=not args.no_replay,
     ))
     wall_s = time.perf_counter() - started
     print(
@@ -358,6 +368,7 @@ def _run_cluster(
         jobs=args.jobs,
         as_json=args.json,
         mode=args.mode,
+        replay=not args.no_replay,
     ), end="")
     return EXIT_OK
 

@@ -475,7 +475,9 @@ class Cluster:
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
-    def board_tasks(self, mode: str = "full") -> List[BoardTask]:
+    def board_tasks(
+        self, mode: str = "full", replay: bool = True
+    ) -> List[BoardTask]:
         """The picklable per-board simulation inputs, one per board."""
         tasks: List[BoardTask] = []
         for board in self._boards:
@@ -496,11 +498,13 @@ class Cluster:
                 self._board_admission,
                 self._seed + board.index,
                 mode,
+                replay,
             ))
         return tasks
 
     def run(
-        self, jobs: Optional[int] = None, mode: str = "full"
+        self, jobs: Optional[int] = None, mode: str = "full",
+        replay: bool = True,
     ) -> "ClusterReport":
         """Simulate every board (sharded over ``jobs`` processes) and
         merge the per-board payloads into one :class:`ClusterReport`.
@@ -508,11 +512,14 @@ class Cluster:
         ``mode="metrics"`` runs each board without trace rows: counters,
         sketches and busy-time sums stay exact, but the per-board
         ``trace_digest`` fields are ``None`` (nothing to hash).
+        ``replay=False`` disables the per-board macro-event replay cache
+        (the report is byte-identical either way; the knob exists for
+        A/B verification).
         """
         from repro.modes import normalize_mode
 
         mode = normalize_mode(mode)
-        payloads = board_cells(self.board_tasks(mode), jobs=jobs)
+        payloads = board_cells(self.board_tasks(mode, replay), jobs=jobs)
         return ClusterReport(
             boards=payloads,
             placement=self._placement.name,

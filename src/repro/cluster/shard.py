@@ -41,11 +41,15 @@ from repro.workload.events import EventSpec
 #: One board's simulation input: (board index, profile, scheduler name,
 #: fleet-wide base config or None, placed event specs in arrival order,
 #: per-board fault config or None, per-board admission policy name or
-#: None, per-board seed, run mode). Everything is a primitive or a
-#: frozen dataclass of primitives, hence picklable.
+#: None, per-board seed, run mode, replay-cache enable). Everything is a
+#: primitive or a frozen dataclass of primitives, hence picklable. The
+#: trailing replay flag is optional — 9-tuples from older callers run
+#: with the replay cache enabled (the default is byte-identical to a
+#: replay-off run, so the flag only exists for A/B verification).
 BoardTask = Tuple[
     int, BoardProfile, str, Optional[SystemConfig],
     Tuple[EventSpec, ...], Optional[FaultConfig], Optional[str], int, str,
+    bool,
 ]
 
 
@@ -146,9 +150,11 @@ def simulate_board(task: BoardTask) -> dict:
     from repro.hypervisor.hypervisor import Hypervisor
     from repro.schedulers.registry import make_scheduler
     from repro.service.sketch import QuantileSketch
+    from repro.sim.replay import ReplayCache
 
     (board_index, profile, scheduler_name, base_config, specs,
-     fault_config, admission_policy, seed, mode) = task
+     fault_config, admission_policy, seed, mode) = task[:9]
+    replay = task[9] if len(task) > 9 else True
     if not specs:
         return _empty_payload(board_index, profile, mode)
 
@@ -168,6 +174,23 @@ def simulate_board(task: BoardTask) -> dict:
         watchdog=watchdog,
         mode=mode,
     )
+    if replay:
+        # Replay is a no-op on fault-injected boards (the gate rejects
+        # them), so chaos boards stay live automatically. The closed
+        # pre-submitted event list makes the engine horizon an exact
+        # next-arrival bound, so no arrival hook is needed.
+        hypervisor._replay = ReplayCache(
+            hypervisor,
+            scheduler_factory=lambda: make_scheduler(scheduler_name),
+            admission_factory=(
+                (lambda: AdmissionController(admission_policy, seed=seed))
+                if admission_policy is not None else None
+            ),
+            watchdog_factory=(
+                (lambda: Watchdog())
+                if admission_policy is not None else None
+            ),
+        )
     for spec in specs:
         hypervisor.submit(spec.to_request())
     hypervisor.run()

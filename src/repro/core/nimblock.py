@@ -68,9 +68,20 @@ class NimblockScheduler(SchedulerPolicy):
         # completion — per-event reallocation makes over-consumption flap
         # and preemption thrash at large batch sizes.
         self._alloc_dirty = True
-        self._last_candidate_ids: frozenset = frozenset()
         self._last_slot_cap: Optional[int] = None
         self.preemptions_issued = 0
+        # Candidate-pool cache: the pool is a pure function of the
+        # pending-queue contents and the token values, so it is keyed by
+        # (pending version, token generation, watchdog boosts) — the
+        # complete set of mutation counters for those inputs. Most
+        # passes are triggered by item completions, which change
+        # neither, so the filter + threshold + sort is skipped entirely.
+        self._cand_key: Optional[tuple] = None
+        self._cand_cache: list = []
+        #: Key the last slot allocation was computed under; replaces the
+        #: old per-decide frozenset comparison of candidate ids (an
+        #: unchanged key implies an unchanged candidate pool).
+        self._alloc_key: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Lazy sub-component construction (the policy learns the platform
@@ -124,15 +135,27 @@ class NimblockScheduler(SchedulerPolicy):
         pending = ctx.pending_apps()
         if not pending:
             return None
-        candidates = self._accounting(ctx).candidates(pending)
+        accounting = self._tokens
+        if accounting is None:
+            accounting = self._accounting(ctx)
+        cand_key = (
+            ctx.pending_version(), accounting.gen, ctx.token_boosts()
+        )
+        if cand_key != self._cand_key:
+            self._cand_cache = accounting.candidates(pending)
+            self._cand_key = cand_key
+        candidates = self._cand_cache
         if not candidates:
             return None
 
         # Reallocation (§4.2): at scheduling intervals and whenever the
         # candidate pool changes. Non-candidates hold no allocation, so a
         # formerly greedy application becomes an over-consumer the moment
-        # it drops out of (or is out-aged in) the candidate pool.
-        candidate_ids = frozenset(app.app_id for app in candidates)
+        # it drops out of (or is out-aged in) the candidate pool. An
+        # unchanged candidate cache key implies an unchanged pool, so the
+        # key comparison replaces the old per-decide id-set comparison
+        # (it can only over-trigger, and allocation is a deterministic
+        # function of its inputs, so an extra recomputation is invisible).
         # Overload degradation (repro.admission): while the degrade
         # policy's pressure signal is high, every application's allocation
         # is clamped — goal raises and surplus grants alike — so more
@@ -142,7 +165,7 @@ class NimblockScheduler(SchedulerPolicy):
         slot_cap = ctx.admission_slot_cap()
         if (
             self._alloc_dirty
-            or candidate_ids != self._last_candidate_ids
+            or cand_key != self._alloc_key
             or slot_cap != self._last_slot_cap
         ):
             goals = {
@@ -163,7 +186,7 @@ class NimblockScheduler(SchedulerPolicy):
                     allocated = slot_cap
                 app.slots_allocated = allocated
             self._alloc_dirty = False
-            self._last_candidate_ids = candidate_ids
+            self._alloc_key = cand_key
             self._last_slot_cap = slot_cap
 
         # Task selection (§4.3): oldest candidate below its allocation.

@@ -31,6 +31,23 @@ class TokenAccounting:
 
     def __init__(self, config: SystemConfig) -> None:
         self._config = config
+        #: Token generation: bumped on every accumulation round that
+        #: mutates at least one token. Together with the pending queue's
+        #: ``version`` (and the watchdog's boost counter, the only other
+        #: token writer) it keys candidate-pool caches: an unchanged
+        #: (version, gen, boosts) triple guarantees :meth:`candidates`
+        #: and :meth:`threshold` would return the same result.
+        self.gen = 0
+
+    def note_external_token_write(self) -> None:
+        """Invalidate candidate caches after a direct ``app.token`` write.
+
+        The production token writers (accumulation rounds here, starvation
+        boosts in the watchdog) are covered by cache keys automatically;
+        tests and drills that poke ``app.token`` directly must call this
+        once afterwards so keyed candidate caches notice.
+        """
+        self.gen += 1
 
     def degradation(self, app: AppRun, now: float) -> float:
         """PREMA slowdown of one application at time ``now``."""
@@ -39,7 +56,8 @@ class TokenAccounting:
 
     def accumulate(self, apps: Iterable[AppRun], now: float) -> None:
         """One accumulation round over the pending queue (Alg. 1 line 6)."""
-        apps = list(apps)
+        if not isinstance(apps, list):
+            apps = list(apps)
         if not apps:
             return
         # Single fused pass: degradation per app plus the running max,
@@ -59,6 +77,7 @@ class TokenAccounting:
                 max_degradation = degradation
         if max_degradation <= 0:
             return
+        self.gen += 1
         alpha = self._config.token_alpha
         for app, degradation in zip(apps, degradations):
             app.token += alpha * app.priority * (
@@ -81,12 +100,27 @@ class TokenAccounting:
 
     def candidates(self, apps: Sequence[AppRun]) -> List[AppRun]:
         """Applications whose tokens clear the threshold, oldest first."""
-        apps = list(apps)
         if not apps:
             return []
         threshold = self.threshold(apps)
-        chosen = [app for app in apps if app.token >= threshold]
-        chosen.sort(key=lambda app: app.age_key)
+        # The pending queue hands out its arrival-order snapshot, so the
+        # filtered subset is almost always already age-ordered; detect
+        # that in the same pass and skip the sort (the degrade admission
+        # policy's priority-major reordering is the one caller that still
+        # pays it).
+        chosen: List[AppRun] = []
+        append = chosen.append
+        in_order = True
+        prev_key = None
+        for app in apps:
+            if app.token >= threshold:
+                key = app.age_key
+                if prev_key is not None and key < prev_key:
+                    in_order = False
+                prev_key = key
+                append(app)
+        if not in_order:
+            chosen.sort(key=lambda app: app.age_key)
         return chosen
 
     def snapshot(self, apps: Sequence[AppRun]) -> Dict[int, float]:

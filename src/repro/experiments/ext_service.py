@@ -206,6 +206,7 @@ def serve_report(
     seed: int = 1,
     jobs: Optional[int] = None,
     mode: str = "full",
+    replay: bool = True,
 ) -> str:
     """The one-shot ``nimblock-repro serve`` drill.
 
@@ -216,7 +217,7 @@ def serve_report(
     """
     tasks: List[ServiceTask] = [
         (scheduler, admission, rate, burstiness, seed, submissions,
-         window_ms, mode)
+         window_ms, mode, replay)
         for scheduler in schedulers
     ]
     payloads = service_cells(tasks, jobs=jobs)

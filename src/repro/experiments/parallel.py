@@ -257,7 +257,9 @@ def observed_snapshots(
 #: from these picklable scalars — identical reconstruction to the serial
 #: path, so the returned report payloads are byte-identical at any jobs
 #: count (and, since the payload carries no rows, at either run mode).
-ServiceTask = Tuple[str, str, float, float, int, int, float, str]
+#: Trailing replay flag optional: 8-tuples from older callers run
+#: with the replay cache enabled (byte-identical either way).
+ServiceTask = Tuple[str, str, float, float, int, int, float, str, bool]
 
 
 def _simulate_service(task: ServiceTask) -> dict:
@@ -272,7 +274,8 @@ def _simulate_service(task: ServiceTask) -> dict:
     from repro.workload.arrivals import service_rate_process
 
     (scheduler, admission, rate, burstiness, seed, submissions,
-     window_ms, mode) = task
+     window_ms, mode) = task[:8]
+    replay = task[8] if len(task) > 8 else True
     arrivals = service_rate_process(rate, seed=seed, burstiness=burstiness)
     loop = ServiceLoop(
         arrivals,
@@ -282,6 +285,7 @@ def _simulate_service(task: ServiceTask) -> dict:
         max_submissions=submissions,
         window_ms=window_ms,
         mode=mode,
+        replay=replay,
     )
     return loop.run().to_dict()
 

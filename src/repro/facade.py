@@ -182,6 +182,7 @@ def fleet(
     jobs: Optional[int] = None,
     sequence: Optional[EventSequence] = None,
     mode: str = "full",
+    replay: bool = True,
 ):
     """Run one multi-board fleet under the burst workload; the report.
 
@@ -229,7 +230,7 @@ def fleet(
         seed=seed,
     )
     fleet.submit_sequence(sequence)
-    return fleet.run(jobs=jobs, mode=mode)
+    return fleet.run(jobs=jobs, mode=mode, replay=replay)
 
 
 def cluster_report(
@@ -247,6 +248,7 @@ def cluster_report(
     jobs: Optional[int] = None,
     as_json: bool = False,
     mode: str = "full",
+    replay: bool = True,
 ) -> str:
     """The ``repro cluster`` drill as deterministic text.
 
@@ -271,6 +273,7 @@ def cluster_report(
         fault_scenario=fault_scenario,
         jobs=jobs,
         mode=mode,
+        replay=replay,
     )
     if as_json:
         return json.dumps(report.to_dict(), sort_keys=True) + "\n"

@@ -87,14 +87,29 @@ class SchedulerContext:
         """Unretired applications, oldest first.
 
         Under an overloaded degrade admission policy this view is browned
-        out (not-yet-started low-priority apps hidden); without an
-        admission controller it is exactly the pending queue's cached
-        arrival-order snapshot.
+        out (re-ordered priority-major); without an admission controller
+        it is exactly the pending queue's cached arrival-order snapshot.
         """
-        apps = self._hv.pending.in_arrival_order()
-        if self._hv.admission is not None:
-            apps = self._hv.admission.filter_candidates(apps)
+        hv = self._hv
+        apps = hv.pending.in_arrival_order()
+        admission = hv.admission
+        if admission is not None and admission._is_degrade:
+            apps = admission.filter_candidates(apps)
         return apps
+
+    def pending_version(self) -> int:
+        """Mutation version of the pending queue (cache key component)."""
+        return self._hv.pending.version
+
+    def token_boosts(self) -> int:
+        """Lifetime watchdog token boosts (cache key component).
+
+        Together with :attr:`TokenAccounting.gen` and
+        :meth:`pending_version` this covers every site that can change a
+        pending application's scheduling token.
+        """
+        watchdog = self._hv.watchdog
+        return watchdog.starvation_boosts if watchdog is not None else 0
 
     def app(self, app_id: int) -> AppRun:
         """Look up any submitted application by id."""
@@ -228,6 +243,16 @@ class Hypervisor:
         self._guard_limit = 4 * self.config.num_slots + 4
         self._port = self.device.port
         self._slots = self.device.slots
+        # Arrival-latency-estimate memo. Service workloads draw requests
+        # from a tiny benchmark pool, so the same (graph, batch) pair
+        # recurs thousands of times; the estimate is a pure function of
+        # both when no estimation error is configured. Keyed by object
+        # identity with a strong graph reference so ids cannot be reused.
+        self._estimate_cache: Dict[tuple, tuple] = {}
+        #: Macro-event replay cache (repro.sim.replay), installed by the
+        #: service loop / cluster shards. None — the default — keeps the
+        #: arrival path byte-identical to the pre-replay simulator.
+        self._replay = None
 
     def add_retire_listener(self, callback) -> None:
         """Register ``callback(app_run, now)`` to fire on each retirement.
@@ -276,12 +301,33 @@ class Hypervisor:
             # Rejected: the controller has either re-scheduled this
             # arrival with backoff or dropped the application for good.
             return
+        replay = self._replay
+        if replay is not None and replay.try_replay(now, app_id, request):
+            # The memoized segment was applied in bulk (trace rows,
+            # counters, credited engine events, deferred retirement);
+            # the live cascade below would duplicate it.
+            return
         self._register_bitstreams(request)
         error = self.config.hls_estimation_error
-        estimate = application_latency_estimate_ms(
-            request.graph, request.batch_size, self.config.reconfig_ms,
-            estimation_error=error,
-        )
+        graph = request.graph
+        if error == 0:
+            # Pure function of (graph, batch) when estimates are exact;
+            # the memo holds the graph strongly so the id stays valid.
+            key = (id(graph), request.batch_size)
+            hit = self._estimate_cache.get(key)
+            if hit is not None and hit[0] is graph:
+                estimate = hit[1]
+            else:
+                estimate = application_latency_estimate_ms(
+                    graph, request.batch_size, self.config.reconfig_ms,
+                    estimation_error=0.0,
+                )
+                self._estimate_cache[key] = (graph, estimate)
+        else:
+            estimate = application_latency_estimate_ms(
+                graph, request.batch_size, self.config.reconfig_ms,
+                estimation_error=error,
+            )
         task_estimates = None
         if error > 0:
             task_estimates = {
@@ -351,7 +397,10 @@ class Hypervisor:
         decide = self.scheduler.decide
         ctx = self._ctx
         configured = False
-        while not port.is_busy:
+        # ``port._active is None`` inlines ``port.is_busy`` and the exact
+        # ``type`` checks inline the common ``_apply`` dispatch; action
+        # subclasses still reach ``_apply`` through the fallback.
+        while port._active is None:
             guard += 1
             if guard > guard_limit:
                 raise SchedulerError(
@@ -360,12 +409,22 @@ class Hypervisor:
             action = decide(ctx)
             if action is None:
                 break
-            self._apply(action, now)
-            if isinstance(action, ConfigureAction):
+            action_type = type(action)
+            if action_type is ConfigureAction:
+                self._apply_configure(action, now)
                 configured = True
                 break
+            if action_type is PreemptAction:
+                self._apply_preempt(action, now)
+            else:
+                self._apply(action, now)
+                if isinstance(action, ConfigureAction):
+                    configured = True
+                    break
         self._launch_ready_items(now)
-        if not configured:
+        # The stall breaker only ever acts under fault injection; gate
+        # on that here so fault-free passes skip the call entirely.
+        if not configured and self.faults is not None:
             self._break_fault_stall(now)
         if self.watchdog is not None:
             self.watchdog.on_pass(self, now)
@@ -405,9 +464,9 @@ class Hypervisor:
         watchdog's stall kick; returns the number of slots freed.
         """
         detached = 0
-        for slot in self.device.slots:
-            if slot.phase != SlotPhase.OCCUPIED or slot.busy:
-                continue
+        slots = self.device.slots
+        for index in sorted(self.device.idle_residents):
+            slot = slots[index]
             app, task = slot.occupant  # type: ignore[misc]
             task.detach()
             app._slots_used -= 1
@@ -567,17 +626,25 @@ class Hypervisor:
     # Item execution
     # ------------------------------------------------------------------
     def _launch_ready_items(self, now: float) -> None:
+        # The device maintains the idle-resident index set inline with
+        # slot transitions; sorting the handful of candidates preserves
+        # the old whole-board scan's ascending-index launch order.
+        idle = self.device.idle_residents
+        if not idle:
+            return
         pipelined = self.scheduler.pipelined
         if pipelined and self.admission is not None:
             # The degrade policy throttles pipelining depth to bulk mode
             # while the overload pressure signal is high.
             pipelined = self.admission.pipelining_allowed()
-        occupied = SlotPhase.OCCUPIED
         record = self.trace.record
         schedule_delay = self.engine.schedule_delay
-        for slot in self._slots:
-            if slot.phase is not occupied or slot.busy:
-                continue
+        slots = self._slots
+        # One idle resident is by far the common case under load; skip
+        # the sort (launch order is trivially ascending either way).
+        indices = tuple(idle) if len(idle) == 1 else sorted(idle)
+        for index in indices:
+            slot = slots[index]
             app, task = slot.occupant  # type: ignore[misc]
             if not app._run_item_ready(task, pipelined):
                 continue
@@ -585,6 +652,7 @@ class Hypervisor:
             slot.start_item()
             if app.first_item_start_ms is None:
                 app.first_item_start_ms = now
+                self.pending.mark_started(app.app_id)
                 record(now, TraceKind.APP_STARTED, app_id=app.app_id)
             record(
                 now, TraceKind.ITEM_START,
@@ -646,13 +714,17 @@ class Hypervisor:
             detail=float(item),
         )
 
-        successors = app.graph.successors(task.task_id)
-        self.buffers.publish_output(
-            app.app_id, task.task_id, item, self.item_buffer_bytes,
-            len(successors),
+        # Direct edge-table reads (the methods only add a lookup guard,
+        # and task ids of a live TaskRun are always in the graph).
+        graph = app.graph
+        task_id = task.task_id
+        buffers = self.buffers
+        buffers.publish_output(
+            app.app_id, task_id, item, self.item_buffer_bytes,
+            len(graph._succ_tuples[task_id]),
         )
-        for pred in app.graph.predecessors(task.task_id):
-            self.buffers.consume(app.app_id, pred, item)
+        for pred in graph._pred_tuples[task_id]:
+            buffers.consume(app.app_id, pred, item)
 
         if task.items_done >= app.batch_size:
             task.state = TaskRunState.DONE

@@ -29,6 +29,10 @@ class PendingQueue:
     """Arrival-ordered queue of unretired applications."""
 
     def __init__(self) -> None:
+        #: Mutation version: bumped on every add/remove (compaction is
+        #: content-preserving and does not count). Schedulers key their
+        #: candidate-pool caches on it.
+        self.version = 0
         #: Backing store in insertion order; removed apps leave a None
         #: tombstone behind so removal never shifts the tail.
         self._apps: List[Optional[AppRun]] = []
@@ -41,6 +45,21 @@ class PendingQueue:
         # decision-pass iteration, so rebuilding the sorted list per call
         # dominated the pass cost.
         self._ordered: Optional[List[AppRun]] = None
+        #: Never-started subset: pending apps whose first item has not
+        #: launched yet. Starvation tracking, load shedding and the
+        #: degrade wait signal only ever look at these, and the property
+        #: is one-way (``first_item_start_ms`` never resets), so the
+        #: per-pass consumers skip the started majority entirely.
+        self._never_started: Dict[int, AppRun] = {}
+        self._ns_ordered: Optional[List[AppRun]] = None
+        # Arrival-order fast path: the hypervisor adds apps as their
+        # arrival events fire, i.e. in nondecreasing ``age_key`` order,
+        # so the backing list (and the insertion-ordered never-started
+        # dict) already *is* the arrival ordering and the snapshot
+        # rebuilds need no sort. One out-of-order add (tests build
+        # queues by hand) permanently falls back to sorting.
+        self._monotone = True
+        self._last_age_key: Optional[tuple] = None
 
     def add(self, app: AppRun) -> None:
         """Append a newly arrived application."""
@@ -50,6 +69,16 @@ class PendingQueue:
         self._apps.append(app)
         self._index[app.app_id] = app
         self._ordered = None
+        self.version += 1
+        if self._monotone:
+            last = self._last_age_key
+            if last is None or app.age_key >= last:
+                self._last_age_key = app.age_key
+            else:
+                self._monotone = False
+        if app.first_item_start_ms is None:
+            self._never_started[app.app_id] = app
+            self._ns_ordered = None
 
     def remove(self, app_id: int) -> AppRun:
         """Remove a retired (or shed) application in O(1) amortized."""
@@ -60,6 +89,9 @@ class PendingQueue:
         self._apps[position] = None
         self._dead += 1
         self._ordered = None
+        self.version += 1
+        if self._never_started.pop(app_id, None) is not None:
+            self._ns_ordered = None
         if (
             self._dead > _COMPACT_MIN_DEAD
             and self._dead * 2 >= len(self._apps)
@@ -98,10 +130,44 @@ class PendingQueue:
         """
         ordered = self._ordered
         if ordered is None:
-            ordered = self._ordered = sorted(
-                (app for app in self._apps if app is not None),
-                key=lambda app: app.age_key,
-            )
+            if self._monotone:
+                ordered = [app for app in self._apps if app is not None]
+            else:
+                ordered = sorted(
+                    (app for app in self._apps if app is not None),
+                    key=lambda app: app.age_key,
+                )
+            self._ordered = ordered
+        return ordered
+
+    def mark_started(self, app_id: int) -> None:
+        """Drop an app from the never-started registry.
+
+        Called by the hypervisor exactly when it stamps
+        ``first_item_start_ms``; the transition is one-way. Does not bump
+        ``version``: the candidate pool is a pure function of queue
+        contents and tokens, neither of which changes here.
+        """
+        if self._never_started.pop(app_id, None) is not None:
+            self._ns_ordered = None
+
+    def never_started_in_arrival_order(self) -> List[AppRun]:
+        """Pending apps that have executed nothing yet, oldest first.
+
+        Cached like :meth:`in_arrival_order`; callers treat the list as
+        read-only.
+        """
+        ordered = self._ns_ordered
+        if ordered is None:
+            if self._monotone:
+                # Insertion-ordered dict; removals preserve the order.
+                ordered = list(self._never_started.values())
+            else:
+                ordered = sorted(
+                    self._never_started.values(),
+                    key=lambda app: app.age_key,
+                )
+            self._ns_ordered = ordered
         return ordered
 
     def oldest(self) -> Optional[AppRun]:
@@ -127,6 +193,16 @@ class PendingQueue:
             raise SchedulerError(
                 f"pending queue tombstone drift: counted {dead}, "
                 f"tracked {self._dead}"
+            )
+        expected_ns = {
+            app.app_id for app in live
+            if app.first_item_start_ms is None
+        }
+        if expected_ns != set(self._never_started):
+            raise SchedulerError(
+                "pending queue never-started registry drift: expected "
+                f"{sorted(expected_ns)}, tracked "
+                f"{sorted(self._never_started)}"
             )
         for app_id, position in self._positions.items():
             app = self._apps[position]

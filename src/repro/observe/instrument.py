@@ -213,6 +213,12 @@ def observe_run(
         ("nimblock_watchdog_kicks_total",
          "Recovery actions (detach kicks, token boosts) by the watchdog",
          count(TraceKind.WATCHDOG_KICK)),
+        ("nimblock_replay_hits_total",
+         "Arrivals satisfied by the macro-event replay cache",
+         getattr(getattr(hypervisor, "_replay", None), "hits", 0)),
+        ("nimblock_replay_misses_total",
+         "Arrivals that fell through the replay cache to live simulation",
+         getattr(getattr(hypervisor, "_replay", None), "misses", 0)),
     )
     for name, help_text, value in counters:
         registry.counter(name, help_text).inc(float(value))

@@ -67,6 +67,14 @@ class Slot:
     on_availability_change: Optional[Callable[[], None]] = field(
         default=None, repr=False, compare=False
     )
+    #: Device-owned set of idle-resident slot indices (occupied, not
+    #: busy). Maintained inline by every transition below so the launch
+    #: loop iterates exactly the slots that could start an item instead
+    #: of scanning the whole board each pass. None for a free-standing
+    #: slot (unit tests).
+    idle_registry: Optional[set] = field(
+        default=None, repr=False, compare=False
+    )
 
     def _notify(self) -> None:
         if self.on_availability_change is not None:
@@ -81,6 +89,8 @@ class Slot:
         self.phase = SlotPhase.OCCUPIED
         self.occupant = occupant
         self.busy = False
+        if self.idle_registry is not None:
+            self.idle_registry.add(self.index)
         self._notify()
 
     def begin_reconfig(self) -> None:
@@ -93,6 +103,8 @@ class Slot:
             )
         self.phase = SlotPhase.RECONFIGURING
         self.occupant = None
+        if self.idle_registry is not None:
+            self.idle_registry.discard(self.index)
         self._notify()
 
     def clear(self) -> None:
@@ -107,6 +119,8 @@ class Slot:
             )
         self.phase = SlotPhase.EMPTY
         self.occupant = None
+        if self.idle_registry is not None:
+            self.idle_registry.discard(self.index)
         self._notify()
 
     def start_item(self) -> None:
@@ -118,12 +132,18 @@ class Slot:
         if self.busy:
             raise SlotStateError(f"slot {self.index} is already running an item")
         self.busy = True
+        if self.idle_registry is not None:
+            self.idle_registry.discard(self.index)
 
     def finish_item(self) -> None:
         """Mark the current batch item as complete."""
         if not self.busy:
             raise SlotStateError(f"slot {self.index} finished an item it never started")
+        # busy implies OCCUPIED (start_item requires it, and no phase
+        # transition is legal while busy), so the slot is idle-resident.
         self.busy = False
+        if self.idle_registry is not None:
+            self.idle_registry.add(self.index)
 
     def interrupt_item(self) -> None:
         """Abort the in-flight batch item (a fault killed the slot logic).
@@ -137,6 +157,8 @@ class Slot:
                 f"slot {self.index} has no in-flight item to interrupt"
             )
         self.busy = False
+        if self.idle_registry is not None:
+            self.idle_registry.add(self.index)
 
     def abort_reconfig(self) -> None:
         """A partial reconfiguration failed; return the slot to EMPTY."""
@@ -266,8 +288,11 @@ class FPGADevice:
         # iteration, while slot phase/health transitions are far rarer.
         self._free_cache: Optional[List[Slot]] = None
         self._healthy_cache: Optional[List[Slot]] = None
+        #: Indices of occupied, non-busy slots (see Slot.idle_registry).
+        self.idle_residents: set = set()
         for slot in self._slots:
             slot.on_availability_change = self._invalidate_availability
+            slot.idle_registry = self.idle_residents
 
     def _invalidate_availability(self) -> None:
         self._free_cache = None

@@ -73,6 +73,18 @@ class SchedulerPolicy(ABC):
     def notify_tick(self, ctx: "SchedulerContext") -> None:
         """The periodic scheduling interval elapsed."""
 
+    def token_gen(self) -> int:
+        """Mutation counter of this policy's token accounting (0 if none).
+
+        Token-based policies (Nimblock, PREMA) carry a
+        :class:`~repro.core.tokens.TokenAccounting` in ``_tokens`` whose
+        ``gen`` counter bumps on every accumulation round; the watchdog
+        keys its starvation fast path on it, so any policy that writes
+        ``app.token`` outside an accounting must override this.
+        """
+        tokens = getattr(self, "_tokens", None)
+        return tokens.gen if tokens is not None else 0
+
     @abstractmethod
     def decide(self, ctx: "SchedulerContext") -> Optional[Action]:
         """Return the next action, or None when there is nothing to do."""

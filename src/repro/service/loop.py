@@ -40,6 +40,7 @@ payloads merge associatively across shards (``--jobs N``).
 from __future__ import annotations
 
 import time as _time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Union
 
@@ -107,6 +108,13 @@ class ServiceReport:
     #: across modes (and across ``--jobs``), which is exactly what the
     #: mode-equivalence CI diff asserts.
     mode: str = "full"
+    #: Macro-event replay cache counters. Excluded from :meth:`to_dict`
+    #: like ``wall_s``/``mode``: replay is a pure execution strategy, so
+    #: the deterministic payload must not depend on whether (or how
+    #: often) it engaged — that independence is what the replay A/B CI
+    #: diff asserts.
+    replay_hits: int = 0
+    replay_misses: int = 0
 
     # -- derived --------------------------------------------------------
     def totals(self) -> WindowStats:
@@ -232,6 +240,7 @@ class ServiceLoop:
         snapshot_every_windows: Optional[int] = None,
         observer: Optional[object] = None,
         mode: str = "full",
+        replay: bool = True,
         _resume_state: Optional[dict] = None,
     ) -> None:
         from repro.hypervisor.hypervisor import Hypervisor
@@ -280,6 +289,42 @@ class ServiceLoop:
         # lifetime counters, zero rows — strictly cheaper than the ring.)
         self.hv.add_retire_listener(self._on_retire)
         self.engine = self.hv.engine
+
+        # -- macro-event replay (repro.sim.replay) ----------------------
+        # Absolute fire times of bulk-credited engine events not yet
+        # folded into a window; sorted (credits arrive in fire order and
+        # each segment is pinned strictly before the next arrival).
+        self._replay_event_times: List[float] = []
+        self._replay_cache = None
+        if (
+            replay
+            # Snapshot runs count window boundaries and capture engine
+            # state at quiescent closes; replay credits a segment's
+            # trailing tick ahead of time, which could land in a
+            # snapshot payload. Keep those runs on the live path.
+            and snapshot_every_windows is None
+            # A caller-supplied Watchdog subclass cannot be mirrored
+            # into the recording world faithfully.
+            and (watchdog is None or type(watchdog) is Watchdog)
+        ):
+            from repro.sim.replay import ReplayCache
+
+            knobs = dict(admission_knobs or {})
+            watchdog_config = None if watchdog is None else watchdog.config
+            self._replay_cache = ReplayCache(
+                self.hv,
+                scheduler_factory=lambda: make_scheduler(scheduler),
+                admission_factory=lambda: AdmissionController(
+                    admission, seed=seed, **knobs
+                ),
+                watchdog_factory=(
+                    None if watchdog_config is None
+                    else lambda: Watchdog(watchdog_config)
+                ),
+                next_arrival_ms=self._replay_next_arrival,
+                on_credit=self._replay_event_times.extend,
+            )
+            self.hv._replay = self._replay_cache
 
         # -- streaming state (possibly restored from a snapshot) --------
         state = _resume_state or {}
@@ -344,6 +389,39 @@ class ServiceLoop:
         self.engine.schedule(nxt.arrival_ms, self._pump, _PUMP_PRIORITY)
 
     # ------------------------------------------------------------------
+    # Replay support
+    # ------------------------------------------------------------------
+    def _replay_next_arrival(self) -> Optional[float]:
+        """Next arrival instant for the replay gap check.
+
+        Returns None once the stream is exhausted, the one-ahead spec's
+        arrival time while feeding, and −1.0 ("unknown", blocks replay)
+        whenever extra arrival events are in flight — e.g. a rejecting
+        admission policy's backoff retries, whose instants the loop
+        cannot see.
+        """
+        spec = self._next_spec
+        if spec is None:
+            if self.hv._arrivals_outstanding == 0:
+                return None
+            return -1.0
+        if self.hv._arrivals_outstanding != 1:
+            return -1.0
+        return spec.arrival_ms
+
+    @property
+    def replay_hits(self) -> int:
+        """Arrivals applied from the replay cache (0 when disabled)."""
+        cache = self._replay_cache
+        return 0 if cache is None else cache.hits
+
+    @property
+    def replay_misses(self) -> int:
+        """Arrivals that took the live path past the replay gate."""
+        cache = self._replay_cache
+        return 0 if cache is None else cache.misses
+
+    # ------------------------------------------------------------------
     # State discard
     # ------------------------------------------------------------------
     def _on_retire(self, app, now: float) -> None:
@@ -371,8 +449,15 @@ class ServiceLoop:
     # ------------------------------------------------------------------
     # Window closes
     # ------------------------------------------------------------------
-    def _fold_deltas(self, index: int) -> None:
-        """Attribute since-last-fold admission/engine deltas to a window."""
+    def _fold_deltas(self, index: int, up_to: Optional[float] = None) -> None:
+        """Attribute since-last-fold admission/engine deltas to a window.
+
+        ``up_to`` is the closing boundary's instant: replay-credited
+        engine events whose reconstructed fire time lies at or beyond it
+        have not "happened" yet from the window's perspective (a live
+        run would process them later) and are withheld for a later fold.
+        None — the end-of-run safety net — attributes everything.
+        """
         stats = self.admission.stats
         delta = stats.rejections - self._folded_rejections
         if delta:
@@ -387,14 +472,23 @@ class ServiceLoop:
             self.windows.observe_shed(index, delta)
             self._folded_shed = stats.shed
         delta = self.engine.processed - self._folded_engine_events
+        ledger = self._replay_event_times
+        if ledger:
+            if up_to is None:
+                ledger.clear()
+            else:
+                due = bisect_left(ledger, up_to)
+                delta -= len(ledger) - due
+                if due:
+                    del ledger[:due]
         if delta:
             self.windows.note_engine_events(index, delta)
-            self._folded_engine_events = self.engine.processed
+            self._folded_engine_events += delta
 
     def _on_window_close(self, now: float) -> None:
         index = self._next_close_index
         self._drain_shed()
-        self._fold_deltas(index)
+        self._fold_deltas(index, up_to=now)
         self.windows.note_pending_depth(index, len(self.hv.pending))
         self._windows_closed += 1
         next_index = index + 1
@@ -515,6 +609,8 @@ class ServiceLoop:
             snapshots=self.snapshots,
             wall_s=wall_s,
             mode=self.mode,
+            replay_hits=self.replay_hits,
+            replay_misses=self.replay_misses,
         )
 
     # ------------------------------------------------------------------

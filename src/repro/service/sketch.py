@@ -35,7 +35,8 @@ degrades that one sample's accuracy instead of growing memory.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 
@@ -56,7 +57,7 @@ class QuantileSketch:
     """Mergeable log-bucket quantile sketch with relative error ``alpha``."""
 
     __slots__ = ("alpha", "min_value", "max_value", "_gamma", "_log_gamma",
-                 "_buckets", "_zeros", "count", "clamped")
+                 "_buckets", "_zeros", "count", "clamped", "_view")
 
     def __init__(
         self,
@@ -85,12 +86,31 @@ class QuantileSketch:
         self.count = 0
         #: Samples clamped into the representable range.
         self.clamped = 0
+        #: Cached (sorted bucket indices, cumulative counts) view, built
+        #: lazily on the first rank query and reused until the bucket
+        #: table changes. Quantile reads on a settled sketch are then
+        #: O(log buckets) instead of re-sorting per call.
+        self._view: Optional[Tuple[List[int], List[int]]] = None
 
     # ------------------------------------------------------------------
     # Accumulation
     # ------------------------------------------------------------------
     def _index_of(self, value: float) -> int:
         return math.ceil(math.log(value) / self._log_gamma - 1e-12)
+
+    def index_of(self, value: float) -> int:
+        """The bucket index a sample maps to (after range clamping).
+
+        The public companion of :meth:`add_bucket_counts`: callers that
+        fold many equal samples pre-bucket once, then bulk-add.
+        """
+        if value <= 0 or math.isnan(value):
+            raise SketchError(f"bucketable samples must be > 0, got {value}")
+        if value < self.min_value:
+            value = self.min_value
+        elif value > self.max_value:
+            value = self.max_value
+        return self._index_of(value)
 
     def add(self, value: float) -> None:
         """Fold one sample in. Negative samples are invalid."""
@@ -108,6 +128,31 @@ class QuantileSketch:
             self.clamped += 1
         index = self._index_of(value)
         self._buckets[index] = self._buckets.get(index, 0) + 1
+        self._view = None
+
+    def add_bucket_counts(self, index: int, count: int) -> None:
+        """Fold ``count`` samples that all map to bucket ``index``.
+
+        Exactly equivalent to ``count`` singleton :meth:`add` calls of
+        any in-range value in that bucket — same ``to_dict`` bytes, same
+        merge behavior — but O(1). ``index`` must lie inside the
+        sketch's representable index range (use :meth:`index_of`), so
+        bulk accumulation cannot grow memory past the clamped bound.
+        """
+        if count < 0:
+            raise SketchError(f"bucket count must be >= 0, got {count}")
+        if not self._index_of(self.min_value) <= index <= self._index_of(
+            self.max_value
+        ):
+            raise SketchError(
+                f"bucket index {index} outside representable range "
+                f"[{self.min_value}, {self.max_value}]"
+            )
+        if count == 0:
+            return
+        self.count += count
+        self._buckets[index] = self._buckets.get(index, 0) + count
+        self._view = None
 
     def extend(self, values: Sequence[float]) -> None:
         """Fold many samples in."""
@@ -122,17 +167,28 @@ class QuantileSketch:
         # relative error alpha of every sample the bucket holds.
         return 2.0 * math.pow(self._gamma, index) / (self._gamma + 1.0)
 
+    def _sorted_view(self) -> Tuple[List[int], List[int]]:
+        view = self._view
+        if view is None:
+            indices = sorted(self._buckets)
+            cumulative: List[int] = []
+            seen = 0
+            for index in indices:
+                seen += self._buckets[index]
+                cumulative.append(seen)
+            view = (indices, cumulative)
+            self._view = view
+        return view
+
     def _value_at_rank(self, rank: int) -> float:
         """Estimate of the sample at 0-based ``rank`` in sorted order."""
         if rank < self._zeros:
             return 0.0
-        seen = self._zeros
-        for index in sorted(self._buckets):
-            seen += self._buckets[index]
-            if rank < seen:
-                return self._value_of(index)
-        # Unreachable for 0 <= rank < count, kept for safety.
-        return self._value_of(max(self._buckets))  # pragma: no cover
+        indices, cumulative = self._sorted_view()
+        position = bisect_right(cumulative, rank - self._zeros)
+        if position >= len(indices):  # pragma: no cover - safety
+            position = len(indices) - 1
+        return self._value_of(indices[position])
 
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile (``q`` in [0, 1]).
@@ -177,9 +233,10 @@ class QuantileSketch:
         """
         if self.count == 0:
             return float("nan")
+        indices, _ = self._sorted_view()
         total = sum(
             self._buckets[index] * self._value_of(index)
-            for index in sorted(self._buckets)
+            for index in indices
         )
         return total / self.count
 
@@ -204,6 +261,7 @@ class QuantileSketch:
         self._check_compatible(other)
         for index, count in other._buckets.items():
             self._buckets[index] = self._buckets.get(index, 0) + count
+        self._view = None
         self._zeros += other._zeros
         self.count += other.count
         self.clamped += other.clamped
@@ -255,6 +313,7 @@ class QuantileSketch:
                 int(index): int(count)
                 for index, count in payload["buckets"].items()
             }
+            sketch._view = None
         except (KeyError, TypeError, ValueError) as error:
             raise SketchError(f"malformed sketch payload: {error}") from None
         return sketch

@@ -399,6 +399,47 @@ class SimulationEngine:
             entry[3](time)
             executed += 1
 
+    def credit_events(self, count: int) -> None:
+        """Account ``count`` events as scheduled-and-executed in bulk.
+
+        The macro-event replay cache (:mod:`repro.sim.replay`) applies a
+        memoized execution segment as one batched operation instead of
+        dispatching its interior events; this keeps ``processed`` (and
+        the derived ``pending``) exactly what a live dispatch of those
+        events would have left behind. Both ``_seq`` and ``_processed``
+        advance together, so later seq assignments — and therefore
+        same-instant tie-breaking of post-segment events — match the
+        live run number-for-number.
+        """
+        if count < 0:
+            raise SimulationError(f"cannot credit {count} events")
+        self._seq += count
+        self._processed += count
+
+    def peek_next_time(self) -> Optional[float]:
+        """Earliest pending entry's time, or None with nothing pending.
+
+        Cancelled-but-unpopped entries still count (their time is a
+        lower bound on the next live event), so the answer is
+        conservative — callers using it as a clear-horizon check may
+        get a false "busy", never a false "clear".
+        """
+        best: Optional[float] = None
+        staged = self._staged
+        if staged:
+            best = min(entry[0] for entry in staged)
+        run_list = self._run_list
+        if run_list:
+            time = run_list[-1][0]
+            if best is None or time < best:
+                best = time
+        overflow = self._overflow
+        if overflow:
+            time = overflow[0][0]
+            if best is None or time < best:
+                best = time
+        return best
+
     def drain(self) -> None:
         """Discard all pending events (used by tests)."""
         for entries in (self._staged, self._run_list, self._overflow):

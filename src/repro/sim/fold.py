@@ -147,8 +147,28 @@ class TraceFold:
         slot: Optional[int] = None,
         detail: Optional[float] = None,
     ) -> None:
-        """Fold one trace event (must arrive in record order)."""
-        if kind is TraceKind.TASK_CONFIG_START:
+        """Fold one trace event (must arrive in record order).
+
+        The dispatch chain is ordered by event frequency — item starts
+        and completions dominate every workload (one pair per batch
+        item), reconfigurations come second — since each event walks the
+        chain until its kind matches. Kinds are mutually exclusive, so
+        ordering cannot change what is folded.
+        """
+        if kind is TraceKind.ITEM_DONE:
+            started = self._open_items.pop((app_id, task_id, slot), None)
+            if started is not None:
+                duration = time - started
+                self._item.observe(duration)
+                self._compute_busy += duration
+                self.item_busy_done_ms += duration
+                self._depth -= 1
+        elif kind is TraceKind.ITEM_START:
+            self._open_items[(app_id, task_id, slot)] = time
+            self._depth += 1
+            if self._depth > self._peak:
+                self._peak = self._depth
+        elif kind is TraceKind.TASK_CONFIG_START:
             self._open_configs[(app_id, task_id, slot)] = time
         elif kind is TraceKind.TASK_CONFIG_DONE:
             started = self._open_configs.pop((app_id, task_id, slot), None)
@@ -167,19 +187,6 @@ class TraceFold:
                 self._dpr.observe(duration)
                 self._dpr_busy += duration
             self._open_config_faults.setdefault((app_id, task_id), time)
-        elif kind is TraceKind.ITEM_START:
-            self._open_items[(app_id, task_id, slot)] = time
-            self._depth += 1
-            if self._depth > self._peak:
-                self._peak = self._depth
-        elif kind is TraceKind.ITEM_DONE:
-            started = self._open_items.pop((app_id, task_id, slot), None)
-            if started is not None:
-                duration = time - started
-                self._item.observe(duration)
-                self._compute_busy += duration
-                self.item_busy_done_ms += duration
-                self._depth -= 1
         elif kind is TraceKind.TASK_PREEMPTED:
             self._open_waits[(app_id, task_id)] = time
         elif kind is TraceKind.TASK_RESUMED:

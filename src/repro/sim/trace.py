@@ -123,6 +123,27 @@ class Trace:
                 TraceEvent(time, kind, app_id, task_id, slot, detail)
             )
 
+    def record_many(self, rows: List[_Row]) -> None:
+        """Append many events in one call (the replay-cache bulk path).
+
+        ``rows`` are ``(time, kind, app_id, task_id, slot, detail)``
+        tuples in record order. Equivalent to calling :meth:`record`
+        per row — subclasses with per-event side effects override this
+        with a per-row loop so effect order is preserved — but the
+        columnar base class appends the whole batch with one ``extend``.
+        """
+        store = self._rows
+        by_kind = self._by_kind
+        base = len(store)
+        for offset, row in enumerate(rows):
+            index = by_kind.get(row[1])
+            if index is None:
+                index = by_kind[row[1]] = []
+            index.append(base + offset)
+        store.extend(rows)
+        if self._cache is not None:
+            self._cache.extend(TraceEvent(*row) for row in rows)
+
     @property
     def events(self) -> List[TraceEvent]:
         """All events in record order (materialised lazily, then cached)."""
@@ -286,6 +307,17 @@ class MetricsTrace(Trace):
         # done-pops see the same pairs the full-mode row scan would.
         self.fold.feed(time, kind, app_id, task_id, slot, detail)
 
+    def record_many(self, rows) -> None:
+        """Fold many events in record order (no rows stored).
+
+        Per-row loop (not a columnar append): every row must pass
+        through :meth:`record` so the streaming fold sees events in the
+        exact order a live run would feed them.
+        """
+        record = self.record
+        for time, kind, app_id, task_id, slot, detail in rows:
+            record(time, kind, app_id, task_id, slot, detail)
+
     def _rows_unavailable(self, what: str) -> "ExperimentError":
         from repro.errors import ExperimentError
 
@@ -401,6 +433,17 @@ class BoundedTrace(Trace):
         super().record(time, kind, app_id, task_id, slot, detail)
         if len(self._rows) >= 2 * self.capacity:
             self._trim()
+
+    def record_many(self, rows) -> None:
+        """Append many events, trimming as each lands.
+
+        Per-row loop: trim points must fall exactly where a live
+        per-event run would place them, so the retained tail is
+        identical whether rows arrived singly or in bulk.
+        """
+        record = self.record
+        for time, kind, app_id, task_id, slot, detail in rows:
+            record(time, kind, app_id, task_id, slot, detail)
 
     def _trim(self) -> None:
         rows = self._rows[-self.capacity:]

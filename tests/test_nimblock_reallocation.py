@@ -58,6 +58,9 @@ class TestReallocationThrottle:
         apps = hv.pending.in_arrival_order()
         apps[0].token = 50.0
         apps[1].token = 0.5
+        # Direct token pokes bypass the accounting's generation counter;
+        # invalidate the keyed candidate cache the way a drill would.
+        policy._tokens.note_external_token_write()
         policy.decide(hv._ctx)
         # The dropped candidate holds no allocation anymore.
         assert apps[1].slots_allocated == 0

@@ -158,3 +158,69 @@ class TestSketchValidation:
         merged = merge_sketches(parts)
         assert merged.count == 4
         assert merge_sketches([]) is None
+
+
+#: (value, multiplicity) pairs for the bulk-accumulation property.
+weighted_samples = st.lists(
+    st.tuples(sample, st.integers(min_value=0, max_value=25)),
+    min_size=1, max_size=60,
+)
+
+
+class TestBulkBucketAccumulation:
+    """The O(1) bulk path must be bit-equal to singleton inserts."""
+
+    @settings(max_examples=120, suppress_health_check=[HealthCheck.too_slow])
+    @given(pairs=weighted_samples)
+    def test_bulk_equals_singleton_loop_to_dict_exact(self, pairs):
+        singles = QuantileSketch()
+        bulk = QuantileSketch()
+        for value, multiplicity in pairs:
+            for _ in range(multiplicity):
+                singles.add(value)
+            bulk.add_bucket_counts(bulk.index_of(value), multiplicity)
+        assert singles.to_dict() == bulk.to_dict()
+
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(pairs=weighted_samples)
+    def test_bulk_is_merge_order_invariant(self, pairs):
+        forward = QuantileSketch()
+        for value, multiplicity in pairs:
+            forward.add_bucket_counts(forward.index_of(value), multiplicity)
+        backward = QuantileSketch()
+        for value, multiplicity in reversed(pairs):
+            backward.add_bucket_counts(
+                backward.index_of(value), multiplicity
+            )
+        assert forward.to_dict() == backward.to_dict()
+        # ...and merging bulk-built shards commutes exactly.
+        merged_ab = forward.copy().merge(backward)
+        merged_ba = backward.copy().merge(forward)
+        assert merged_ab.to_dict() == merged_ba.to_dict()
+
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    @given(values=samples, pct=st.floats(min_value=0.0, max_value=100.0))
+    def test_cached_rank_view_matches_fresh_sketch(self, values, pct):
+        """Interleaved queries and inserts must see invalidated caches:
+        a sketch queried mid-stream answers exactly like a fresh sketch
+        fed the same prefix."""
+        streaming = QuantileSketch()
+        for count, value in enumerate(values, start=1):
+            streaming.add(value)
+            if count % 7 == 0:
+                streaming.percentile(50.0)  # populate the cached view
+        fresh = QuantileSketch()
+        fresh.extend(values)
+        assert streaming.percentile(pct) == fresh.percentile(pct)
+        assert streaming.mean == fresh.mean
+
+    def test_bulk_rejects_bad_indices_and_counts(self):
+        sketch = QuantileSketch()
+        with pytest.raises(SketchError, match="count"):
+            sketch.add_bucket_counts(0, -1)
+        with pytest.raises(SketchError, match="index"):
+            sketch.add_bucket_counts(10**9, 3)
+        with pytest.raises(SketchError, match="bucketable"):
+            sketch.index_of(0.0)
+        sketch.add_bucket_counts(sketch.index_of(5.0), 0)
+        assert sketch.to_dict() == QuantileSketch().to_dict()
