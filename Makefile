@@ -5,7 +5,7 @@ PYTHON ?= python
 JOBS ?= 4
 CACHE_DIR ?= .runcache
 
-.PHONY: install test fast bench sweep perf chaos overload serve cluster paranoid trace stats reproduce report examples clean
+.PHONY: install test fast bench sweep perf chaos overload serve cluster tune paranoid trace stats reproduce report examples clean
 
 install:
 	pip install -e . && pip install -e '.[test]'
@@ -37,6 +37,7 @@ sweep:
 perf:
 	$(PYTHON) benchmarks/bench_core.py --guard
 	$(PYTHON) benchmarks/bench_invariants.py --guard --fast
+	$(PYTHON) benchmarks/bench_autotune.py --guard --fast
 	$(PYTHON) benchmarks/bench_sweep.py --bench --fast --jobs 2
 
 # Fault-injection drill: every scheduler under the mixed chaos scenario.
@@ -57,6 +58,12 @@ serve:
 # board simulation sharded over $(JOBS) workers (byte-identical to serial).
 cluster:
 	$(PYTHON) -m repro.cli cluster --boards 4 --seed 1 --jobs $(JOBS)
+
+# Closed-loop remediation drill: a 4x overload burst against a static
+# baseline and an armed autotuner side by side; prints the frozen
+# decision log and the post-apply SLO attainment comparison.
+tune:
+	$(PYTHON) -m repro.cli tune --rate 1 --burst 4 --seed 1 --jobs $(JOBS)
 
 # Paranoid sweep: every scheduler plus full-rate chaos scenarios with
 # the runtime invariant checker attached; any violation fails the target.

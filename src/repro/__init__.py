@@ -69,6 +69,18 @@ _LAZY_EXPORTS = {
     "serve": "repro.facade",
     "fleet": "repro.facade",
     "cluster_report": "repro.facade",
+    "tune": "repro.facade",
+    "tune_report": "repro.facade",
+    "AutotuneConfig": "repro.autotune",
+    "Autotuner": "repro.autotune",
+    "ConfigPatch": "repro.autotune",
+    "DetectorConfig": "repro.autotune",
+    "Symptom": "repro.autotune",
+    "TunableConfig": "repro.autotune",
+    "detect": "repro.autotune",
+    "propose": "repro.autotune",
+    "replay_episode": "repro.autotune",
+    "verify_candidates": "repro.autotune",
     "BoardProfile": "repro.cluster",
     "Cluster": "repro.cluster",
     "ClusterReport": "repro.cluster",
@@ -166,6 +178,18 @@ __all__ = [
     "serve",
     "fleet",
     "cluster_report",
+    "tune",
+    "tune_report",
+    "AutotuneConfig",
+    "Autotuner",
+    "ConfigPatch",
+    "DetectorConfig",
+    "Symptom",
+    "TunableConfig",
+    "detect",
+    "propose",
+    "replay_episode",
+    "verify_candidates",
     "BoardProfile",
     "Cluster",
     "ClusterReport",

@@ -61,8 +61,14 @@ class AdmissionStats:
     shed: int = 0
     #: Completed overload windows (OVERLOAD_ENTER..EXIT pairs).
     overload_windows: int = 0
+    #: OVERLOAD_ENTER edges, including a still-open window — with
+    #: ``overload_windows`` this exposes oscillation (enter/exit
+    #: flapping) without re-deriving it from trace rows.
+    overload_enters: int = 0
     #: Total simulated time spent inside closed overload windows.
     overload_ms: float = 0.0
+    #: Shed events by app priority level (sparse; absent = 0).
+    shed_by_priority: Dict[int, int] = field(default_factory=dict)
     #: App ids dropped (rejected to death), in drop order.
     dropped_app_ids: List[int] = field(default_factory=list)
 
@@ -218,6 +224,7 @@ class AdmissionController:
         if self._overload_since is None:
             if depth >= self._high_watermark or self._wait_high(hv, now):
                 self._overload_since = now
+                self.stats.overload_enters += 1
                 hv.trace.record(
                     now, TraceKind.OVERLOAD_ENTER, detail=float(depth)
                 )
@@ -277,6 +284,8 @@ class AdmissionController:
                 break
             hv._shed_app(app, now)
             self.stats.shed += 1
+            by_priority = self.stats.shed_by_priority
+            by_priority[app.priority] = by_priority.get(app.priority, 0) + 1
             shed += 1
         return shed
 

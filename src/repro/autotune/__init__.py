@@ -1,0 +1,56 @@
+"""Closed-loop self-healing: detect → propose → verify → apply.
+
+The remediation pipeline (ROADMAP item 4): a pure-function **detector**
+(:mod:`repro.autotune.symptoms`) folds window stats and counter deltas
+into typed symptoms; a rule-based **proposer**
+(:mod:`repro.autotune.proposals`) maps symptoms to candidate config
+patches over the tunable slice of a run's configuration; a **verifier**
+(:mod:`repro.autotune.verifier`) replays the offending episode under
+each patch with the invariant checker armed and rejects regressions;
+the risk-ranked **applier** (:mod:`repro.autotune.engine`) applies the
+winner at a quiescent window boundary inside a live
+:class:`~repro.service.loop.ServiceLoop` (or per board inside cluster
+shards) and logs a frozen, replayable decision record.
+
+Zero-cost discipline: nothing in this package is imported unless an
+:class:`AutotuneConfig` is actually armed — the service loop, cluster
+shards, CLI and facade all gate their imports on the config being
+non-None (``benchmarks/bench_autotune.py --guard`` pins this).
+"""
+
+from repro.autotune.engine import AutotuneConfig, Autotuner
+from repro.autotune.proposals import ConfigPatch, TunableConfig, propose
+from repro.autotune.symptoms import (
+    SYMPTOM_KINDS,
+    CounterDeltas,
+    DetectorConfig,
+    Symptom,
+    WindowSignal,
+    detect,
+)
+from repro.autotune.verifier import (
+    EpisodeMemo,
+    EpisodeScore,
+    Verification,
+    replay_episode,
+    verify_candidates,
+)
+
+__all__ = [
+    "AutotuneConfig",
+    "Autotuner",
+    "ConfigPatch",
+    "CounterDeltas",
+    "DetectorConfig",
+    "EpisodeMemo",
+    "EpisodeScore",
+    "SYMPTOM_KINDS",
+    "Symptom",
+    "TunableConfig",
+    "Verification",
+    "WindowSignal",
+    "detect",
+    "propose",
+    "replay_episode",
+    "verify_candidates",
+]

@@ -1,0 +1,423 @@
+"""Rule-based proposer: map symptoms to candidate config patches.
+
+Second stage of the remediation pipeline. The proposer never touches a
+running system: it reads a frozen :class:`TunableConfig` (the knobs the
+applier is allowed to change — scheduler, admission policy + watermarks,
+watchdog thresholds) plus the detector's symptoms, and emits a
+deduplicated, risk-sorted tuple of :class:`ConfigPatch` candidates for
+the verifier to score.
+
+Patch semantics are chosen for *idempotence* (the property suite pins
+``patch.apply(patch.apply(t)) == patch.apply(t)``): the scheduler and
+admission components are absolute replacements, and watchdog knobs are
+an absolute per-key merge. Risk ranks how invasive a patch is —
+0 watchdog-threshold nudges, 1 watermark/capacity tuning within the
+current policy, 2 policy swaps or capacity jumps, 3 scheduler swaps —
+and is the verifier's tie-breaker among equally-scoring candidates.
+
+The proposer deliberately never emits the ``reject`` policy: its
+client-side retry backoff moves loss out of the shed/dropped counters
+the detector and verifier attribute windows by, which would let a
+"remediation" game the score by hiding loss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.admission.policies import make_admission_policy
+from repro.admission.watchdog import WatchdogConfig
+from repro.errors import AutotuneError
+from repro.autotune.symptoms import Symptom
+
+__all__ = [
+    "ConfigPatch",
+    "TunableConfig",
+    "propose",
+]
+
+Knobs = Tuple[Tuple[str, object], ...]
+
+
+def _knobs(pairs) -> Knobs:
+    """Canonical (sorted, tuple-of-pairs) knob form."""
+    if pairs is None:
+        return ()
+    if isinstance(pairs, dict):
+        pairs = pairs.items()
+    return tuple(sorted((str(k), v) for k, v in pairs))
+
+
+@dataclass(frozen=True)
+class TunableConfig:
+    """The remediable slice of a running system's configuration."""
+
+    scheduler: str = "nimblock"
+    admission: str = "unbounded"
+    #: Admission policy knob overrides, canonical sorted pairs.
+    admission_knobs: Knobs = ()
+    #: Watchdog knob overrides; None means no watchdog is attached (the
+    #: watchdog rules then have nothing to patch).
+    watchdog_knobs: Optional[Knobs] = ()
+
+    def admission_policy(self):
+        """Materialize the admission policy (validates the knobs)."""
+        return make_admission_policy(
+            self.admission, **dict(self.admission_knobs)
+        )
+
+    def watchdog_config(self) -> Optional[WatchdogConfig]:
+        if self.watchdog_knobs is None:
+            return None
+        return WatchdogConfig(**dict(self.watchdog_knobs))
+
+    def to_dict(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "admission": self.admission,
+            "admission_knobs": dict(self.admission_knobs),
+            "watchdog_knobs": (
+                None if self.watchdog_knobs is None
+                else dict(self.watchdog_knobs)
+            ),
+        }
+
+    def fingerprint(self) -> str:
+        """Short stable content hash (decision records, memo keys)."""
+        return _short_hash(self.to_dict())
+
+    @classmethod
+    def capture(cls, scheduler, admission, admission_knobs, watchdog):
+        """Distill live loop/board construction knobs.
+
+        ``watchdog`` is the live :class:`~repro.admission.watchdog
+        .Watchdog` (or None); its *current* config becomes the knob
+        baseline so repeated captures after an applied patch are stable.
+        """
+        wd_knobs: Optional[Knobs] = None
+        if watchdog is not None:
+            wd_knobs = _knobs(dataclasses.asdict(watchdog.config))
+        return cls(
+            scheduler=scheduler,
+            admission=admission,
+            admission_knobs=_knobs(admission_knobs),
+            watchdog_knobs=wd_knobs,
+        )
+
+
+@dataclass(frozen=True)
+class ConfigPatch:
+    """One candidate remediation.
+
+    Component semantics (each optional, applied by :meth:`apply`):
+
+    * ``scheduler`` — absolute replacement;
+    * ``admission`` + ``admission_knobs`` — absolute replacement of the
+      policy *and* its whole knob set (an admission patch always names
+      the policy, even when only retuning watermarks);
+    * ``watchdog_knobs`` — per-key absolute merge into the current
+      watchdog config (no-op when no watchdog is attached).
+    """
+
+    #: Proposer rule that emitted the patch (rule table row).
+    rule: str
+    #: Symptom kind that triggered the rule.
+    symptom: str
+    #: Invasiveness 0 (threshold nudge) .. 3 (scheduler swap).
+    risk: int
+    reason: str
+    scheduler: Optional[str] = None
+    admission: Optional[str] = None
+    admission_knobs: Knobs = ()
+    watchdog_knobs: Knobs = ()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.risk <= 3:
+            raise AutotuneError(f"risk must be 0..3, got {self.risk}")
+        if self.admission == "reject":
+            raise AutotuneError(
+                "the proposer contract forbids reject-policy patches "
+                "(backoff retries hide loss from the verifier)"
+            )
+
+    @property
+    def patch_id(self) -> str:
+        """Deterministic content id (dedup key, decision records)."""
+        return _short_hash({
+            "scheduler": self.scheduler,
+            "admission": self.admission,
+            "admission_knobs": dict(self.admission_knobs),
+            "watchdog_knobs": dict(self.watchdog_knobs),
+        })
+
+    def apply(self, tuning: TunableConfig) -> TunableConfig:
+        """The patched configuration (pure; idempotent)."""
+        scheduler = self.scheduler or tuning.scheduler
+        if self.admission is not None:
+            admission = self.admission
+            admission_knobs = _knobs(self.admission_knobs)
+        else:
+            admission = tuning.admission
+            admission_knobs = tuning.admission_knobs
+        watchdog_knobs = tuning.watchdog_knobs
+        if self.watchdog_knobs and watchdog_knobs is not None:
+            merged = dict(watchdog_knobs)
+            merged.update(dict(self.watchdog_knobs))
+            watchdog_knobs = _knobs(merged)
+        return TunableConfig(
+            scheduler=scheduler,
+            admission=admission,
+            admission_knobs=admission_knobs,
+            watchdog_knobs=watchdog_knobs,
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.scheduler:
+            parts.append(f"scheduler->{self.scheduler}")
+        if self.admission is not None:
+            knobs = ",".join(
+                f"{k}={v}" for k, v in self.admission_knobs
+            )
+            parts.append(
+                f"admission->{self.admission}"
+                + (f"({knobs})" if knobs else "")
+            )
+        if self.watchdog_knobs:
+            knobs = ",".join(f"{k}={v}" for k, v in self.watchdog_knobs)
+            parts.append(f"watchdog({knobs})")
+        return (
+            f"[{self.patch_id} risk={self.risk}] "
+            f"{self.rule}: {' '.join(parts) or 'no-op'}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "patch_id": self.patch_id,
+            "rule": self.rule,
+            "symptom": self.symptom,
+            "risk": self.risk,
+            "reason": self.reason,
+            "scheduler": self.scheduler,
+            "admission": self.admission,
+            "admission_knobs": dict(self.admission_knobs),
+            "watchdog_knobs": dict(self.watchdog_knobs),
+        }
+
+
+def _short_hash(payload: dict) -> str:
+    canon = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
+
+
+# ----------------------------------------------------------------------
+# Rule table
+# ----------------------------------------------------------------------
+def _backlog_depth(symptoms: Sequence[Symptom], default: int) -> int:
+    """Observed backlog depth: queue_growth evidence, else ``default``."""
+    for s in symptoms:
+        if s.kind == "queue_growth":
+            return max(default, int(s.severity))
+    return default
+
+
+def _shed_patch(rule, symptom, risk, reason, capacity) -> ConfigPatch:
+    capacity = max(4, int(capacity))
+    return ConfigPatch(
+        rule=rule, symptom=symptom, risk=risk, reason=reason,
+        admission="shed",
+        admission_knobs=_knobs({
+            "queue_capacity": capacity,
+            "low_watermark": max(1, capacity // 2),
+        }),
+    )
+
+
+def _degrade_patch(rule, symptom, risk, reason, high, **extra) -> ConfigPatch:
+    high = max(2, int(high))
+    knobs = {"high_watermark": high, "low_watermark": max(1, high // 2)}
+    knobs.update(extra)
+    return ConfigPatch(
+        rule=rule, symptom=symptom, risk=risk, reason=reason,
+        admission="degrade", admission_knobs=_knobs(knobs),
+    )
+
+
+def propose(
+    symptoms: Sequence[Symptom],
+    tuning: TunableConfig,
+) -> Tuple[ConfigPatch, ...]:
+    """Candidate patches for ``symptoms`` against ``tuning``.
+
+    Deterministic: fixed rule order, content-id dedup, no-op patches
+    dropped, result sorted by ``(risk, patch_id)`` — the verifier's
+    canonical candidate order.
+    """
+    patches = []
+    policy = tuning.admission_policy()
+    has_watchdog = tuning.watchdog_knobs is not None
+    wd = dict(tuning.watchdog_knobs or ())
+
+    for s in symptoms:
+        if s.kind in ("slo_breach", "queue_growth"):
+            depth = _backlog_depth(symptoms, 24)
+            if tuning.admission == "unbounded":
+                # An unbounded queue under sustained pressure: bound it.
+                # Cap scaled to half the observed backlog so the bound
+                # bites, floored well above the board's slot count.
+                patches.append(_shed_patch(
+                    "bound-backlog", s.kind, 1,
+                    f"unbounded queue at depth {depth}; shed above "
+                    f"{max(4, depth // 2)}",
+                    depth // 2,
+                ))
+                patches.append(_degrade_patch(
+                    "degrade-backlog", s.kind, 2,
+                    "unbounded queue under pressure; degrade service "
+                    "above the watermark instead of shedding",
+                    depth // 2,
+                ))
+            elif tuning.admission == "shed":
+                current = policy.queue_capacity
+                tightened = max(4, current * 3 // 4)
+                if tightened < current:
+                    patches.append(_shed_patch(
+                        "tighten-shed", s.kind, 1,
+                        f"shed policy still breaching; tighten capacity "
+                        f"{current} -> {tightened}",
+                        tightened,
+                    ))
+            elif tuning.admission == "degrade":
+                current = policy.slot_cap
+                lowered = max(1, current // 2)
+                if lowered < current:
+                    patches.append(ConfigPatch(
+                        rule="degrade-slots", symptom=s.kind, risk=1,
+                        reason=f"degrade policy still breaching; slot "
+                               f"cap {current} -> {lowered}",
+                        admission="degrade",
+                        admission_knobs=_knobs({
+                            **dict(tuning.admission_knobs),
+                            "slot_cap": lowered,
+                        }),
+                    ))
+            if tuning.scheduler != "nimblock":
+                patches.append(ConfigPatch(
+                    rule="scheduler-swap", symptom=s.kind, risk=3,
+                    reason=f"{tuning.scheduler} breaching; swap to the "
+                           "preemptive nimblock scheduler",
+                    scheduler="nimblock",
+                ))
+
+        elif s.kind == "shed_storm":
+            if tuning.admission == "shed":
+                current = policy.queue_capacity
+                patches.append(_shed_patch(
+                    "relax-shed", s.kind, 2,
+                    f"shedding {100.0 * s.severity:.0f}% of arrivals; "
+                    f"raise capacity {current} -> {current + current // 2}",
+                    current + max(1, current // 2),
+                ))
+                patches.append(_degrade_patch(
+                    "storm-degrade", s.kind, 3,
+                    "sustained shed storm; degrade service instead of "
+                    "dropping work",
+                    current,
+                ))
+
+        elif s.kind == "overload_oscillation":
+            if tuning.admission == "shed":
+                cap = policy.queue_capacity
+                low = max(1, cap // 3)
+                current_low = policy.effective_low_watermark()
+                if low < current_low:
+                    patches.append(ConfigPatch(
+                        rule="widen-hysteresis", symptom=s.kind, risk=1,
+                        reason=f"{int(s.severity)} overload enters; "
+                               f"low watermark {current_low} "
+                               f"-> {low}",
+                        admission="shed",
+                        admission_knobs=_knobs({
+                            "queue_capacity": cap,
+                            "low_watermark": low,
+                        }),
+                    ))
+            elif tuning.admission == "degrade":
+                high = policy.high_watermark
+                low = max(1, high // 3)
+                if low < policy.low_watermark:
+                    patches.append(_degrade_patch(
+                        "widen-hysteresis", s.kind, 1,
+                        f"{int(s.severity)} overload enters; widen the "
+                        "degrade hysteresis band",
+                        high, low_watermark=low,
+                    ))
+
+        elif s.kind == "starvation" and has_watchdog:
+            current = int(wd.get("starvation_passes", 400))
+            tightened = max(50, current // 2)
+            if tightened < current:
+                patches.append(ConfigPatch(
+                    rule="watchdog-starvation", symptom=s.kind, risk=0,
+                    reason=f"{int(s.severity)} starvation detections; "
+                           f"boost sooner ({current} -> {tightened} "
+                           "passes)",
+                    watchdog_knobs=_knobs({
+                        "starvation_passes": tightened,
+                        "boost_tokens": True,
+                    }),
+                ))
+
+        elif s.kind == "stall_cluster" and has_watchdog:
+            current = int(wd.get("stall_passes", 20))
+            tightened = max(5, current // 2)
+            if tightened < current:
+                patches.append(ConfigPatch(
+                    rule="watchdog-stall", symptom=s.kind, risk=0,
+                    reason=f"{int(s.severity)} stall detections; kick "
+                           f"sooner ({current} -> {tightened} passes)",
+                    watchdog_knobs=_knobs({
+                        "stall_passes": tightened,
+                        "cooldown_passes": max(
+                            10, int(wd.get("cooldown_passes", 50)) // 2
+                        ),
+                    }),
+                ))
+
+        elif s.kind == "power_pressure":
+            if tuning.admission == "degrade":
+                current = policy.slot_cap
+                lowered = max(1, current - 1)
+                if lowered < current:
+                    patches.append(ConfigPatch(
+                        rule="power-slots", symptom=s.kind, risk=1,
+                        reason=f"draw {s.severity:.2f}x budget; slot "
+                               f"cap {current} -> {lowered}",
+                        admission="degrade",
+                        admission_knobs=_knobs({
+                            **dict(tuning.admission_knobs),
+                            "slot_cap": lowered,
+                        }),
+                    ))
+            else:
+                patches.append(_degrade_patch(
+                    "power-degrade", s.kind, 2,
+                    f"draw {s.severity:.2f}x budget; throttle "
+                    "concurrency via degrade slot caps",
+                    _backlog_depth(symptoms, 12),
+                    slot_cap=2, cap_pipelining=True,
+                ))
+
+    # Dedup by content, drop no-ops, canonical order.
+    unique = {}
+    for patch in patches:
+        if patch.apply(tuning) == tuning:
+            continue
+        unique.setdefault(patch.patch_id, patch)
+    return tuple(
+        sorted(unique.values(), key=lambda p: (p.risk, p.patch_id))
+    )

@@ -1,0 +1,301 @@
+"""Symptom detection: fold window stats and counters into typed symptoms.
+
+The detector is the first stage of the closed-loop remediation pipeline
+(detect → propose → verify → apply). It is a *pure function* of plain
+frozen inputs — a tuple of per-window signals plus a handful of
+monotonic counter deltas — so the same observations yield the same
+symptoms whatever fold or merge order produced them (the hypothesis
+property suite pins this). No hypervisor, loop or trace object is ever
+touched here: callers distill those into :class:`WindowSignal` /
+:class:`CounterDeltas` first, which keeps the detector identically
+usable from the online service loop, from cluster board shards, and
+from offline replays.
+
+Symptom catalogue (one symptom kind per rule, at most one instance per
+detection pass; see docs/robustness.md for the remediation rule table):
+
+===================== ==============================================
+kind                  fires when
+===================== ==============================================
+``slo_breach``        >= ``breach_windows`` trailing non-empty windows
+                      each fail the :class:`~repro.metrics.slo.SloTarget`
+``queue_growth``      pending depth at the last close >= ``depth_high``
+                      and non-decreasing over ``growth_windows`` closes
+``shed_storm``        shed/arrived over the last ``storm_windows``
+                      windows >= ``storm_frac``
+``overload_oscillation`` >= ``oscillation_enters`` OVERLOAD enter
+                      edges since the previous detection pass
+``starvation``        >= ``starvation_detections`` watchdog starvation
+                      detections since the previous pass
+``stall_cluster``     >= ``stall_detections`` watchdog stall
+                      detections since the previous pass
+``power_pressure``    mean electrical draw over the observed span
+                      exceeds ``power_frac`` x the board's power cap
+===================== ==============================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import AutotuneError
+from repro.metrics.slo import DEFAULT_SERVICE_SLO, SloTarget
+
+__all__ = [
+    "CounterDeltas",
+    "DetectorConfig",
+    "Symptom",
+    "SYMPTOM_KINDS",
+    "WindowSignal",
+    "detect",
+]
+
+#: Every symptom kind the detector can emit, in emission order.
+SYMPTOM_KINDS = (
+    "slo_breach",
+    "queue_growth",
+    "shed_storm",
+    "overload_oscillation",
+    "starvation",
+    "stall_cluster",
+    "power_pressure",
+)
+
+
+@dataclass(frozen=True)
+class WindowSignal:
+    """One tumbling window distilled to the fields the detector reads."""
+
+    index: int
+    arrived: int = 0
+    completed: int = 0
+    shed: int = 0
+    dropped: int = 0
+    #: p99 response of completions attributed to this window (NaN if
+    #: nothing completed).
+    p99_ms: float = float("nan")
+    #: Pending-queue depth sampled at the window's closing boundary.
+    peak_pending: int = 0
+
+    @property
+    def lost(self) -> int:
+        return self.shed + self.dropped
+
+    @property
+    def loss_frac(self) -> float:
+        if self.arrived == 0:
+            return 0.0
+        return self.lost / self.arrived
+
+    @property
+    def active(self) -> bool:
+        """True if anything arrived, completed or was lost here."""
+        return bool(self.arrived or self.completed or self.lost)
+
+    @classmethod
+    def from_stats(cls, stats) -> "WindowSignal":
+        """Distill a :class:`~repro.service.windows.WindowStats`."""
+        return cls(
+            index=stats.index,
+            arrived=stats.arrived,
+            completed=stats.completed,
+            shed=stats.shed,
+            dropped=stats.dropped,
+            p99_ms=stats.p(99.0),
+            peak_pending=stats.peak_pending,
+        )
+
+
+@dataclass(frozen=True)
+class CounterDeltas:
+    """Monotonic counter deltas accrued since the previous detection
+    pass (or run start), plus the span-level power observation."""
+
+    overload_enters: int = 0
+    overload_ms: float = 0.0
+    starvations: int = 0
+    stalls: int = 0
+    #: Energy drawn over ``span_ms`` (power_pressure rule); 0 disables.
+    energy_j: float = 0.0
+    span_ms: float = 0.0
+    #: Board power cap; None disables the power_pressure rule.
+    power_cap_w: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Thresholds for every detection rule (see module docstring)."""
+
+    slo: SloTarget = DEFAULT_SERVICE_SLO
+    breach_windows: int = 3
+    depth_high: int = 24
+    growth_windows: int = 3
+    storm_frac: float = 0.25
+    storm_windows: int = 2
+    oscillation_enters: int = 4
+    starvation_detections: int = 1
+    stall_detections: int = 2
+    power_frac: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "breach_windows", "depth_high", "growth_windows",
+            "storm_windows", "oscillation_enters",
+            "starvation_detections", "stall_detections",
+        ):
+            if getattr(self, name) < 1:
+                raise AutotuneError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        if not 0.0 < self.storm_frac <= 1.0:
+            raise AutotuneError(
+                f"storm_frac must be in (0, 1], got {self.storm_frac}"
+            )
+        if self.power_frac <= 0.0:
+            raise AutotuneError(
+                f"power_frac must be > 0, got {self.power_frac}"
+            )
+
+    @property
+    def history_windows(self) -> int:
+        """How many trailing windows one detection pass inspects."""
+        return max(
+            self.breach_windows, self.growth_windows, self.storm_windows
+        )
+
+
+@dataclass(frozen=True)
+class Symptom:
+    """One detected condition, ready for the proposer's rule table."""
+
+    kind: str
+    #: Closing window index the detection pass ran at.
+    window_index: int
+    #: Rule-specific magnitude (run length, depth, fraction, count...).
+    severity: float
+    #: Sorted (name, value) observations backing the detection.
+    evidence: Tuple[Tuple[str, float], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "window_index": self.window_index,
+            "severity": self.severity,
+            "evidence": {name: value for name, value in self.evidence},
+        }
+
+
+def _ev(**kwargs: float) -> Tuple[Tuple[str, float], ...]:
+    return tuple(sorted((k, float(v)) for k, v in kwargs.items()))
+
+
+def detect(
+    windows: Sequence[WindowSignal],
+    counters: CounterDeltas,
+    config: Optional[DetectorConfig] = None,
+) -> Tuple[Symptom, ...]:
+    """Run every detection rule; return symptoms in catalogue order.
+
+    ``windows`` is the trailing per-window history in ascending index
+    order (any longer history is fine — each rule reads only its own
+    tail). Purity contract: no rule mutates anything, and emission order
+    is the fixed :data:`SYMPTOM_KINDS` order, so output depends only on
+    input values.
+    """
+    cfg = config or DetectorConfig()
+    windows = [w for w in windows if w.active]
+    windows.sort(key=lambda w: w.index)
+    at = windows[-1].index if windows else 0
+    symptoms = []
+
+    # slo_breach: trailing run of non-empty windows failing the target.
+    slo = cfg.slo
+    run = 0
+    worst_p99 = float("nan")
+    worst_loss = 0.0
+    for w in reversed(windows):
+        if w.arrived == 0 or slo.met(w.p99_ms, w.loss_frac):
+            break
+        run += 1
+        if math.isnan(worst_p99) or (
+            not math.isnan(w.p99_ms) and w.p99_ms > worst_p99
+        ):
+            worst_p99 = w.p99_ms
+        worst_loss = max(worst_loss, w.loss_frac)
+    if run >= cfg.breach_windows:
+        symptoms.append(Symptom(
+            "slo_breach", at, float(run),
+            _ev(
+                consecutive=run,
+                p99_ms=0.0 if math.isnan(worst_p99) else worst_p99,
+                loss_frac=worst_loss,
+            ),
+        ))
+
+    # queue_growth: deep and non-decreasing pending depth.
+    tail = windows[-cfg.growth_windows:]
+    if (
+        len(tail) >= cfg.growth_windows
+        and tail[-1].peak_pending >= cfg.depth_high
+        and all(
+            tail[i].peak_pending <= tail[i + 1].peak_pending
+            for i in range(len(tail) - 1)
+        )
+    ):
+        symptoms.append(Symptom(
+            "queue_growth", at, float(tail[-1].peak_pending),
+            _ev(depth=tail[-1].peak_pending, windows=len(tail)),
+        ))
+
+    # shed_storm: loss concentrated in the immediate past.
+    tail = windows[-cfg.storm_windows:]
+    arrived = sum(w.arrived for w in tail)
+    lost = sum(w.lost for w in tail)
+    if arrived > 0 and lost / arrived >= cfg.storm_frac:
+        symptoms.append(Symptom(
+            "shed_storm", at, lost / arrived,
+            _ev(lost=lost, arrived=arrived),
+        ))
+
+    # overload_oscillation: admission hysteresis flapping.
+    if counters.overload_enters >= cfg.oscillation_enters:
+        symptoms.append(Symptom(
+            "overload_oscillation", at, float(counters.overload_enters),
+            _ev(
+                enters=counters.overload_enters,
+                overload_ms=counters.overload_ms,
+            ),
+        ))
+
+    # starvation / stall_cluster: watchdog detections.
+    if counters.starvations >= cfg.starvation_detections:
+        symptoms.append(Symptom(
+            "starvation", at, float(counters.starvations),
+            _ev(starvations=counters.starvations),
+        ))
+    if counters.stalls >= cfg.stall_detections:
+        symptoms.append(Symptom(
+            "stall_cluster", at, float(counters.stalls),
+            _ev(stalls=counters.stalls),
+        ))
+
+    # power_pressure: mean draw over the span vs. the board's cap. The
+    # guard checks the divisor itself: a denormal span_ms can be > 0
+    # while span_ms / 1000.0 underflows to exactly zero.
+    span_s = counters.span_ms / 1000.0
+    if (
+        counters.power_cap_w is not None
+        and span_s > 0
+        and counters.energy_j > 0
+    ):
+        mean_w = counters.energy_j / span_s
+        budget_w = cfg.power_frac * counters.power_cap_w
+        if mean_w > budget_w:
+            symptoms.append(Symptom(
+                "power_pressure", at, mean_w / budget_w,
+                _ev(mean_w=mean_w, budget_w=budget_w),
+            ))
+
+    return tuple(symptoms)

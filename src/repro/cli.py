@@ -14,6 +14,7 @@ Examples
     nimblock-repro cluster --boards 8 --placement power_aware --jobs 4
     nimblock-repro trace --format chrome --output run.json
     nimblock-repro stats --fault-rate 0.02 --jobs 4
+    nimblock-repro tune --rate 1 --burst 4 --jobs 2
 
 Exit codes: 0 on success, 1 when an experiment fails
 (:class:`~repro.errors.ReproError`), 2 on usage errors — argparse
@@ -41,7 +42,10 @@ EXIT_ERROR = 1
 EXIT_USAGE = 2
 
 #: Non-experiment actions accepted in the positional slot.
-ACTIONS = ("all", "chaos", "cluster", "overload", "serve", "stats", "trace")
+ACTIONS = (
+    "all", "chaos", "cluster", "overload", "serve", "stats", "trace",
+    "tune",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,7 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
             "runs a one-shot admission-policy drill; 'serve' runs an "
             "open-loop online-service drill; 'trace' "
             "exports one observed run as Chrome/Perfetto or JSONL; "
-            "'stats' emits Prometheus-format metrics for a sweep)"
+            "'stats' emits Prometheus-format metrics for a sweep; "
+            "'tune' runs the closed-loop remediation drill)"
         ),
     )
     parser.add_argument(
@@ -196,6 +201,19 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "reduced-scale serve drill for CI smoke "
             "(overridden by any explicit serve flag)"
+        ),
+    )
+    tune = parser.add_argument_group(
+        "tune",
+        "options for the 'tune' closed-loop remediation drill "
+        "(also honours --rate, --submissions, --window-s, --scheduler, "
+        "--admission, --seed, --jobs, --fast and --json)",
+    )
+    tune.add_argument(
+        "--burst", type=float, default=4.0,
+        help=(
+            "'tune' episode burst multiplier over the base --rate "
+            "(default: 4.0)"
         ),
     )
     cluster = parser.add_argument_group(
@@ -373,6 +391,44 @@ def _run_cluster(
     return EXIT_OK
 
 
+def _run_tune(args: argparse.Namespace, settings: ExperimentSettings) -> int:
+    """The closed-loop remediation drill (``tune``).
+
+    Everything on stdout is deterministic and independent of ``--jobs``
+    (the ``tune-determinism`` CI job diffs ``--jobs 1`` against
+    ``--jobs 2``); wall-clock notes go to stderr.
+    """
+    import time
+
+    from repro.facade import tune_report
+
+    fast = args.fast
+    rate = args.rate if args.rate is not None else (2.0 if fast else 1.0)
+    submissions = args.submissions if args.submissions is not None else (
+        240 if fast else 600
+    )
+    window_s = args.window_s if args.window_s is not None else 10.0
+    started = time.perf_counter()
+    print(tune_report(
+        args.scheduler or "nimblock",
+        admission=args.admission or "unbounded",
+        rate=rate,
+        burst_multiplier=args.burst,
+        seed=args.seed,
+        submissions=submissions,
+        window_ms=window_s * 1000.0,
+        jobs=args.jobs,
+        as_json=args.json,
+        mode=args.mode,
+    ), end="")
+    print(
+        f"tune: 2 runs x {submissions} submissions in "
+        f"{time.perf_counter() - started:.1f}s wall",
+        file=sys.stderr,
+    )
+    return EXIT_OK
+
+
 def _run_trace(args: argparse.Namespace, settings: ExperimentSettings) -> int:
     """Export one observed run (``trace``) as Chrome JSON or JSONL."""
     import json
@@ -431,6 +487,8 @@ def _run_stats(args: argparse.Namespace, settings: ExperimentSettings) -> int:
         [args.scheduler or "nimblock"], sequences,
         fault_config=_fault_config(args, default_rate=0.0),
         jobs=args.jobs,
+        admission=args.admission,
+        seed=args.seed,
     )
     sys.stdout.write(snapshot_to_prometheus(merged))
     return EXIT_OK
@@ -458,6 +516,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_trace(args, settings)
         if args.experiment == "stats":
             return _run_stats(args, settings)
+        if args.experiment == "tune":
+            return _run_tune(args, settings)
         cache = RunCache(cache_dir=args.cache_dir, jobs=args.jobs)
         names = (
             sorted(experiment_names())

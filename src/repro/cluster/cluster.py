@@ -476,9 +476,14 @@ class Cluster:
     # Simulation
     # ------------------------------------------------------------------
     def board_tasks(
-        self, mode: str = "full", replay: bool = True
+        self, mode: str = "full", replay: bool = True, autotune=None
     ) -> List[BoardTask]:
-        """The picklable per-board simulation inputs, one per board."""
+        """The picklable per-board simulation inputs, one per board.
+
+        ``autotune`` (an :class:`~repro.autotune.engine.AutotuneConfig`,
+        or None) arms the per-board remediation pipeline; tasks stay
+        10-tuples when it is None so un-tuned pickles are unchanged.
+        """
         tasks: List[BoardTask] = []
         for board in self._boards:
             specs = tuple(
@@ -487,7 +492,7 @@ class Cluster:
                     key=lambda item: (item[1].arrival_ms, item[0]),
                 )
             )
-            tasks.append((
+            task = (
                 board.index,
                 board.profile,
                 self._scheduler,
@@ -499,12 +504,15 @@ class Cluster:
                 self._seed + board.index,
                 mode,
                 replay,
-            ))
+            )
+            if autotune is not None:
+                task = task + (autotune,)
+            tasks.append(task)
         return tasks
 
     def run(
         self, jobs: Optional[int] = None, mode: str = "full",
-        replay: bool = True,
+        replay: bool = True, autotune=None,
     ) -> "ClusterReport":
         """Simulate every board (sharded over ``jobs`` processes) and
         merge the per-board payloads into one :class:`ClusterReport`.
@@ -514,12 +522,17 @@ class Cluster:
         ``trace_digest`` fields are ``None`` (nothing to hash).
         ``replay=False`` disables the per-board macro-event replay cache
         (the report is byte-identical either way; the knob exists for
-        A/B verification).
+        A/B verification). ``autotune`` arms the per-board closed-loop
+        remediation: each board's payload gains an ``"autotune"``
+        decision record, and boards whose verified winner beats the
+        baseline are re-run under the patched configuration.
         """
         from repro.modes import normalize_mode
 
         mode = normalize_mode(mode)
-        payloads = board_cells(self.board_tasks(mode, replay), jobs=jobs)
+        payloads = board_cells(
+            self.board_tasks(mode, replay, autotune), jobs=jobs
+        )
         return ClusterReport(
             boards=payloads,
             placement=self._placement.name,

@@ -45,7 +45,13 @@ from repro.workload.events import EventSpec
 #: primitive or a frozen dataclass of primitives, hence picklable. The
 #: trailing replay flag is optional — 9-tuples from older callers run
 #: with the replay cache enabled (the default is byte-identical to a
-#: replay-off run, so the flag only exists for A/B verification).
+#: replay-off run, so the flag only exists for A/B verification). An
+#: optional 11th leg carries an
+#: :class:`~repro.autotune.engine.AutotuneConfig` (or None): when armed,
+#: the worker runs the board-level remediation pipeline after the
+#: baseline simulation and the payload gains an ``"autotune"`` decision
+#: record — absent otherwise, so un-tuned payloads (and their golden
+#: pins) are unchanged.
 BoardTask = Tuple[
     int, BoardProfile, str, Optional[SystemConfig],
     Tuple[EventSpec, ...], Optional[FaultConfig], Optional[str], int, str,
@@ -145,18 +151,66 @@ def simulate_board(task: BoardTask) -> dict:
     simulation computed deterministically, a quantile-sketch dump, and
     the trace digest.
     """
+    (board_index, profile, scheduler_name, base_config, specs,
+     fault_config, admission_policy, seed, mode) = task[:9]
+    replay = task[9] if len(task) > 9 else True
+    autotune = task[10] if len(task) > 10 else None
+    if not specs:
+        return _empty_payload(board_index, profile, mode)
+    payload, hypervisor, controller = _board_run(
+        board_index, profile, scheduler_name, base_config, specs,
+        fault_config, admission_policy, seed, mode, replay,
+    )
+    if autotune is None:
+        return payload
+    # Lazily imported, so un-tuned fleets never load the pipeline.
+    from repro.autotune.board import remediate_board
+
+    return remediate_board(
+        autotune,
+        payload,
+        hypervisor,
+        controller,
+        profile=profile,
+        scheduler_name=scheduler_name,
+        base_config=base_config,
+        specs=specs,
+        fault_config=fault_config,
+        admission_policy=admission_policy,
+        seed=seed,
+        mode=mode,
+    )
+
+
+def _board_run(
+    board_index: int,
+    profile: BoardProfile,
+    scheduler_name: str,
+    base_config: Optional[SystemConfig],
+    specs: Tuple[EventSpec, ...],
+    fault_config: Optional[FaultConfig],
+    admission_policy,
+    seed: int,
+    mode: str,
+    replay: bool,
+    watchdog_config="auto",
+) -> tuple:
+    """One board simulation; returns (payload, hypervisor, controller).
+
+    ``admission_policy`` may be a registry name or a materialized policy
+    instance (the autotune re-run path patches watermarks, which names
+    alone cannot carry). ``watchdog_config="auto"`` keeps the historic
+    pairing — a default watchdog iff admission is on; None or an
+    explicit :class:`~repro.admission.watchdog.WatchdogConfig` override
+    it for patched re-runs, which must run exactly the configuration the
+    verifier scored.
+    """
     from repro.admission import AdmissionController, Watchdog
     from repro.faults.injector import FaultInjector
     from repro.hypervisor.hypervisor import Hypervisor
     from repro.schedulers.registry import make_scheduler
     from repro.service.sketch import QuantileSketch
     from repro.sim.replay import ReplayCache
-
-    (board_index, profile, scheduler_name, base_config, specs,
-     fault_config, admission_policy, seed, mode) = task[:9]
-    replay = task[9] if len(task) > 9 else True
-    if not specs:
-        return _empty_payload(board_index, profile, mode)
 
     injector = None
     if fault_config is not None and fault_config.enabled:
@@ -165,7 +219,10 @@ def simulate_board(task: BoardTask) -> dict:
     watchdog = None
     if admission_policy is not None:
         controller = AdmissionController(admission_policy, seed=seed)
-        watchdog = Watchdog()
+        if watchdog_config == "auto":
+            watchdog = Watchdog()
+        elif watchdog_config is not None:
+            watchdog = Watchdog(watchdog_config)
     hypervisor = Hypervisor(
         make_scheduler(scheduler_name),
         config=profile.system_config(base_config),
@@ -187,8 +244,8 @@ def simulate_board(task: BoardTask) -> dict:
                 if admission_policy is not None else None
             ),
             watchdog_factory=(
-                (lambda: Watchdog())
-                if admission_policy is not None else None
+                (lambda: Watchdog(watchdog.config))
+                if watchdog is not None else None
             ),
         )
     for spec in specs:
@@ -223,7 +280,7 @@ def simulate_board(task: BoardTask) -> dict:
     dropped = 0
     if controller is not None:
         dropped = controller.stats.dropped
-    return {
+    payload = {
         "board": board_index,
         "profile": profile.to_dict(),
         "submitted": len(specs),
@@ -246,6 +303,7 @@ def simulate_board(task: BoardTask) -> dict:
             if mode == "full" else None
         ),
     }
+    return payload, hypervisor, controller
 
 
 def board_cells(

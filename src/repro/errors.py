@@ -80,6 +80,11 @@ class ClusterError(ReproError):
     """The multi-board cluster tier (``repro.cluster``) was misdriven."""
 
 
+class AutotuneError(ReproError):
+    """The closed-loop remediation pipeline (``repro.autotune``) was
+    misconfigured or misdriven."""
+
+
 class InvariantViolation(ReproError):
     """The runtime invariant checker caught an illegal hypervisor state.
 

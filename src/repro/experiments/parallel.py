@@ -237,9 +237,12 @@ def _simulate_observed(task: ObservedTask) -> dict:
     """
     from repro.observe.aggregate import observed_run
 
-    scheduler_name, sequence, fault_config, config = task
+    scheduler_name, sequence, fault_config, config = task[:4]
+    admission = task[4] if len(task) > 4 else None
+    seed = task[5] if len(task) > 5 else 0
     _, observer = observed_run(
-        scheduler_name, sequence, fault_config, config=config
+        scheduler_name, sequence, fault_config, config=config,
+        admission=admission, seed=seed,
     )
     return observer.snapshot()
 
@@ -257,8 +260,13 @@ def observed_snapshots(
 #: from these picklable scalars — identical reconstruction to the serial
 #: path, so the returned report payloads are byte-identical at any jobs
 #: count (and, since the payload carries no rows, at either run mode).
-#: Trailing replay flag optional: 8-tuples from older callers run
-#: with the replay cache enabled (byte-identical either way).
+#: Trailing legs are optional (8-tuples from older callers still work):
+#: [8] replay flag (default True — byte-identical either way); [9] an
+#: :class:`~repro.autotune.engine.AutotuneConfig` (frozen, picklable) or
+#: None; [10] an arrival-process override as a picklable ``(kind,
+#: knob-pairs)`` tuple — e.g. ``("episode", (("phases", ((60.0, 1.0),
+#: (120.0, 4.0))),))`` — replacing the default rate/burstiness process
+#: (whose two scalars are then ignored).
 ServiceTask = Tuple[str, str, float, float, int, int, float, str, bool]
 
 
@@ -271,12 +279,20 @@ def _simulate_service(task: ServiceTask) -> dict:
     boundary (the loop discards both as it runs).
     """
     from repro.service.loop import ServiceLoop
-    from repro.workload.arrivals import service_rate_process
+    from repro.workload.arrivals import make_arrivals, service_rate_process
 
     (scheduler, admission, rate, burstiness, seed, submissions,
      window_ms, mode) = task[:8]
     replay = task[8] if len(task) > 8 else True
-    arrivals = service_rate_process(rate, seed=seed, burstiness=burstiness)
+    autotune = task[9] if len(task) > 9 else None
+    arrival_spec = task[10] if len(task) > 10 else None
+    if arrival_spec is None:
+        arrivals = service_rate_process(
+            rate, seed=seed, burstiness=burstiness
+        )
+    else:
+        kind, knob_pairs = arrival_spec
+        arrivals = make_arrivals(kind, seed=seed, **dict(knob_pairs))
     loop = ServiceLoop(
         arrivals,
         scheduler=scheduler,
@@ -286,6 +302,7 @@ def _simulate_service(task: ServiceTask) -> dict:
         window_ms=window_ms,
         mode=mode,
         replay=replay,
+        autotune=autotune,
     )
     return loop.run().to_dict()
 

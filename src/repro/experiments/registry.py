@@ -113,6 +113,7 @@ class Experiment:
 #: Every registered experiment, in CLI-name order. Names match the
 #: command line (hyphenated); module paths are imported on first use.
 _SPECS: Tuple[Tuple[str, str], ...] = (
+    ("ext-autotune", "repro.experiments.ext_autotune"),
     ("ext-batching", "repro.experiments.ext_batching"),
     ("ext-capacity", "repro.experiments.ext_capacity"),
     ("ext-cluster", "repro.experiments.ext_cluster"),

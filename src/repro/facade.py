@@ -166,6 +166,226 @@ def serve(
     return loop.run()
 
 
+def _service_summary(payload: dict, slo) -> dict:
+    """One service-report payload reduced to its SLO scalars."""
+    from repro.service.windows import WindowedMetrics
+
+    windows = WindowedMetrics.from_dict(payload["windows"])
+    active = [w for w in windows.windows if w.arrived > 0]
+    attainment = 1.0 if not active else sum(
+        1 for w in active if slo.met(w.p(99.0), w.loss_frac)
+    ) / len(active)
+    arrived = payload["arrived"]
+    lost = payload["shed"] + payload["dropped"]
+    summary = {
+        "attainment": attainment,
+        "p99_ms": windows.total().sketch.percentile(99.0),
+        "loss_frac": (lost / arrived) if arrived else 0.0,
+        "arrived": arrived,
+        "completed": payload["completed"],
+        "shed": payload["shed"],
+        "dropped": payload["dropped"],
+        "windows": len(active),
+    }
+    if "applies" in payload:
+        summary["applies"] = payload["applies"]
+        summary["decisions"] = payload["decisions"]
+    return summary
+
+
+def _post_apply_summary(payload: dict, slo, apply_window: int) -> dict:
+    """SLO attainment over the windows after a remediation apply.
+
+    Counts every *active* window (arrivals or completions) past the
+    apply boundary: an unprotected baseline keeps failing its backlog
+    drain there, which arrival-only accounting would hide.
+    """
+    from repro.service.windows import WindowedMetrics
+
+    windows = [
+        w for w in WindowedMetrics.from_dict(payload["windows"]).windows
+        if w.index > apply_window and (w.arrived > 0 or w.completed > 0)
+    ]
+    met = sum(1 for w in windows if slo.met(w.p(99.0), w.loss_frac))
+    return {
+        "windows": len(windows),
+        "met": met,
+        "attainment": (met / len(windows)) if windows else 1.0,
+    }
+
+
+def tune(
+    scheduler: str = "nimblock",
+    *,
+    admission: str = "unbounded",
+    rate: float = 2.0,
+    burst_multiplier: float = 4.0,
+    calm_s: float = 60.0,
+    burst_s: float = 120.0,
+    recover_s: float = 240.0,
+    seed: int = 1,
+    submissions: int = 600,
+    window_ms: float = 10_000.0,
+    jobs: Optional[int] = None,
+    mode: str = "full",
+    autotune=None,
+) -> dict:
+    """The closed-loop remediation drill: static baseline vs autotuned.
+
+    Runs the same seeded overload episode — ``calm_s`` seconds at
+    ``rate``/s, then ``burst_s`` seconds at ``rate * burst_multiplier``,
+    then ``recover_s`` seconds back at ``rate`` — through two
+    :class:`~repro.service.loop.ServiceLoop` runs that differ only in
+    whether the :mod:`repro.autotune` pipeline is armed. Both runs fan
+    out through :func:`~repro.experiments.parallel.service_cells`, so
+    the returned payload is byte-identical at any ``jobs`` count.
+
+    Returns a JSON-safe dict: the episode parameters, the SLO, a
+    ``baseline`` and a ``tuned`` summary (attainment / p99 / loss, plus
+    the tuned run's decision log), and a sha256 ``digest`` over the
+    whole canonical payload — the surface the ``tune-determinism`` CI
+    job pins.
+    """
+    import hashlib
+    import json
+
+    from repro.autotune import AutotuneConfig
+    from repro.experiments.parallel import service_cells
+
+    if autotune is None:
+        autotune = AutotuneConfig()
+    slo = autotune.slo
+    phases = (
+        (calm_s, rate),
+        (burst_s, rate * burst_multiplier),
+        (recover_s, rate),
+    )
+    arrival_spec = ("episode", (("phases", phases),))
+    base = (
+        scheduler, admission, rate, 0.0, seed, submissions, window_ms,
+        mode, True,
+    )
+    baseline_payload, tuned_payload = service_cells(
+        [base + (None, arrival_spec), base + (autotune, arrival_spec)],
+        jobs=jobs,
+    )
+    payload = {
+        "scheduler": scheduler,
+        "admission": admission,
+        "seed": seed,
+        "submissions": submissions,
+        "window_ms": window_ms,
+        "arrivals": baseline_payload["arrivals"],
+        "episode": {
+            "rate_per_s": rate,
+            "burst_multiplier": burst_multiplier,
+            "calm_s": calm_s,
+            "burst_s": burst_s,
+            "recover_s": recover_s,
+        },
+        "slo": {"p99_ms": slo.p99_ms, "max_loss_frac": slo.max_loss_frac},
+        "baseline": _service_summary(baseline_payload, slo),
+        "tuned": _service_summary(tuned_payload, slo),
+    }
+    applied = [
+        d["window"] for d in payload["tuned"].get("decisions", ())
+        if d.get("applied")
+    ]
+    if applied:
+        apply_window = min(applied)
+        payload["post_apply"] = {
+            "window": apply_window,
+            "baseline": _post_apply_summary(
+                baseline_payload, slo, apply_window
+            ),
+            "tuned": _post_apply_summary(tuned_payload, slo, apply_window),
+        }
+    blob = json.dumps(payload, sort_keys=True)
+    payload["digest"] = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return payload
+
+
+def tune_report(
+    scheduler: str = "nimblock",
+    *,
+    admission: str = "unbounded",
+    rate: float = 2.0,
+    burst_multiplier: float = 4.0,
+    seed: int = 1,
+    submissions: int = 600,
+    window_ms: float = 10_000.0,
+    jobs: Optional[int] = None,
+    as_json: bool = False,
+    mode: str = "full",
+) -> str:
+    """The ``repro tune`` drill as deterministic text (or JSON).
+
+    With ``as_json`` the payload is dumped as canonical JSON (sorted
+    keys, one trailing newline) — the byte stream the
+    ``tune-determinism`` CI job diffs across ``--jobs`` values.
+    """
+    import json
+
+    from repro.experiments.runner import format_table
+
+    payload = tune(
+        scheduler,
+        admission=admission,
+        rate=rate,
+        burst_multiplier=burst_multiplier,
+        seed=seed,
+        submissions=submissions,
+        window_ms=window_ms,
+        jobs=jobs,
+        mode=mode,
+    )
+    if as_json:
+        return json.dumps(payload, sort_keys=True) + "\n"
+    headers = ["run", "attainment", "p99 (ms)", "loss", "completed",
+               "shed", "dropped", "applies"]
+    rows: List[List[object]] = []
+    for name in ("baseline", "tuned"):
+        summary = payload[name]
+        rows.append([
+            name,
+            f"{summary['attainment']:.3f}",
+            f"{summary['p99_ms']:.1f}",
+            f"{summary['loss_frac']:.3f}",
+            summary["completed"],
+            summary["shed"],
+            summary["dropped"],
+            summary.get("applies", 0),
+        ])
+    title = (
+        f"Closed-loop remediation drill: scheduler={scheduler}, "
+        f"admission={admission}, {payload['arrivals']}, seed={seed}"
+    )
+    lines = [title, format_table(headers, rows)]
+    for decision in payload["tuned"].get("decisions", ()):
+        applied = decision.get("applied")
+        symptoms = ",".join(
+            s["kind"] for s in decision.get("symptoms", ())
+        ) or "none"
+        lines.append(
+            f"  window {decision.get('window')}: symptoms=[{symptoms}] "
+            + (
+                f"applied {applied}"
+                if applied else
+                f"no patch ({decision.get('skipped') or 'no winner'})"
+            )
+        )
+    post = payload.get("post_apply")
+    if post:
+        lines.append(
+            f"  post-apply (window > {post['window']}): baseline "
+            f"{post['baseline']['met']}/{post['baseline']['windows']} "
+            f"windows met SLO, tuned "
+            f"{post['tuned']['met']}/{post['tuned']['windows']}"
+        )
+    lines.append(f"payload sha256: {payload['digest']}")
+    return "\n".join(lines) + "\n"
+
+
 def fleet(
     num_boards: int = 4,
     *,
@@ -183,6 +403,7 @@ def fleet(
     sequence: Optional[EventSequence] = None,
     mode: str = "full",
     replay: bool = True,
+    autotune=None,
 ):
     """Run one multi-board fleet under the burst workload; the report.
 
@@ -192,6 +413,8 @@ def fleet(
     places the ext-overload burst stream, simulates every board (sharded
     over ``jobs`` worker processes — any value is byte-identical) and
     returns the merged :class:`~repro.cluster.ClusterReport`.
+    ``autotune`` (an :class:`~repro.autotune.AutotuneConfig`) arms the
+    per-board closed-loop remediation pipeline.
 
     >>> from repro import fleet
     >>> report = fleet(2, num_events=6, jobs=1)
@@ -230,7 +453,7 @@ def fleet(
         seed=seed,
     )
     fleet.submit_sequence(sequence)
-    return fleet.run(jobs=jobs, mode=mode, replay=replay)
+    return fleet.run(jobs=jobs, mode=mode, replay=replay, autotune=autotune)
 
 
 def cluster_report(

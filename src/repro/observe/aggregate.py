@@ -24,7 +24,9 @@ from repro.observe.instrument import Instrumentation
 from repro.observe.metrics import merge_snapshots
 from repro.workload.events import EventSequence
 
-#: One observed-run task: (scheduler, stimulus, faults, platform).
+#: One observed-run task: (scheduler, stimulus, faults, platform), plus
+#: an optional trailing (admission policy name or None, seed) pair —
+#: 4-tuples from older callers run without admission control.
 ObservedTask = Tuple[
     str, EventSequence, Optional[FaultConfig], Optional[SystemConfig]
 ]
@@ -37,6 +39,8 @@ def observed_run(
     config: Optional[SystemConfig] = None,
     profile: bool = False,
     mode: str = "full",
+    admission: Optional[str] = None,
+    seed: int = 0,
 ) -> Tuple["Hypervisor", "Instrumentation"]:
     """Run one sequence with instrumentation attached.
 
@@ -45,6 +49,11 @@ def observed_run(
     includes the folded trace metrics). Attaching the observer never
     changes simulation behaviour — the trace and results are
     byte-identical to an unobserved run.
+
+    ``admission`` attaches an admission controller (plus a watchdog, the
+    overload-tier pairing every other harness uses), which populates the
+    overload/shed/watchdog counters in the snapshot; shed or dropped
+    applications then legally reduce the retired count.
     """
     from repro.faults.injector import FaultInjector
     from repro.hypervisor.hypervisor import Hypervisor
@@ -53,10 +62,18 @@ def observed_run(
     injector = None
     if fault_config is not None and fault_config.enabled:
         injector = FaultInjector(fault_config)
+    controller = None
+    watchdog = None
+    if admission is not None:
+        from repro.admission import AdmissionController, Watchdog
+
+        controller = AdmissionController(admission, seed=seed)
+        watchdog = Watchdog()
     observer = Instrumentation(profile=profile)
     hypervisor = Hypervisor(
         make_scheduler(scheduler_name), config=config,
-        faults=injector, observer=observer, mode=mode,
+        faults=injector, admission=controller, watchdog=watchdog,
+        observer=observer, mode=mode,
     )
     for request in sequence.to_requests():
         hypervisor.submit(request)
@@ -76,6 +93,8 @@ def collect_snapshots(
     fault_config: Optional[FaultConfig] = None,
     config: Optional[SystemConfig] = None,
     jobs: Optional[int] = None,
+    admission: Optional[str] = None,
+    seed: int = 0,
 ) -> List[dict]:
     """One deterministic snapshot per (scheduler, sequence) cell.
 
@@ -86,7 +105,10 @@ def collect_snapshots(
     from repro.experiments import parallel
 
     tasks: List[ObservedTask] = [
-        (name, sequence, fault_config, config)
+        # Keep the 4-tuple shape unless admission is requested, so
+        # pickled tasks stay compatible with older workers.
+        (name, sequence, fault_config, config) if admission is None
+        else (name, sequence, fault_config, config, admission, seed)
         for name in schedulers
         for sequence in sequences
     ]
@@ -99,6 +121,8 @@ def collect_metrics(
     fault_config: Optional[FaultConfig] = None,
     config: Optional[SystemConfig] = None,
     jobs: Optional[int] = None,
+    admission: Optional[str] = None,
+    seed: int = 0,
 ) -> dict:
     """Merged metrics snapshot over the whole (scheduler x sequence) grid.
 
@@ -108,4 +132,5 @@ def collect_metrics(
     return merge_snapshots(collect_snapshots(
         schedulers, sequences,
         fault_config=fault_config, config=config, jobs=jobs,
+        admission=admission, seed=seed,
     ))

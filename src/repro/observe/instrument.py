@@ -220,6 +220,48 @@ def observe_run(
          "Arrivals that fell through the replay cache to live simulation",
          getattr(getattr(hypervisor, "_replay", None), "misses", 0)),
     )
+    # Detector raw inputs (repro.autotune): overload edge/duration
+    # counters from the admission controller and the watchdog's split
+    # detection/recovery counters. All zero (but present, for a stable
+    # schema) when no admission controller or watchdog is attached.
+    admission = getattr(hypervisor, "admission", None)
+    admission_stats = admission.stats if admission is not None else None
+    watchdog = getattr(hypervisor, "watchdog", None)
+    counters += (
+        ("nimblock_overload_enters_total",
+         "OVERLOAD_ENTER edges, including a still-open overload window",
+         0 if admission_stats is None else admission_stats.overload_enters),
+        ("nimblock_overload_exits_total",
+         "OVERLOAD_EXIT edges (completed overload windows)",
+         count(TraceKind.OVERLOAD_EXIT)),
+        ("nimblock_overload_ms_total",
+         "Simulated time under overload (closed windows plus the open "
+         "window up to the run horizon)",
+         0.0 if admission is None
+         else admission.overload_total_ms(hypervisor.engine.now)),
+        ("nimblock_watchdog_stalls_detected_total",
+         "Global stall episodes the watchdog detected",
+         getattr(watchdog, "stalls_detected", 0)),
+        ("nimblock_watchdog_stall_kicks_total",
+         "Detach kicks issued against detected stalls",
+         getattr(watchdog, "stall_kicks", 0)),
+        ("nimblock_watchdog_starvations_detected_total",
+         "Per-app starvation episodes the watchdog detected",
+         getattr(watchdog, "starvations_detected", 0)),
+        ("nimblock_watchdog_starvation_boosts_total",
+         "Token boosts issued against detected starvations",
+         getattr(watchdog, "starvation_boosts", 0)),
+    )
+    shed_by_priority = (
+        {} if admission_stats is None
+        else admission_stats.shed_by_priority
+    )
+    counters += tuple(
+        (f"nimblock_apps_shed_priority{priority}_total",
+         f"Applications of priority {priority} evicted by load shedding",
+         shed_by_priority.get(priority, 0))
+        for priority in config.priority_levels
+    )
     for name, help_text, value in counters:
         registry.counter(name, help_text).inc(float(value))
 

@@ -115,6 +115,12 @@ class ServiceReport:
     #: diff asserts.
     replay_hits: int = 0
     replay_misses: int = 0
+    #: True when a closed-loop autotuner was armed for the run. The
+    #: decision log joins :meth:`to_dict` only then, so un-tuned
+    #: payloads (and their golden pins) are byte-for-byte unchanged.
+    autotuned: bool = False
+    #: Frozen remediation decision records, in window order.
+    decisions: List[dict] = field(default_factory=list)
 
     # -- derived --------------------------------------------------------
     def totals(self) -> WindowStats:
@@ -144,8 +150,20 @@ class ServiceReport:
         return met / len(windows)
 
     # -- serialization and rendering ------------------------------------
+    @property
+    def applies(self) -> int:
+        """Remediation patches actually applied during the run."""
+        return sum(1 for d in self.decisions if d.get("applied"))
+
     def to_dict(self) -> dict:
         """The deterministic payload (no wall-clock, no snapshots)."""
+        payload = self._base_dict()
+        if self.autotuned:
+            payload["decisions"] = self.decisions
+            payload["applies"] = self.applies
+        return payload
+
+    def _base_dict(self) -> dict:
         return {
             "scheduler": self.scheduler,
             "admission": self.admission,
@@ -205,6 +223,21 @@ def format_report(payload: dict, window_rows: int = 12) -> str:
     ]
     table = windows.format_table(limit=window_rows)
     lines.extend("  " + line for line in table.splitlines())
+    if "decisions" in payload:
+        lines.append(
+            f"  autotune: {len(payload['decisions'])} decisions, "
+            f"{payload['applies']} applied"
+        )
+        for decision in payload["decisions"]:
+            kinds = ",".join(
+                s["kind"] for s in decision["symptoms"]
+            ) or "-"
+            applied = decision.get("applied") or "none"
+            lines.append(
+                f"    window {decision['window']}: [{kinds}] "
+                f"-> applied={applied} "
+                f"({len(decision.get('candidates', []))} candidates)"
+            )
     return "\n".join(lines)
 
 
@@ -241,6 +274,7 @@ class ServiceLoop:
         observer: Optional[object] = None,
         mode: str = "full",
         replay: bool = True,
+        autotune: Optional[object] = None,
         _resume_state: Optional[dict] = None,
     ) -> None:
         from repro.hypervisor.hypervisor import Hypervisor
@@ -254,9 +288,18 @@ class ServiceLoop:
                 "snapshot_every_windows must be >= 1, got "
                 f"{snapshot_every_windows}"
             )
+        if autotune is not None and snapshot_every_windows is not None:
+            raise ServiceError(
+                "autotune and periodic snapshots are mutually exclusive: "
+                "a mid-run config patch cannot be captured by the "
+                "snapshot/resume contract"
+            )
         self.arrivals = arrivals
         self.scheduler_name = scheduler
         self.admission_name = admission
+        #: Admission knob overrides, kept for the autotuner's baseline
+        #: :class:`~repro.autotune.proposals.TunableConfig` capture.
+        self.admission_knobs = dict(admission_knobs or {})
         self.mode = normalize_mode(mode)
         self.seed = seed
         self.max_submissions = max_submissions
@@ -306,6 +349,12 @@ class ServiceLoop:
             # A caller-supplied Watchdog subclass cannot be mirrored
             # into the recording world faithfully.
             and (watchdog is None or type(watchdog) is Watchdog)
+            # The autotuner's detector reads watchdog detection
+            # counters, which the replay byte-identity contract does
+            # not cover (the mirror world accumulates them); an armed
+            # autotuner therefore always runs live, making its decision
+            # log trivially identical with replay on or off.
+            and autotune is None
         ):
             from repro.sim.replay import ReplayCache
 
@@ -325,6 +374,15 @@ class ServiceLoop:
                 on_credit=self._replay_event_times.extend,
             )
             self.hv._replay = self._replay_cache
+
+        # -- closed-loop remediation (repro.autotune) -------------------
+        # Imported only when armed: a plain service run never pays for
+        # (or even loads) the pipeline — bench_autotune --guard pins it.
+        self._tuner = None
+        if autotune is not None:
+            from repro.autotune.engine import Autotuner
+
+            self._tuner = Autotuner(self, autotune)
 
         # -- streaming state (possibly restored from a snapshot) --------
         state = _resume_state or {}
@@ -372,6 +430,8 @@ class ServiceLoop:
             # ``now`` is exactly this spec's arrival instant: count it.
             self._arrived += 1
             self.windows.observe_arrival(spec.arrival_ms)
+            if self._tuner is not None:
+                self._tuner.note_arrival(spec)
             self._next_spec = None
         if self._consumed >= self.max_submissions:
             self._stream_done = True
@@ -491,6 +551,11 @@ class ServiceLoop:
         self._fold_deltas(index, up_to=now)
         self.windows.note_pending_depth(index, len(self.hv.pending))
         self._windows_closed += 1
+        if self._tuner is not None:
+            # The quiescent boundary: the window's deltas are folded and
+            # no same-instant event outranks this one, so a config patch
+            # applied here is atomic for the simulation.
+            self._tuner.on_window_close(index, now)
         next_index = index + 1
         # Batch-advance over quiescent gaps: when the board is fully
         # drained and the only future work is the one-ahead arrival,
@@ -611,6 +676,10 @@ class ServiceLoop:
             mode=self.mode,
             replay_hits=self.replay_hits,
             replay_misses=self.replay_misses,
+            autotuned=self._tuner is not None,
+            decisions=(
+                [] if self._tuner is None else list(self._tuner.decisions)
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -49,7 +49,9 @@ SERVICE_BATCH_RANGE: Tuple[int, int] = (1, 4)
 SERVICE_BENCHMARKS: Tuple[str, ...] = ("lenet", "imgc", "3dr", "of")
 
 #: Registry names of the built-in arrival processes.
-ARRIVAL_KINDS: Tuple[str, ...] = ("poisson", "mmpp", "diurnal", "replay")
+ARRIVAL_KINDS: Tuple[str, ...] = (
+    "poisson", "mmpp", "diurnal", "replay", "episode",
+)
 
 
 class ArrivalProcess:
@@ -214,6 +216,71 @@ class MMPPArrivals(ArrivalProcess):
         )
 
 
+class EpisodeArrivals(ArrivalProcess):
+    """Deterministic piecewise-constant rate phases, cycled forever.
+
+    ``phases`` is a sequence of ``(duration_s, rate_per_s)`` pairs;
+    within a phase arrivals are Poisson at that phase's rate, and the
+    schedule cycles. Unlike :class:`MMPPArrivals` the phase boundaries
+    are *fixed instants*, which is what overload-drill studies need: a
+    calm warm-up, an exactly-timed burst (e.g. 4x for two minutes), and
+    a recovery tail land at the same simulated times every seed, so
+    "was the episode detected and remediated in time" is a sharp,
+    reproducible question.
+    """
+
+    kind = "episode"
+
+    def __init__(
+        self,
+        seed: int,
+        phases: Sequence[Tuple[float, float]],
+        **pool_knobs,
+    ) -> None:
+        super().__init__(seed, **pool_knobs)
+        phases = tuple((float(d), float(r)) for d, r in phases)
+        if not phases:
+            raise WorkloadError("episode needs at least one phase")
+        for duration_s, rate_per_s in phases:
+            if duration_s <= 0:
+                raise WorkloadError(
+                    f"phase duration must be > 0s, got {duration_s}"
+                )
+            if rate_per_s <= 0:
+                raise WorkloadError(
+                    f"phase rate must be > 0/s, got {rate_per_s}"
+                )
+        self.phases = phases
+
+    def mean_rate_per_s(self) -> float:
+        """Duration-weighted mean rate over one cycle."""
+        total_s = sum(d for d, _ in self.phases)
+        return sum(d * r for d, r in self.phases) / total_s
+
+    def _generate(self) -> Iterator[EventSpec]:
+        rng = random.Random(f"episode:{self.seed}:{self.phases!r}")
+        arrival = 0.0
+        phase = 0
+        hold_ms = self.phases[0][0] * 1000.0
+        while True:
+            gap = rng.expovariate(1.0) * 1000.0 / self.phases[phase][1]
+            # Burn through phase boundaries inside the gap; the crossing
+            # gap is re-drawn from the boundary at the next phase's rate
+            # (memorylessness makes this exact, as in the MMPP).
+            while gap >= hold_ms:
+                arrival += hold_ms
+                phase = (phase + 1) % len(self.phases)
+                hold_ms = self.phases[phase][0] * 1000.0
+                gap = rng.expovariate(1.0) * 1000.0 / self.phases[phase][1]
+            arrival += gap
+            hold_ms -= gap
+            yield self._spec(rng, arrival)
+
+    def describe(self) -> str:
+        schedule = "+".join(f"{d:g}s@{r:g}/s" for d, r in self.phases)
+        return f"episode({schedule}, seed={self.seed})"
+
+
 class DiurnalArrivals(ArrivalProcess):
     """Sinusoidal rate curve between a trough and a peak rate.
 
@@ -342,7 +409,8 @@ def make_arrivals(kind: str, seed: int = 1, **knobs) -> ArrivalProcess:
 
     ``poisson`` needs ``rate_per_s``; ``mmpp`` needs ``calm_rate_per_s``
     and ``burst_rate_per_s``; ``diurnal`` needs ``trough_rate_per_s`` and
-    ``peak_rate_per_s``; ``replay`` needs ``path``. Unknown kinds raise
+    ``peak_rate_per_s``; ``replay`` needs ``path``; ``episode`` needs
+    ``phases`` (``(duration_s, rate_per_s)`` pairs). Unknown kinds raise
     :class:`~repro.errors.WorkloadError` listing the registry.
     """
     try:
@@ -354,6 +422,8 @@ def make_arrivals(kind: str, seed: int = 1, **knobs) -> ArrivalProcess:
             return DiurnalArrivals(seed, **knobs)
         if kind == "replay":
             return TraceReplayArrivals(**knobs)
+        if kind == "episode":
+            return EpisodeArrivals(seed, **knobs)
     except TypeError as error:
         raise WorkloadError(f"bad {kind!r} arrival knobs: {error}") from None
     raise WorkloadError(
@@ -389,4 +459,36 @@ def service_rate_process(
     return MMPPArrivals(
         seed, calm_rate_per_s=calm, burst_rate_per_s=hot,
         mean_calm_s=mean_calm_s, mean_burst_s=mean_burst_s, **pool_knobs
+    )
+
+
+def overload_episode_process(
+    rate_per_s: float,
+    seed: int = 1,
+    burst_multiplier: float = 4.0,
+    calm_s: float = 60.0,
+    burst_s: float = 120.0,
+    recover_s: float = 240.0,
+    **pool_knobs,
+) -> EpisodeArrivals:
+    """The remediation drill's canonical episode: calm → burst → recover.
+
+    A ``burst_multiplier`` x rate spike of exactly ``burst_s`` seconds
+    after a calm warm-up, then a long recovery tail at the base rate
+    (and the schedule cycles if the run outlasts it). Used by the
+    ``repro tune`` drill and the ext-autotune study to induce the
+    overload + starvation episode the closed loop must detect and heal.
+    """
+    if burst_multiplier <= 0:
+        raise WorkloadError(
+            f"burst_multiplier must be > 0, got {burst_multiplier}"
+        )
+    return EpisodeArrivals(
+        seed,
+        phases=(
+            (calm_s, rate_per_s),
+            (burst_s, rate_per_s * burst_multiplier),
+            (recover_s, rate_per_s),
+        ),
+        **pool_knobs,
     )

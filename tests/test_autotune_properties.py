@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on the remediation pipeline.
+
+Two families, matching the PR's determinism satellites:
+
+* **detector determinism** — ``detect`` is a pure function of the
+  observation *values*: shuffling the window history, splitting it into
+  arbitrary merge chunks, or prepending inactive windows never changes
+  the emitted symptoms;
+* **proposer idempotence** — applying any proposed patch twice equals
+  applying it once, and ``patch_id`` is a stable content address
+  (equal patches hash equal, distinct knob sets hash distinct).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autotune import (
+    CounterDeltas,
+    DetectorConfig,
+    TunableConfig,
+    WindowSignal,
+    detect,
+    propose,
+)
+from repro.metrics.slo import SloTarget
+
+DET = DetectorConfig(slo=SloTarget(p99_ms=1_000.0, max_loss_frac=0.05))
+
+window_signals = st.builds(
+    WindowSignal,
+    index=st.integers(min_value=0, max_value=30),
+    arrived=st.integers(min_value=0, max_value=40),
+    completed=st.integers(min_value=0, max_value=40),
+    shed=st.integers(min_value=0, max_value=10),
+    dropped=st.integers(min_value=0, max_value=5),
+    p99_ms=st.one_of(
+        st.just(float("nan")),
+        st.floats(min_value=1.0, max_value=50_000.0, allow_nan=False),
+    ),
+    peak_pending=st.integers(min_value=0, max_value=64),
+)
+
+counter_deltas = st.builds(
+    CounterDeltas,
+    overload_enters=st.integers(min_value=0, max_value=12),
+    overload_ms=st.floats(min_value=0.0, max_value=60_000.0,
+                          allow_nan=False),
+    starvations=st.integers(min_value=0, max_value=4),
+    stalls=st.integers(min_value=0, max_value=6),
+    energy_j=st.floats(min_value=0.0, max_value=10_000.0,
+                       allow_nan=False),
+    span_ms=st.floats(min_value=0.0, max_value=600_000.0,
+                      allow_nan=False),
+    power_cap_w=st.one_of(
+        st.none(),
+        st.floats(min_value=5.0, max_value=100.0, allow_nan=False),
+    ),
+)
+
+
+def unique_by_index(windows):
+    """Windows deduplicated by index (last write wins), like a real
+    window table — detect() sorting assumes one signal per index."""
+    table = {w.index: w for w in windows}
+    return list(table.values())
+
+
+class TestDetectorDeterminism:
+    @given(
+        windows=st.lists(window_signals, max_size=12),
+        counters=counter_deltas,
+        shuffle=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_presentation_order_never_matters(
+        self, windows, counters, shuffle
+    ):
+        windows = unique_by_index(windows)
+        baseline = detect(windows, counters, DET)
+        reordered = list(windows)
+        shuffle.shuffle(reordered)
+        assert detect(reordered, counters, DET) == baseline
+
+    @given(
+        windows=st.lists(window_signals, max_size=12),
+        counters=counter_deltas,
+        extra_indices=st.lists(
+            st.integers(min_value=31, max_value=60), max_size=4
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_inactive_windows_are_invisible(
+        self, windows, counters, extra_indices
+    ):
+        windows = unique_by_index(windows)
+        baseline = detect(windows, counters, DET)
+        padded = windows + [WindowSignal(index=i) for i in extra_indices]
+        assert detect(padded, counters, DET) == baseline
+
+    @given(
+        windows=st.lists(window_signals, max_size=12),
+        counters=counter_deltas,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_detect_is_pure_and_canonically_ordered(
+        self, windows, counters
+    ):
+        windows = unique_by_index(windows)
+        first = detect(windows, counters, DET)
+        second = detect(windows, counters, DET)
+        assert first == second
+        kinds = [s.kind for s in first]
+        assert len(set(kinds)) == len(kinds)
+        from repro.autotune import SYMPTOM_KINDS
+
+        positions = [SYMPTOM_KINDS.index(k) for k in kinds]
+        assert positions == sorted(positions)
+
+
+# (admission, knobs) sampled together: knobs must be valid for the
+# policy or TunableConfig.admission_policy() rightly refuses them.
+admission_with_knobs = st.one_of(
+    st.just(("unbounded", ())),
+    st.just(("shed", ())),
+    st.just(("shed", (("queue_capacity", 32),))),
+    st.just(("shed", (("low_watermark", 8), ("queue_capacity", 16)))),
+    st.just(("degrade", ())),
+    st.just(("degrade", (("slot_cap", 2),))),
+)
+
+tunables = st.builds(
+    lambda scheduler, adm, watchdog_knobs: TunableConfig(
+        scheduler=scheduler,
+        admission=adm[0],
+        admission_knobs=adm[1],
+        watchdog_knobs=watchdog_knobs,
+    ),
+    scheduler=st.sampled_from(("nimblock", "fcfs", "prema")),
+    adm=admission_with_knobs,
+    watchdog_knobs=st.one_of(
+        st.none(),
+        st.just(()),
+        st.just((("stall_passes", 40), ("starvation_passes", 400))),
+    ),
+)
+
+
+def plausible_symptoms(windows_needed=6):
+    """A symptom soup covering every proposer rule at once."""
+    windows = [
+        WindowSignal(index=i, arrived=20, completed=4, shed=8,
+                     p99_ms=9_000.0, peak_pending=30 + i)
+        for i in range(windows_needed)
+    ]
+    counters = CounterDeltas(
+        overload_enters=8, overload_ms=30_000.0, starvations=2, stalls=4,
+        energy_j=5_000.0, span_ms=60_000.0, power_cap_w=45.0,
+    )
+    return detect(windows, counters, DET)
+
+
+class TestProposerIdempotence:
+    @given(tuning=tunables)
+    @settings(max_examples=60, deadline=None)
+    def test_patches_are_idempotent(self, tuning):
+        # Knob sets that fail policy construction are fine for the
+        # pure apply/id contracts being tested here.
+        for patch in propose(plausible_symptoms(), tuning):
+            once = patch.apply(tuning)
+            twice = patch.apply(once)
+            assert twice == once
+            assert patch.apply(twice) == once
+
+    @given(tuning=tunables)
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_deduped_nonnoop_and_risk_sorted(self, tuning):
+        patches = propose(plausible_symptoms(), tuning)
+        ids = [p.patch_id for p in patches]
+        assert len(ids) == len(set(ids))
+        assert all(p.apply(tuning) != tuning for p in patches)
+        assert [p.risk for p in patches] == sorted(
+            p.risk for p in patches
+        )
+
+    @given(tuning=tunables)
+    @settings(max_examples=30, deadline=None)
+    def test_patch_id_is_a_stable_content_address(self, tuning):
+        patches = propose(plausible_symptoms(), tuning)
+        again = propose(plausible_symptoms(), tuning)
+        assert [p.patch_id for p in patches] == [
+            p.patch_id for p in again
+        ]
+        for a, b in zip(patches, again):
+            assert a == b
+
+    def test_propose_never_mutates_tuning(self):
+        tuning = TunableConfig()
+        snapshot = tuning.to_dict()
+        propose(plausible_symptoms(), tuning)
+        assert tuning.to_dict() == snapshot
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -25,10 +25,10 @@ CHEAP = ("fig2", "fig4", "table1", "table2")
 class TestRegistryContents:
     def test_every_cli_experiment_is_registered(self):
         names = experiment_names()
-        assert len(names) == 28
+        assert len(names) == 29
         for expected in ("fig2", "fig5", "fig11", "table1", "table3",
                          "overhead", "report", "ext-faults", "ext-seeds",
-                         "ext-service", "ext-cluster"):
+                         "ext-service", "ext-cluster", "ext-autotune"):
             assert expected in names
 
     def test_all_experiments_sorted_and_typed(self):

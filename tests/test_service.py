@@ -104,7 +104,9 @@ class TestArrivalProcesses:
             make_arrivals("nope", rate_per_s=1.0)
         with pytest.raises(WorkloadError, match="knobs"):
             make_arrivals("poisson", seed=1, not_a_knob=2.0)
-        assert set(ARRIVAL_KINDS) == {"poisson", "mmpp", "diurnal", "replay"}
+        assert set(ARRIVAL_KINDS) == {
+            "poisson", "mmpp", "diurnal", "replay", "episode",
+        }
 
     def test_service_rate_process_burstiness(self):
         plain = service_rate_process(2.0, seed=1)
